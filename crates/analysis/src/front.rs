@@ -1,0 +1,170 @@
+//! Solidification-front geometry: height map, roughness, velocity.
+//!
+//! The directional-solidification front (F_Ω in the paper's Sec. 2) is the
+//! observable that couples the microstructure to the process parameters:
+//! its mean position tracks the pulling velocity in steady state, and its
+//! roughness measures how strongly the lamellar structure corrugates the
+//! growth front.
+
+use eutectica_core::state::BlockState;
+use eutectica_core::LIQ;
+
+/// Per-column front height: for each (x, y) column of the interior, the
+/// interpolated global z where the solid fraction (1 − φ_ℓ) crosses 0.5,
+/// scanning from the top. Columns that are entirely liquid report the block
+/// bottom; entirely solid columns report the top.
+pub fn front_height_map(state: &BlockState) -> Vec<f64> {
+    let d = state.dims;
+    let g = d.ghost;
+    let z0 = state.origin[2] as f64;
+    let mut map = Vec::with_capacity(d.nx * d.ny);
+    for y in 0..d.ny {
+        for x in 0..d.nx {
+            let solid_at =
+                |z: usize| -> f64 { 1.0 - state.phi_src.at(LIQ, x + g, y + g, z + g) };
+            let mut h = z0; // default: no solid found
+            if solid_at(d.nz - 1) >= 0.5 {
+                h = z0 + (d.nz - 1) as f64;
+            } else {
+                for z in (0..d.nz - 1).rev() {
+                    let (lo, hi) = (solid_at(z), solid_at(z + 1));
+                    if lo >= 0.5 && hi < 0.5 {
+                        // Linear interpolation of the 0.5 crossing.
+                        let t = (lo - 0.5) / (lo - hi);
+                        h = z0 + z as f64 + t;
+                        break;
+                    }
+                }
+            }
+            map.push(h);
+        }
+    }
+    map
+}
+
+/// Mean front position.
+pub fn front_mean(map: &[f64]) -> f64 {
+    map.iter().sum::<f64>() / map.len() as f64
+}
+
+/// RMS front roughness (standard deviation of the height map).
+pub fn front_roughness(map: &[f64]) -> f64 {
+    let mean = front_mean(map);
+    (map.iter().map(|h| (h - mean) * (h - mean)).sum::<f64>() / map.len() as f64).sqrt()
+}
+
+/// Total diffuse-interface area density: ∫|∇φ_α| dV per unit volume,
+/// summed over the three solid phases (a standard microstructure-coarsening
+/// metric; lamella coarsening lowers it, front growth raises it).
+pub fn interface_area_density(state: &BlockState) -> f64 {
+    let d = state.dims;
+    let g = d.ghost;
+    let mut total = 0.0;
+    for a in 0..3 {
+        let comp = state.phi_src.comp(a);
+        for z in g..g + d.nz {
+            for y in g..g + d.ny {
+                for x in g..g + d.nx {
+                    let i = d.idx(x, y, z);
+                    let gx = 0.5 * (comp[i + 1] - comp[i - 1]);
+                    let gy = 0.5 * (comp[i + d.sy()] - comp[i - d.sy()]);
+                    let gz = 0.5 * (comp[i + d.sz()] - comp[i - d.sz()]);
+                    total += (gx * gx + gy * gy + gz * gz).sqrt();
+                }
+            }
+        }
+    }
+    total / d.interior_volume() as f64
+}
+
+/// Mean front velocity between two height maps separated by `dt_total`
+/// time units (moving-window shifts are already absorbed in the global z
+/// of the maps).
+pub fn front_velocity(before: &[f64], after: &[f64], dt_total: f64) -> f64 {
+    assert_eq!(before.len(), after.len());
+    assert!(dt_total > 0.0);
+    (front_mean(after) - front_mean(before)) / dt_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eutectica_blockgrid::GridDims;
+    use eutectica_core::init::init_planar_front;
+    use eutectica_core::state::BlockState;
+
+    #[test]
+    fn planar_front_height_and_roughness() {
+        let mut s = BlockState::new(GridDims::new(6, 6, 20, 1), [0, 0, 0]);
+        init_planar_front(&mut s, 0, 8); // solid for global z < 8
+        let map = front_height_map(&s);
+        assert_eq!(map.len(), 36);
+        // Sharp interface between z = 7 (solid) and z = 8 (liquid):
+        // crossing at 7.5.
+        for &h in &map {
+            assert!((h - 7.5).abs() < 0.51, "height {h}");
+        }
+        assert!(front_roughness(&map) < 1e-9);
+    }
+
+    #[test]
+    fn window_origin_offsets_the_heights() {
+        let mut s = BlockState::new(GridDims::new(4, 4, 12, 1), [0, 0, 25]);
+        // Solid below global z = 30 (local z < 5).
+        init_planar_front(&mut s, 1, 30);
+        let map = front_height_map(&s);
+        assert!((front_mean(&map) - 29.5).abs() < 0.51, "{}", front_mean(&map));
+    }
+
+    #[test]
+    fn velocity_from_two_maps() {
+        let before = vec![10.0; 16];
+        let after = vec![12.5; 16];
+        assert!((front_velocity(&before, &after, 5.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rough_front_reports_positive_roughness() {
+        let mut s = BlockState::new(GridDims::new(8, 1, 20, 1), [0, 0, 0]);
+        // Staircase front: height varies with x.
+        let g = 1;
+        for x in 0..8usize {
+            let h = 5 + x % 4;
+            for z in 0..20usize {
+                let phi = if z < h {
+                    [1.0, 0.0, 0.0, 0.0]
+                } else {
+                    [0.0, 0.0, 0.0, 1.0]
+                };
+                s.phi_src.set_cell(x + g, g, z + g, phi);
+            }
+        }
+        let map = front_height_map(&s);
+        assert!(front_roughness(&map) > 0.5);
+    }
+
+    #[test]
+    fn interface_area_scales_with_front_area() {
+        // One planar solid/liquid interface in an n² × 20 box contributes
+        // ≈ n² of |∇φ| integral → density ≈ 1/20.
+        let mut s = BlockState::new(GridDims::new(8, 8, 20, 1), [0, 0, 0]);
+        init_planar_front(&mut s, 0, 10);
+        s.apply_bc_src();
+        let rho = interface_area_density(&s);
+        assert!((rho - 1.0 / 20.0).abs() < 0.02, "density {rho}");
+        // All liquid: zero.
+        let s2 = BlockState::new(GridDims::cube(8), [0, 0, 0]);
+        assert_eq!(interface_area_density(&s2), 0.0);
+    }
+
+    #[test]
+    fn all_liquid_and_all_solid_columns() {
+        let s = BlockState::new(GridDims::cube(6), [0, 0, 3]);
+        let map = front_height_map(&s); // everything liquid
+        assert!(map.iter().all(|&h| (h - 3.0).abs() < 1e-12));
+        let mut s2 = BlockState::new(GridDims::cube(6), [0, 0, 0]);
+        init_planar_front(&mut s2, 0, 100); // everything solid
+        let map = front_height_map(&s2);
+        assert!(map.iter().all(|&h| (h - 5.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,190 @@
+//! Lamella tracking over time: splits and merges.
+//!
+//! "The evolution of the microstructure, especially the splitting of
+//! lamellae and merging, is visible, and allows us to study the stability of
+//! different phase arrangements" (Sec. 5.2, Fig. 11). Components of one
+//! solid phase are labeled in consecutive snapshots and matched by cell
+//! overlap; a component that overlaps two successors has split, two
+//! components sharing one successor have merged.
+
+use crate::ccl::{label_3d, Labels};
+use eutectica_core::state::BlockState;
+use std::collections::HashMap;
+
+/// Labeled snapshot of one phase.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Component labels (interior cells, x fastest).
+    pub labels: Labels,
+    /// Interior dims.
+    pub dims: [usize; 3],
+}
+
+impl Snapshot {
+    /// Label the `phase` component field of a block (threshold φ > 0.5,
+    /// periodic in x/y as in the directional setup).
+    pub fn of_block(state: &BlockState, phase: usize) -> Self {
+        let d = state.dims;
+        let g = d.ghost;
+        let dims = [d.nx, d.ny, d.nz];
+        let mask: Vec<bool> = (0..dims[0] * dims[1] * dims[2])
+            .map(|i| {
+                let x = i % dims[0];
+                let y = (i / dims[0]) % dims[1];
+                let z = i / (dims[0] * dims[1]);
+                state.phi_src.at(phase, x + g, y + g, z + g) > 0.5
+            })
+            .collect();
+        Self {
+            labels: label_3d(&mask, dims, [true, true, false]),
+            dims,
+        }
+    }
+
+    /// Number of lamellae (connected components).
+    pub fn lamella_count(&self) -> usize {
+        self.labels.count
+    }
+}
+
+/// Topological events between two snapshots.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Events {
+    /// Components of `prev` that overlap ≥ 2 components of `next`.
+    pub splits: usize,
+    /// Components of `next` that overlap ≥ 2 components of `prev`.
+    pub merges: usize,
+    /// One-to-one continued components.
+    pub continued: usize,
+    /// Components of `next` with no predecessor (nucleated).
+    pub born: usize,
+    /// Components of `prev` with no successor (vanished).
+    pub died: usize,
+}
+
+/// Match components by overlap and count events.
+///
+/// # Panics
+/// Panics if the snapshots have different dims.
+pub fn track(prev: &Snapshot, next: &Snapshot) -> Events {
+    assert_eq!(prev.dims, next.dims, "snapshot dims differ");
+    // overlap[(p, n)] = shared cell count.
+    let mut overlap: HashMap<(u32, u32), usize> = HashMap::new();
+    for (lp, ln) in prev.labels.labels.iter().zip(&next.labels.labels) {
+        if *lp != 0 && *ln != 0 {
+            *overlap.entry((*lp, *ln)).or_insert(0) += 1;
+        }
+    }
+    let mut succ: HashMap<u32, usize> = HashMap::new();
+    let mut pred: HashMap<u32, usize> = HashMap::new();
+    for &(p, n) in overlap.keys() {
+        *succ.entry(p).or_insert(0) += 1;
+        *pred.entry(n).or_insert(0) += 1;
+    }
+    let mut e = Events::default();
+    for p in 1..=prev.labels.count as u32 {
+        match succ.get(&p).copied().unwrap_or(0) {
+            0 => e.died += 1,
+            1 => {}
+            _ => e.splits += 1,
+        }
+    }
+    for n in 1..=next.labels.count as u32 {
+        match pred.get(&n).copied().unwrap_or(0) {
+            0 => e.born += 1,
+            1 => e.continued += 1,
+            _ => e.merges += 1,
+        }
+    }
+    // `continued` double-counts successors of splits; keep it as "next
+    // components with exactly one parent", which is the natural census.
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_from_mask(mask: Vec<bool>, dims: [usize; 3]) -> Snapshot {
+        Snapshot {
+            labels: label_3d(&mask, dims, [false; 3]),
+            dims,
+        }
+    }
+
+    #[test]
+    fn split_detected() {
+        let dims = [12, 4, 1];
+        // One bar splits into two.
+        let mut before = vec![false; 48];
+        let mut after = vec![false; 48];
+        for x in 1..11 {
+            before[x] = true;
+        }
+        for x in 1..5 {
+            after[x] = true;
+        }
+        for x in 7..11 {
+            after[x] = true;
+        }
+        let e = track(&snap_from_mask(before, dims), &snap_from_mask(after, dims));
+        assert_eq!(e.splits, 1);
+        assert_eq!(e.merges, 0);
+        assert_eq!(e.continued, 2);
+    }
+
+    #[test]
+    fn merge_detected() {
+        let dims = [12, 4, 1];
+        let mut before = vec![false; 48];
+        let mut after = vec![false; 48];
+        for x in 1..5 {
+            before[x] = true;
+        }
+        for x in 7..11 {
+            before[x] = true;
+        }
+        for x in 1..11 {
+            after[x] = true;
+        }
+        let e = track(&snap_from_mask(before, dims), &snap_from_mask(after, dims));
+        assert_eq!(e.merges, 1);
+        assert_eq!(e.splits, 0);
+    }
+
+    #[test]
+    fn birth_and_death() {
+        let dims = [8, 2, 1];
+        let mut before = vec![false; 16];
+        let mut after = vec![false; 16];
+        before[1] = true;
+        before[2] = true; // dies
+        after[12] = true;
+        after[13] = true; // born elsewhere
+        let e = track(&snap_from_mask(before, dims), &snap_from_mask(after, dims));
+        assert_eq!(e.died, 1);
+        assert_eq!(e.born, 1);
+    }
+
+    #[test]
+    fn stable_structure_continues() {
+        let dims = [8, 8, 2];
+        let mask: Vec<bool> = (0..128).map(|i| i % 8 < 3).collect();
+        let a = snap_from_mask(mask.clone(), dims);
+        let b = snap_from_mask(mask, dims);
+        let e = track(&a, &b);
+        assert_eq!(e.splits + e.merges + e.born + e.died, 0);
+        assert_eq!(e.continued, a.lamella_count());
+    }
+
+    #[test]
+    fn snapshot_counts_lamellae_of_scenario() {
+        use eutectica_core::regions::{build_scenario, Scenario};
+        use eutectica_blockgrid::GridDims;
+        let s = build_scenario(Scenario::Solid, GridDims::cube(24));
+        let total: usize = (0..3)
+            .map(|p| Snapshot::of_block(&s, p).lamella_count())
+            .sum();
+        assert!(total >= 3, "expected lamellae, found {total}");
+    }
+}

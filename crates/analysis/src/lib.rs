@@ -1,0 +1,28 @@
+//! Microstructure analysis toolkit.
+//!
+//! The paper validates its simulations against experimental micrographs and
+//! synchrotron tomography (Sec. 5.2, Figs. 10–11) and announces "a
+//! quantitative comparison using Principal Component Analysis on two-point
+//! correlation". This crate provides the quantitative side of that pipeline:
+//!
+//! * [`ccl`] — 3-D/2-D connected-component labeling (lamellae are the
+//!   connected components of each solid phase),
+//! * [`fft`] — a self-contained radix-2 FFT used by
+//! * [`correlation`] — two-point (auto)correlation maps and their radial
+//!   averages, and
+//! * [`pca`] — principal component analysis over correlation maps,
+//! * [`patterns`] — the cross-section pattern census of Fig. 10 (brick-like
+//!   chains, connections and rings),
+//! * [`lamellae`] — lamella tracking over time: the split and merge events
+//!   shown in Fig. 11,
+//! * [`front`] — solidification-front height map, roughness and velocity.
+
+#![deny(missing_docs)]
+
+pub mod ccl;
+pub mod correlation;
+pub mod fft;
+pub mod front;
+pub mod lamellae;
+pub mod patterns;
+pub mod pca;

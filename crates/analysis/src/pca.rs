@@ -1,0 +1,199 @@
+//! Principal component analysis (covariance + Jacobi eigensolver).
+//!
+//! Used on two-point-correlation feature vectors to compare microstructures
+//! quantitatively — the analysis the paper announces as "a quantitative
+//! comparison using Principal Component Analysis on two-point correlation"
+//! (Sec. 5.2).
+
+/// Result of a PCA.
+#[derive(Clone, Debug)]
+pub struct Pca {
+    /// Mean of the input samples (length = feature dimension).
+    pub mean: Vec<f64>,
+    /// Eigenvalues in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Row-major principal axes (row i = component i, unit length).
+    pub components: Vec<Vec<f64>>,
+}
+
+impl Pca {
+    /// Fit a PCA to `samples` (each of equal length).
+    ///
+    /// # Panics
+    /// Panics on empty input or inconsistent dimensions.
+    pub fn fit(samples: &[Vec<f64>]) -> Self {
+        let n = samples.len();
+        assert!(n > 0, "no samples");
+        let d = samples[0].len();
+        assert!(samples.iter().all(|s| s.len() == d), "ragged samples");
+        let mut mean = vec![0.0; d];
+        for s in samples {
+            for (m, v) in mean.iter_mut().zip(s) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n as f64;
+        }
+        // Covariance matrix (d × d).
+        let mut cov = vec![vec![0.0; d]; d];
+        for s in samples {
+            for i in 0..d {
+                let di = s[i] - mean[i];
+                for j in i..d {
+                    cov[i][j] += di * (s[j] - mean[j]);
+                }
+            }
+        }
+        let norm = 1.0 / (n.max(2) - 1) as f64;
+        for i in 0..d {
+            for j in i..d {
+                cov[i][j] *= norm;
+                cov[j][i] = cov[i][j];
+            }
+        }
+        let (eigenvalues, components) = jacobi_eigen(cov);
+        Self {
+            mean,
+            eigenvalues,
+            components,
+        }
+    }
+
+    /// Project a sample onto the first `k` principal components.
+    pub fn project(&self, sample: &[f64], k: usize) -> Vec<f64> {
+        assert_eq!(sample.len(), self.mean.len());
+        (0..k.min(self.components.len()))
+            .map(|c| {
+                self.components[c]
+                    .iter()
+                    .zip(sample.iter().zip(&self.mean))
+                    .map(|(w, (v, m))| w * (v - m))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Fraction of total variance captured by the first `k` components.
+    pub fn explained_variance(&self, k: usize) -> f64 {
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        self.eigenvalues.iter().take(k).sum::<f64>() / total
+    }
+}
+
+/// Cyclic Jacobi eigen decomposition of a symmetric matrix. Returns
+/// eigenvalues (descending) and matching unit eigenvectors (rows).
+fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let d = a.len();
+    let mut v = vec![vec![0.0; d]; d];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for i in 0..d {
+            for j in i + 1..d {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..d {
+            for q in p + 1..d {
+                if a[p][q].abs() < 1e-18 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..d {
+                    let (akp, akq) = (a[k][p], a[k][q]);
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..d {
+                    let (apk, aqk) = (a[p][k], a[q][k]);
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..d {
+                    let (vkp, vkq) = (v[k][p], v[k][q]);
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..d)
+        .map(|i| (a[i][i], (0..d).map(|k| v[k][i]).collect()))
+        .collect();
+    pairs.sort_by(|x, y| y.0.total_cmp(&x.0));
+    (
+        pairs.iter().map(|p| p.0).collect(),
+        pairs.into_iter().map(|p| p.1).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Samples along the (1, 2)/√5 direction with small noise.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let samples: Vec<Vec<f64>> = (0..200)
+            .map(|_| {
+                let t: f64 = rng.random_range(-1.0..1.0);
+                let n: f64 = rng.random_range(-0.01..0.01);
+                vec![t * 1.0 - n * 2.0, t * 2.0 + n * 1.0]
+            })
+            .collect();
+        let pca = Pca::fit(&samples);
+        assert!(pca.eigenvalues[0] > 50.0 * pca.eigenvalues[1]);
+        let dir = &pca.components[0];
+        let expect = [1.0 / 5.0f64.sqrt(), 2.0 / 5.0f64.sqrt()];
+        let dot = (dir[0] * expect[0] + dir[1] * expect[1]).abs();
+        assert!(dot > 0.999, "direction {dir:?}");
+        assert!(pca.explained_variance(1) > 0.99);
+    }
+
+    #[test]
+    fn projection_separates_clusters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut samples = Vec::new();
+        for c in 0..2 {
+            for _ in 0..50 {
+                let base = if c == 0 { 0.0 } else { 10.0 };
+                samples.push(vec![
+                    base + rng.random_range(-0.5..0.5),
+                    base + rng.random_range(-0.5..0.5),
+                    rng.random_range(-0.5..0.5),
+                ]);
+            }
+        }
+        let pca = Pca::fit(&samples);
+        let p0 = pca.project(&samples[0], 1)[0];
+        let p1 = pca.project(&samples[99], 1)[0];
+        assert!((p0 - p1).abs() > 5.0, "clusters not separated: {p0} vs {p1}");
+    }
+
+    #[test]
+    fn eigenvalues_match_known_covariance() {
+        // Deterministic 3-point set with known covariance eigenvalues.
+        let samples = vec![
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![0.0, 0.0],
+        ];
+        let pca = Pca::fit(&samples);
+        assert!((pca.eigenvalues[0] - 1.0).abs() < 1e-12);
+        assert!(pca.eigenvalues[1].abs() < 1e-12);
+    }
+}

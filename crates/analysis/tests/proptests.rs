@@ -1,0 +1,110 @@
+//! Property-based tests for the analysis toolkit.
+
+use eutectica_analysis::ccl::label_3d;
+use eutectica_analysis::correlation::two_point_correlation;
+use eutectica_analysis::fft::{fft, fft3, C};
+use eutectica_analysis::pca::Pca;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT forward + inverse is the identity for arbitrary signals.
+    #[test]
+    fn fft_roundtrip(values in prop::collection::vec(-10.0..10.0f64, 64)) {
+        let orig: Vec<C> = values.iter().map(|&v| (v, 0.0)).collect();
+        let mut data = orig.clone();
+        fft(&mut data, false);
+        fft(&mut data, true);
+        for (a, b) in orig.iter().zip(&data) {
+            prop_assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    /// Parseval: the FFT preserves signal energy (with 1/n convention).
+    #[test]
+    fn fft_parseval(values in prop::collection::vec(-5.0..5.0f64, 32)) {
+        let n = values.len() as f64;
+        let mut data: Vec<C> = values.iter().map(|&v| (v, 0.0)).collect();
+        let e_t: f64 = values.iter().map(|v| v * v).sum();
+        fft(&mut data, false);
+        let e_f: f64 = data.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / n;
+        prop_assert!((e_t - e_f).abs() < 1e-8 * e_t.max(1.0));
+    }
+
+    /// 3-D FFT round trip.
+    #[test]
+    fn fft3_roundtrip(values in prop::collection::vec(-3.0..3.0f64, 8 * 4 * 8)) {
+        let dims = [8, 4, 8];
+        let orig: Vec<C> = values.iter().map(|&v| (v, 0.0)).collect();
+        let mut data = orig.clone();
+        fft3(&mut data, dims, false);
+        fft3(&mut data, dims, true);
+        for (a, b) in orig.iter().zip(&data) {
+            prop_assert!((a.0 - b.0).abs() < 1e-9);
+        }
+    }
+
+    /// S₂(0) equals the volume fraction, and |S₂(r)| ≤ S₂(0) everywhere.
+    #[test]
+    fn correlation_bounds(bits in prop::collection::vec(any::<bool>(), 8 * 8 * 8)) {
+        let dims = [8, 8, 8];
+        let mask: Vec<f64> = bits.iter().map(|&b| b as u8 as f64).collect();
+        let frac = mask.iter().sum::<f64>() / mask.len() as f64;
+        let corr = two_point_correlation(&mask, dims);
+        prop_assert!((corr[0] - frac).abs() < 1e-9);
+        for &v in &corr {
+            prop_assert!(v <= corr[0] + 1e-9 && v >= -1e-9);
+        }
+    }
+
+    /// Component labeling: labels partition the mask (every masked cell has
+    /// a label, none outside), and sizes sum to the mask count.
+    #[test]
+    fn labels_partition_mask(bits in prop::collection::vec(any::<bool>(), 6 * 6 * 6)) {
+        let dims = [6, 6, 6];
+        let l = label_3d(&bits, dims, [false; 3]);
+        let mut counted = 0usize;
+        for (m, &lbl) in bits.iter().zip(&l.labels) {
+            prop_assert_eq!(*m, lbl != 0);
+            if lbl != 0 {
+                counted += 1;
+                prop_assert!((lbl as usize) <= l.count);
+            }
+        }
+        prop_assert_eq!(counted, l.sizes[1..].iter().sum::<usize>());
+    }
+
+    /// Periodic labeling never yields more components than open labeling
+    /// (wrapping can only merge).
+    #[test]
+    fn periodicity_only_merges(bits in prop::collection::vec(any::<bool>(), 5 * 5 * 5)) {
+        let dims = [5, 5, 5];
+        let open = label_3d(&bits, dims, [false; 3]);
+        let per = label_3d(&bits, dims, [true; 3]);
+        prop_assert!(per.count <= open.count);
+    }
+
+    /// PCA eigenvalues are non-negative and sorted; explained variance is
+    /// monotone in k and reaches 1.
+    #[test]
+    fn pca_spectrum_properties(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let samples: Vec<Vec<f64>> = (0..20)
+            .map(|_| (0..4).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect();
+        let pca = Pca::fit(&samples);
+        for w in pca.eigenvalues.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(pca.eigenvalues.iter().all(|&l| l >= -1e-9));
+        let mut prev = 0.0;
+        for k in 1..=4 {
+            let e = pca.explained_variance(k);
+            prop_assert!(e >= prev - 1e-12);
+            prev = e;
+        }
+        prop_assert!((pca.explained_variance(4) - 1.0).abs() < 1e-9);
+    }
+}

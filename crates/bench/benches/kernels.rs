@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of every kernel variant (statistical
+//! companion to the fig5/fig6 binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eutectica_blockgrid::GridDims;
+use eutectica_core::kernels::{
+    mu_sweep, phi_sweep, KernelConfig, MuPart, MuVariant, OptLevel, PhiVariant,
+};
+use eutectica_core::params::ModelParams;
+use eutectica_core::regions::{build_scenario, Scenario};
+
+fn bench_phi_variants(c: &mut Criterion) {
+    let params = ModelParams::ag_al_cu();
+    let dims = GridDims::cube(32);
+    let mut group = c.benchmark_group("phi_kernel");
+    group.throughput(criterion::Throughput::Elements(dims.interior_volume() as u64));
+    for (name, variant) in [
+        ("reference", PhiVariant::Reference),
+        ("scalar", PhiVariant::Scalar),
+        ("simd_cellwise", PhiVariant::SimdCellwise),
+        ("simd_fourcell", PhiVariant::SimdFourCell),
+    ] {
+        let cfg = KernelConfig {
+            phi: variant,
+            mu: MuVariant::Scalar,
+            tz_precompute: true,
+            staggered_buffer: variant != PhiVariant::SimdFourCell
+                && variant != PhiVariant::Reference,
+            shortcuts: false,
+        };
+        let mut state = build_scenario(Scenario::Interface, dims);
+        group.bench_function(name, |b| {
+            b.iter(|| phi_sweep(&params, &mut state, 0.0, cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mu_variants(c: &mut Criterion) {
+    let params = ModelParams::ag_al_cu();
+    let dims = GridDims::cube(32);
+    let mut group = c.benchmark_group("mu_kernel");
+    group.throughput(criterion::Throughput::Elements(dims.interior_volume() as u64));
+    for (name, variant) in [
+        ("reference", MuVariant::Reference),
+        ("scalar", MuVariant::Scalar),
+        ("simd_fourcell", MuVariant::SimdFourCell),
+    ] {
+        let cfg = KernelConfig {
+            phi: PhiVariant::Scalar,
+            mu: variant,
+            tz_precompute: true,
+            staggered_buffer: variant != MuVariant::Reference,
+            shortcuts: false,
+        };
+        let mut state = build_scenario(Scenario::Interface, dims);
+        phi_sweep(&params, &mut state, 0.0, KernelConfig::default());
+        group.bench_function(name, |b| {
+            b.iter(|| mu_sweep(&params, &mut state, 0.0, cfg, MuPart::Full));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_step_per_scenario(c: &mut Criterion) {
+    let params = ModelParams::ag_al_cu();
+    let dims = GridDims::cube(32);
+    let cfg = OptLevel::SimdTzBufShortcuts.config();
+    let mut group = c.benchmark_group("full_step");
+    group.throughput(criterion::Throughput::Elements(dims.interior_volume() as u64));
+    for sc in Scenario::ALL {
+        let mut state = build_scenario(sc, dims);
+        group.bench_function(sc.name(), |b| {
+            b.iter(|| {
+                phi_sweep(&params, &mut state, 0.0, cfg);
+                mu_sweep(&params, &mut state, 0.0, cfg, MuPart::Full);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_phi_variants, bench_mu_variants, bench_full_step_per_scenario
+}
+criterion_main!(kernels);

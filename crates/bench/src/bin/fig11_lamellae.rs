@@ -1,0 +1,89 @@
+//! Fig. 11: "Exempted lamellae from the simulation ... The evolution of the
+//! microstructure, especially the splitting of lamellae and merging, is
+//! visible."
+//!
+//! Runs a directional-solidification simulation, tracks the connected
+//! lamellae of each solid phase over time (split/merge/birth/death census),
+//! and exports the largest Al₂Cu and Ag₂Al lamellae as STL meshes — the
+//! exempted-lamella visualization of the paper.
+
+use eutectica_analysis::lamellae::{track, Snapshot};
+use eutectica_bench::ResultTable;
+use eutectica_core::params::ModelParams;
+use eutectica_core::prelude::*;
+use eutectica_mesh::extract::extract_isosurface;
+use eutectica_thermo::Phase;
+
+fn main() {
+    let mut params = ModelParams::ag_al_cu();
+    params.t0 = 0.93;
+    params.grad_g = 0.002;
+    params.vel_v = 0.05;
+    let mut sim = Simulation::new(params, [32, 32, 48]).expect("valid params");
+    // Denser nucleation than the default so each phase starts as several
+    // distinct lamellae whose splits/merges can be tracked.
+    let seeds = eutectica_core::init::VoronoiSeeds::generate(
+        [32, 32],
+        18,
+        sim.params.sys.eutectic_fractions(),
+        7,
+    );
+    eutectica_core::init::init_directional_block(&mut sim.state, &seeds, 10);
+    sim.enable_moving_window(0.55);
+
+    let interval = 250usize;
+    let rounds = 8usize;
+    println!(
+        "Fig. 11 — lamella tracking over {} steps (snapshot every {interval})",
+        interval * rounds
+    );
+    println!();
+
+    let mut table = ResultTable::new(
+        "fig11_lamellae",
+        &["steps", "phase", "lamellae", "splits", "merges", "born", "died"],
+    );
+    let mut prev: Vec<Snapshot> = (0..3).map(|p| Snapshot::of_block(&sim.state, p)).collect();
+    for round in 1..=rounds {
+        sim.step_n(interval);
+        for (p, prev_snap) in prev.iter_mut().enumerate() {
+            let snap = Snapshot::of_block(&sim.state, p);
+            let e = track(prev_snap, &snap);
+            table.row(&[
+                (round * interval).to_string(),
+                Phase::ALL[p].name().to_string(),
+                snap.lamella_count().to_string(),
+                e.splits.to_string(),
+                e.merges.to_string(),
+                e.born.to_string(),
+                e.died.to_string(),
+            ]);
+            *prev_snap = snap;
+        }
+    }
+    table.finish();
+    println!();
+    println!(
+        "final solid fraction {:.3}, window shifts {}, front at z = {:.0}",
+        sim.solid_fraction(),
+        sim.window_shifts(),
+        sim.front_position()
+    );
+
+    // Export the per-phase interface meshes (Fig. 11's exempted lamellae).
+    std::fs::create_dir_all("results").ok();
+    for phase in [Phase::Ag2Al, Phase::Al2Cu] {
+        let comp = sim.state.phi_src.comp(phase as usize);
+        let mesh = extract_isosurface(
+            comp,
+            sim.state.dims,
+            [0.0, 0.0, sim.state.origin[2] as f64],
+            0.5,
+        );
+        let path = format!("results/fig11_{}.stl", phase.name());
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            mesh.write_stl(&mut f).ok();
+            println!("wrote {path}: {} triangles", mesh.num_triangles());
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Fig. 9: weak scaling — MLUP/s per core on SuperMUC (three scenarios,
+//! 2⁰–2¹⁵ cores), Hornet (interface, 2⁵–2¹³) and JUQUEEN (interface,
+//! 2⁹–2¹⁸).
+//!
+//! Per-core application rates (full time step: φ-sweep + µ-sweep) are
+//! *measured* per scenario on this machine; the rank-count axis uses the
+//! calibrated machine models (DESIGN.md substitution 1).
+
+use eutectica_bench::{f3, time_median, ResultTable};
+use eutectica_core::kernels::{mu_sweep, phi_sweep, KernelConfig, MuPart};
+use eutectica_core::params::ModelParams;
+use eutectica_core::regions::{build_scenario, Scenario};
+use eutectica_perfmodel::machines::{hornet, juqueen, supermuc, weak_scaling};
+use eutectica_blockgrid::GridDims;
+
+/// Full-step (φ + µ) MLUP/s on one core for a scenario.
+fn step_mlups(params: &ModelParams, sc: Scenario, dims: GridDims) -> f64 {
+    let cfg = KernelConfig::default();
+    let mut s = build_scenario(sc, dims);
+    let secs = time_median(5, || {
+        phi_sweep(params, &mut s, 0.0, cfg);
+        mu_sweep(params, &mut s, 0.0, cfg, MuPart::Full);
+    });
+    dims.interior_volume() as f64 / secs / 1e6
+}
+
+fn powers(lo: u32, hi: u32) -> Vec<usize> {
+    (lo..=hi).map(|k| 1usize << k).collect()
+}
+
+fn main() {
+    let params = ModelParams::ag_al_cu();
+    let block = [60usize, 60, 60];
+    let dims = GridDims::cube(60);
+    println!("Fig. 9 — weak scaling, MLUP/s per core (block 60^3 per rank)");
+    println!();
+
+    let rates: Vec<(Scenario, f64)> = [Scenario::Interface, Scenario::Liquid, Scenario::Solid]
+        .iter()
+        .map(|&sc| (sc, step_mlups(&params, sc, dims)))
+        .collect();
+    for (sc, r) in &rates {
+        println!("measured single-core step rate ({}): {:.2} MLUP/s", sc.name(), r);
+    }
+    println!();
+
+    // SuperMUC: all three scenarios, 2^0..2^15.
+    let m = supermuc();
+    let cores = powers(0, 15);
+    let mut table = ResultTable::new(
+        "fig9_supermuc",
+        &["cores", "interface", "liquid", "solid"],
+    );
+    let curves: Vec<Vec<f64>> = rates
+        .iter()
+        .map(|&(_, r)| {
+            weak_scaling(&m, block, r, true, &cores)
+                .iter()
+                .map(|p| p.mlups_per_core)
+                .collect()
+        })
+        .collect();
+    for (i, &p) in cores.iter().enumerate() {
+        table.row(&[
+            p.to_string(),
+            f3(curves[0][i]),
+            f3(curves[1][i]),
+            f3(curves[2][i]),
+        ]);
+    }
+    println!("SuperMUC (pruned fat tree):");
+    table.finish();
+    println!();
+
+    // Hornet and JUQUEEN: interface scenario only (as in the paper).
+    for (m, lo, hi) in [(hornet(), 5, 13), (juqueen(), 9, 18)] {
+        let cores = powers(lo, hi);
+        let pts = weak_scaling(&m, block, rates[0].1, true, &cores);
+        let mut table = ResultTable::new(
+            &format!("fig9_{}", m.name.to_lowercase()),
+            &["cores", "MLUP/s per core", "comm fraction"],
+        );
+        for p in &pts {
+            table.row(&[p.cores.to_string(), f3(p.mlups_per_core), f3(p.comm_fraction)]);
+        }
+        println!("{} ({:?}):", m.name, m.topology);
+        table.finish();
+        println!();
+    }
+    println!("Paper shape: near-flat curves per machine; interface slowest of the");
+    println!("scenarios on SuperMUC; JUQUEEN per-core rates an order of magnitude");
+    println!("below the x86 machines but scaling to 262,144 cores.");
+}

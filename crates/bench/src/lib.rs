@@ -1,0 +1,126 @@
+//! Shared measurement utilities for the figure-generation binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure (or the in-text
+//! analysis) of the paper's evaluation section; see DESIGN.md §4 for the
+//! experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+//! results. Output goes to stdout as an aligned table and to
+//! `results/<name>.csv` for plotting.
+
+use std::io::Write;
+use std::time::Instant;
+
+use eutectica_core::kernels::{mu_sweep, phi_sweep, KernelConfig, MuPart};
+use eutectica_core::params::ModelParams;
+use eutectica_core::regions::{build_scenario, Scenario};
+use eutectica_core::state::BlockState;
+use eutectica_blockgrid::GridDims;
+
+/// Median-of-repetitions timing of `f`, in seconds per call.
+pub fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    assert!(reps > 0);
+    f(); // warmup
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// MLUP/s of the φ-kernel on a scenario block.
+pub fn phi_mlups(params: &ModelParams, scenario: Scenario, dims: GridDims, cfg: KernelConfig, reps: usize) -> f64 {
+    let mut state = build_scenario(scenario, dims);
+    let secs = time_median(reps, || phi_sweep(params, &mut state, 0.0, cfg));
+    dims.interior_volume() as f64 / secs / 1e6
+}
+
+/// MLUP/s of the µ-kernel on a scenario block.
+pub fn mu_mlups(params: &ModelParams, scenario: Scenario, dims: GridDims, cfg: KernelConfig, reps: usize) -> f64 {
+    let mut state = build_scenario(scenario, dims);
+    // Realistic φ_dst (one φ step) so source terms are exercised.
+    phi_sweep(params, &mut state, 0.0, cfg);
+    let secs = time_median(reps, || mu_sweep(params, &mut state, 0.0, cfg, MuPart::Full));
+    dims.interior_volume() as f64 / secs / 1e6
+}
+
+/// A results table that prints aligned text and writes CSV.
+pub struct ResultTable {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// New table with column headers.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Print to stdout and write `results/<name>.csv`.
+    pub fn finish(&self) {
+        let widths: Vec<usize> = self
+            .header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap()
+            })
+            .collect();
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", line(&self.header));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for r in &self.rows {
+            println!("{}", line(r));
+        }
+        std::fs::create_dir_all("results").ok();
+        if let Ok(mut f) = std::fs::File::create(format!("results/{}.csv", self.name)) {
+            writeln!(f, "{}", self.header.join(",")).ok();
+            for r in &self.rows {
+                writeln!(f, "{}", r.join(",")).ok();
+            }
+            eprintln!("[written results/{}.csv]", self.name);
+        }
+    }
+}
+
+/// Build a scenario state with an evolved φ_dst, for direct kernel calls.
+pub fn prepared_state(params: &ModelParams, scenario: Scenario, dims: GridDims) -> BlockState {
+    let mut s = build_scenario(scenario, dims);
+    phi_sweep(params, &mut s, 0.0, KernelConfig::default());
+    s
+}
+
+/// Round to 2 decimals for display.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Round to 3 decimals for display.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}

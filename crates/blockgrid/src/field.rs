@@ -1,0 +1,348 @@
+//! Ghost-layered fields in SoA and AoS layouts.
+//!
+//! The paper stores the φ-field in a structure-of-arrays (SoA) layout because
+//! the four-cell-vectorized µ-kernel must load phase values of 38 cells,
+//! while the cellwise-vectorized φ-kernel would prefer array-of-structures
+//! (AoS) "to be able to load a SIMD vector directly from contiguous memory"
+//! (Sec. 5.1.1). Both layouts are provided so the layout ablation can be
+//! benchmarked; the solver uses SoA like the paper.
+
+use crate::GridDims;
+use serde::{Deserialize, Serialize};
+
+/// A single-component scalar field with ghost layers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScalarField {
+    dims: GridDims,
+    data: Vec<f64>,
+}
+
+impl ScalarField {
+    /// Allocate, initialized to `init`.
+    pub fn new(dims: GridDims, init: f64) -> Self {
+        Self {
+            dims,
+            data: vec![init; dims.volume()],
+        }
+    }
+
+    /// Grid geometry.
+    #[inline(always)]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// Raw data, linearized (x fastest).
+    #[inline(always)]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    #[inline(always)]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Value at total coordinates.
+    #[inline(always)]
+    pub fn at(&self, x: usize, y: usize, z: usize) -> f64 {
+        self.data[self.dims.idx(x, y, z)]
+    }
+
+    /// Set value at total coordinates.
+    #[inline(always)]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: f64) {
+        let i = self.dims.idx(x, y, z);
+        self.data[i] = v;
+    }
+}
+
+/// Multi-component field in structure-of-arrays layout: component `c` is one
+/// contiguous block of `dims.volume()` doubles.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SoaField<const NC: usize> {
+    dims: GridDims,
+    data: Vec<f64>,
+}
+
+impl<const NC: usize> SoaField<NC> {
+    /// Allocate with every component of every cell set to `init[c]`.
+    pub fn new(dims: GridDims, init: [f64; NC]) -> Self {
+        let vol = dims.volume();
+        let mut data = vec![0.0; NC * vol];
+        for (c, chunk) in data.chunks_exact_mut(vol).enumerate() {
+            chunk.fill(init[c]);
+        }
+        Self { dims, data }
+    }
+
+    /// Grid geometry.
+    #[inline(always)]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// Number of components.
+    #[inline(always)]
+    pub fn components(&self) -> usize {
+        NC
+    }
+
+    /// Immutable slice of component `c`.
+    #[inline(always)]
+    pub fn comp(&self, c: usize) -> &[f64] {
+        let vol = self.dims.volume();
+        &self.data[c * vol..(c + 1) * vol]
+    }
+
+    /// Mutable slice of component `c`.
+    #[inline(always)]
+    pub fn comp_mut(&mut self, c: usize) -> &mut [f64] {
+        let vol = self.dims.volume();
+        &mut self.data[c * vol..(c + 1) * vol]
+    }
+
+    /// All components as an array of immutable slices.
+    #[inline(always)]
+    pub fn comps(&self) -> [&[f64]; NC] {
+        let vol = self.dims.volume();
+        let mut rest: &[f64] = &self.data;
+        let mut out = [&[] as &[f64]; NC];
+        for o in out.iter_mut() {
+            let (head, tail) = rest.split_at(vol);
+            *o = head;
+            rest = tail;
+        }
+        out
+    }
+
+    /// All components as an array of mutable slices.
+    #[inline(always)]
+    pub fn comps_mut(&mut self) -> [&mut [f64]; NC] {
+        let vol = self.dims.volume();
+        let mut iter = self.data.chunks_exact_mut(vol);
+        core::array::from_fn(|_| iter.next().expect("component count"))
+    }
+
+    /// Value of component `c` at total coordinates.
+    #[inline(always)]
+    pub fn at(&self, c: usize, x: usize, y: usize, z: usize) -> f64 {
+        self.comp(c)[self.dims.idx(x, y, z)]
+    }
+
+    /// All components at total coordinates.
+    #[inline(always)]
+    pub fn cell(&self, x: usize, y: usize, z: usize) -> [f64; NC] {
+        let i = self.dims.idx(x, y, z);
+        let vol = self.dims.volume();
+        core::array::from_fn(|c| self.data[c * vol + i])
+    }
+
+    /// Set component `c` at total coordinates.
+    #[inline(always)]
+    pub fn set(&mut self, c: usize, x: usize, y: usize, z: usize, v: f64) {
+        let i = self.dims.idx(x, y, z);
+        self.comp_mut(c)[i] = v;
+    }
+
+    /// Set all components at total coordinates.
+    #[inline(always)]
+    pub fn set_cell(&mut self, x: usize, y: usize, z: usize, v: [f64; NC]) {
+        let i = self.dims.idx(x, y, z);
+        let vol = self.dims.volume();
+        for c in 0..NC {
+            self.data[c * vol + i] = v[c];
+        }
+    }
+
+    /// Raw backing storage (all components concatenated).
+    #[inline(always)]
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw backing storage.
+    #[inline(always)]
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Swap contents with another field of identical geometry (the paper's
+    /// src/dst pointer swap at the end of each time step).
+    pub fn swap(&mut self, other: &mut Self) {
+        assert_eq!(self.dims, other.dims);
+        core::mem::swap(&mut self.data, &mut other.data);
+    }
+
+    /// Shift all interior data one cell towards −z and fill the topmost
+    /// interior slice with `fill` (the moving-window advance; ghost layers
+    /// are left stale and must be refreshed by communication + boundary
+    /// handling afterwards).
+    pub fn shift_z_down(&mut self, fill: [f64; NC]) {
+        let d = self.dims;
+        let g = d.ghost;
+        let sz = d.sz();
+        let vol = d.volume();
+        for c in 0..NC {
+            let comp = &mut self.data[c * vol..(c + 1) * vol];
+            for z in g..g + d.nz - 1 {
+                let (dst_start, src_start) = (z * sz, (z + 1) * sz);
+                comp.copy_within(src_start..src_start + sz, dst_start);
+            }
+            let top = (g + d.nz - 1) * sz;
+            // Fill only the interior cells of the top slice.
+            for y in g..g + d.ny {
+                let row = top + y * d.sy() + g;
+                comp[row..row + d.nx].fill(fill[c]);
+            }
+        }
+    }
+
+    /// Convert to an AoS copy (for the layout ablation benchmark).
+    pub fn to_aos(&self) -> AosField<NC> {
+        let mut out = AosField::new(self.dims, [0.0; NC]);
+        for i in 0..self.dims.volume() {
+            for c in 0..NC {
+                out.data[i * NC + c] = self.comp(c)[i];
+            }
+        }
+        out
+    }
+}
+
+/// Multi-component field in array-of-structures layout: the `NC` components
+/// of one cell are adjacent in memory, so a whole cell loads as one vector.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AosField<const NC: usize> {
+    dims: GridDims,
+    data: Vec<f64>,
+}
+
+impl<const NC: usize> AosField<NC> {
+    /// Allocate with every cell set to `init`.
+    pub fn new(dims: GridDims, init: [f64; NC]) -> Self {
+        let vol = dims.volume();
+        let mut data = Vec::with_capacity(NC * vol);
+        for _ in 0..vol {
+            data.extend_from_slice(&init);
+        }
+        Self { dims, data }
+    }
+
+    /// Grid geometry.
+    #[inline(always)]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// All components at total coordinates.
+    #[inline(always)]
+    pub fn cell(&self, x: usize, y: usize, z: usize) -> [f64; NC] {
+        let i = self.dims.idx(x, y, z) * NC;
+        core::array::from_fn(|c| self.data[i + c])
+    }
+
+    /// Set all components at total coordinates.
+    #[inline(always)]
+    pub fn set_cell(&mut self, x: usize, y: usize, z: usize, v: [f64; NC]) {
+        let i = self.dims.idx(x, y, z) * NC;
+        self.data[i..i + NC].copy_from_slice(&v);
+    }
+
+    /// Raw storage; cell `i`'s components live at `[i*NC, (i+1)*NC)`.
+    #[inline(always)]
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    #[inline(always)]
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Convert to a SoA copy.
+    pub fn to_soa(&self) -> SoaField<NC> {
+        let mut out = SoaField::new(self.dims, [0.0; NC]);
+        for i in 0..self.dims.volume() {
+            for c in 0..NC {
+                out.comp_mut(c)[i] = self.data[i * NC + c];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soa_component_slices_are_disjoint_and_ordered() {
+        let d = GridDims::cube(2);
+        let mut f = SoaField::<3>::new(d, [1.0, 2.0, 3.0]);
+        assert!(f.comp(0).iter().all(|&v| v == 1.0));
+        assert!(f.comp(2).iter().all(|&v| v == 3.0));
+        f.set(1, 0, 0, 0, 9.0);
+        assert_eq!(f.at(1, 0, 0, 0), 9.0);
+        assert_eq!(f.at(0, 0, 0, 0), 1.0);
+        let [a, b, c] = f.comps();
+        assert_eq!(a.len(), d.volume());
+        assert_eq!(b[0], 9.0);
+        assert_eq!(c.len(), d.volume());
+    }
+
+    #[test]
+    fn cell_get_set_roundtrip() {
+        let d = GridDims::new(3, 2, 2, 1);
+        let mut f = SoaField::<4>::new(d, [0.0; 4]);
+        f.set_cell(2, 1, 1, [0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(f.cell(2, 1, 1), [0.1, 0.2, 0.3, 0.4]);
+    }
+
+    #[test]
+    fn soa_aos_roundtrip() {
+        let d = GridDims::new(3, 4, 2, 1);
+        let mut f = SoaField::<2>::new(d, [0.0; 2]);
+        for i in 0..d.volume() {
+            f.comp_mut(0)[i] = i as f64;
+            f.comp_mut(1)[i] = -(i as f64);
+        }
+        let aos = f.to_aos();
+        let back = aos.to_soa();
+        assert_eq!(f.comp(0), back.comp(0));
+        assert_eq!(f.comp(1), back.comp(1));
+        let (x, y, z) = (1, 2, 1);
+        assert_eq!(f.cell(x, y, z), aos.cell(x, y, z));
+    }
+
+    #[test]
+    fn swap_exchanges_contents() {
+        let d = GridDims::cube(2);
+        let mut a = SoaField::<1>::new(d, [1.0]);
+        let mut b = SoaField::<1>::new(d, [2.0]);
+        a.swap(&mut b);
+        assert_eq!(a.at(0, 1, 1, 1), 2.0);
+        assert_eq!(b.at(0, 1, 1, 1), 1.0);
+    }
+
+    #[test]
+    fn shift_z_down_moves_slices_and_fills_top() {
+        let d = GridDims::new(2, 2, 3, 1);
+        let mut f = SoaField::<1>::new(d, [0.0]);
+        // Mark each interior slice with its z index.
+        for (x, y, z) in d.interior_iter() {
+            f.set(0, x, y, z, z as f64);
+        }
+        f.shift_z_down([99.0]);
+        let g = d.ghost;
+        for y in g..g + d.ny {
+            for x in g..g + d.nx {
+                assert_eq!(f.at(0, x, y, g), (g + 1) as f64);
+                assert_eq!(f.at(0, x, y, g + 1), (g + 2) as f64);
+                assert_eq!(f.at(0, x, y, g + 2), 99.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Ghost-layer pack/unpack for neighbor-block exchange.
+//!
+//! Faces are exchanged in the fixed order x → y → z. A face message covers
+//! the *full* (ghost-inclusive) extent along axes that were already
+//! exchanged and the interior extent along axes that have not been yet:
+//! after the z exchange, every edge and corner ghost holds correct data,
+//! which the D3C19 stencil of the µ-sweep requires — with only six messages
+//! per block instead of 26.
+//!
+//! Packing copies the sender's interior boundary slab into a contiguous
+//! buffer (the "packing and unpacking [of] messages which cannot be
+//! overlapped" in the paper's Fig. 8 discussion); unpacking writes it into
+//! the receiver's ghost slab on the opposite face.
+
+use crate::field::SoaField;
+use crate::{Face, GridDims};
+
+/// An axis-aligned cell region given by half-open total-coordinate ranges.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// `[start, end)` per axis, in total coordinates.
+    pub range: [[usize; 2]; 3],
+}
+
+impl Region {
+    /// Number of cells in the region.
+    pub fn volume(&self) -> usize {
+        self.range.iter().map(|r| r[1] - r[0]).product()
+    }
+}
+
+/// Extent along `axis` that a face message spans, per the x → y → z rule.
+fn transverse_range(dims: GridDims, msg_axis: usize, axis: usize) -> [usize; 2] {
+    let (n, t) = match axis {
+        0 => (dims.nx, dims.tx()),
+        1 => (dims.ny, dims.ty()),
+        _ => (dims.nz, dims.tz()),
+    };
+    if axis < msg_axis {
+        [0, t] // already exchanged: include ghosts
+    } else {
+        [dims.ghost, dims.ghost + n] // not yet exchanged: interior only
+    }
+}
+
+/// The region a sender reads when packing its `face` message: the `ghost`
+/// innermost interior layers adjacent to that face.
+pub fn send_region(dims: GridDims, face: Face) -> Region {
+    let a = face.axis();
+    let g = dims.ghost;
+    let n = match a {
+        0 => dims.nx,
+        1 => dims.ny,
+        _ => dims.nz,
+    };
+    let mut range = [[0usize; 2]; 3];
+    for axis in 0..3 {
+        range[axis] = if axis == a {
+            if face.is_high() {
+                [n, n + g] // last g interior layers
+            } else {
+                [g, 2 * g] // first g interior layers
+            }
+        } else {
+            transverse_range(dims, a, axis)
+        };
+    }
+    Region { range }
+}
+
+/// The region a receiver writes when unpacking a message arriving at `face`:
+/// the ghost layers outside that face.
+pub fn recv_region(dims: GridDims, face: Face) -> Region {
+    let a = face.axis();
+    let g = dims.ghost;
+    let n = match a {
+        0 => dims.nx,
+        1 => dims.ny,
+        _ => dims.nz,
+    };
+    let mut range = [[0usize; 2]; 3];
+    for axis in 0..3 {
+        range[axis] = if axis == a {
+            if face.is_high() {
+                [n + g, n + 2 * g]
+            } else {
+                [0, g]
+            }
+        } else {
+            transverse_range(dims, a, axis)
+        };
+    }
+    Region { range }
+}
+
+/// Number of doubles in a face message for an `NC`-component field.
+pub fn message_len(dims: GridDims, face: Face, nc: usize) -> usize {
+    send_region(dims, face).volume() * nc
+}
+
+/// Send region with interior-only transverse extent on *all* axes.
+///
+/// Unlike [`send_region`], these "plain" face messages are mutually
+/// independent, so all six can be posted at once and overlapped with
+/// computation. They fill face ghosts only (no edges/corners) — sufficient
+/// for the µ-field, whose kernels never read edge ghosts, and this is what
+/// makes hiding the µ-communication "straightforward" (Sec. 3.3) while the
+/// φ-field (D3C19) needs the sequenced exchange.
+pub fn send_region_plain(dims: GridDims, face: Face) -> Region {
+    let mut r = send_region(dims, face);
+    for axis in 0..3 {
+        if axis != face.axis() {
+            let (n, _) = match axis {
+                0 => (dims.nx, dims.tx()),
+                1 => (dims.ny, dims.ty()),
+                _ => (dims.nz, dims.tz()),
+            };
+            r.range[axis] = [dims.ghost, dims.ghost + n];
+        }
+    }
+    r
+}
+
+/// Receive region matching [`send_region_plain`].
+pub fn recv_region_plain(dims: GridDims, face: Face) -> Region {
+    let mut r = recv_region(dims, face);
+    for axis in 0..3 {
+        if axis != face.axis() {
+            let n = match axis {
+                0 => dims.nx,
+                1 => dims.ny,
+                _ => dims.nz,
+            };
+            r.range[axis] = [dims.ghost, dims.ghost + n];
+        }
+    }
+    r
+}
+
+/// Pack an arbitrary region (component-major, then z, y, x).
+pub fn pack_region<const NC: usize>(field: &SoaField<NC>, r: Region, buf: &mut Vec<f64>) {
+    let dims = field.dims();
+    buf.clear();
+    buf.reserve(r.volume() * NC);
+    for c in 0..NC {
+        let comp = field.comp(c);
+        for z in r.range[2][0]..r.range[2][1] {
+            for y in r.range[1][0]..r.range[1][1] {
+                let row = dims.idx(r.range[0][0], y, z);
+                buf.extend_from_slice(&comp[row..row + (r.range[0][1] - r.range[0][0])]);
+            }
+        }
+    }
+}
+
+/// Unpack into an arbitrary region (inverse of [`pack_region`]).
+pub fn unpack_region<const NC: usize>(field: &mut SoaField<NC>, r: Region, data: &[f64]) {
+    let dims = field.dims();
+    assert_eq!(data.len(), r.volume() * NC, "ghost message length mismatch");
+    let row_len = r.range[0][1] - r.range[0][0];
+    let mut pos = 0;
+    for c in 0..NC {
+        let comp = field.comp_mut(c);
+        for z in r.range[2][0]..r.range[2][1] {
+            for y in r.range[1][0]..r.range[1][1] {
+                let row = dims.idx(r.range[0][0], y, z);
+                comp[row..row + row_len].copy_from_slice(&data[pos..pos + row_len]);
+                pos += row_len;
+            }
+        }
+    }
+}
+
+/// Pack the `face` message of `field` into `buf` (cleared first).
+///
+/// Layout: component-major, then z, y, x — matching [`unpack`].
+pub fn pack<const NC: usize>(field: &SoaField<NC>, face: Face, buf: &mut Vec<f64>) {
+    pack_region(field, send_region(field.dims(), face), buf);
+}
+
+/// Unpack a message received at `face` into the ghost layers of `field`.
+///
+/// `face` is the receiver's face the message arrived at (i.e. the sender is
+/// the neighbor in that direction, and packed its opposite face).
+///
+/// # Panics
+/// Panics if `data` has the wrong length.
+pub fn unpack<const NC: usize>(field: &mut SoaField<NC>, face: Face, data: &[f64]) {
+    unpack_region(field, recv_region(field.dims(), face), data);
+}
+
+/// Perform a local periodic exchange on one axis of a single field by
+/// packing each face and unpacking it at the opposite face — exactly what a
+/// pair of neighboring blocks does through the communicator, but in-place.
+/// Used by tests and by single-block periodic domains.
+pub fn local_periodic_exchange<const NC: usize>(field: &mut SoaField<NC>, axis: usize) {
+    let faces = [Face::ALL[2 * axis], Face::ALL[2 * axis + 1]];
+    let mut buf = Vec::new();
+    for f in faces {
+        pack(field, f, &mut buf);
+        let data = core::mem::take(&mut buf);
+        unpack(field, f.opposite(), &data);
+        buf = data;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::{Bc, BoundarySpec};
+
+    fn marked(d: GridDims) -> SoaField<2> {
+        let mut f = SoaField::<2>::new(d, [-1.0; 2]);
+        for (x, y, z) in d.interior_iter() {
+            f.set(0, x, y, z, (x * 10000 + y * 100 + z) as f64);
+            f.set(1, x, y, z, (x * 10000 + y * 100 + z) as f64 + 0.5);
+        }
+        f
+    }
+
+    #[test]
+    fn regions_have_expected_shapes() {
+        let d = GridDims::new(4, 5, 6, 1);
+        // x message: 1 layer thick, interior transverse.
+        let r = send_region(d, Face::XHigh);
+        assert_eq!(r.range, [[4, 5], [1, 6], [1, 7]]);
+        assert_eq!(r.volume(), 30);
+        // y message: full x, interior z.
+        let r = send_region(d, Face::YLow);
+        assert_eq!(r.range, [[0, 6], [1, 2], [1, 7]]);
+        // z message: full x and y.
+        let r = send_region(d, Face::ZHigh);
+        assert_eq!(r.range, [[0, 6], [0, 7], [6, 7]]);
+        assert_eq!(message_len(d, Face::ZHigh, 4), 6 * 7 * 4);
+        // Receive regions are the mirrored ghost slabs.
+        assert_eq!(recv_region(d, Face::XLow).range, [[0, 1], [1, 6], [1, 7]]);
+        assert_eq!(recv_region(d, Face::ZHigh).range, [[0, 6], [0, 7], [7, 8]]);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_matches_local_periodic() {
+        // A fully periodic single block exchanged via pack/unpack must agree
+        // with the BoundarySpec periodic fill.
+        let d = GridDims::new(4, 3, 5, 1);
+        let mut via_msgs = marked(d);
+        for axis in 0..3 {
+            local_periodic_exchange(&mut via_msgs, axis);
+        }
+        let mut via_bc = marked(d);
+        BoundarySpec::uniform(Bc::Periodic).apply(&mut via_bc);
+        for c in 0..2 {
+            assert_eq!(via_msgs.comp(c), via_bc.comp(c), "component {c}");
+        }
+    }
+
+    #[test]
+    fn corner_ghosts_are_filled_after_xyz_exchange() {
+        let d = GridDims::cube(3);
+        let mut f = marked(d);
+        for axis in 0..3 {
+            local_periodic_exchange(&mut f, axis);
+        }
+        // The (0,0,0) corner ghost must hold the wrapped interior value of
+        // the opposite corner (3,3,3).
+        assert_eq!(f.at(0, 0, 0, 0), f.at(0, 3, 3, 3));
+        assert_eq!(f.at(1, 4, 4, 4), f.at(1, 1, 1, 1));
+        // Edge ghosts likewise.
+        assert_eq!(f.at(0, 0, 0, 2), f.at(0, 3, 3, 2));
+        assert_ne!(f.at(0, 0, 0, 0), -1.0, "corner ghost never written");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn unpack_rejects_wrong_length() {
+        let d = GridDims::cube(3);
+        let mut f = marked(d);
+        unpack(&mut f, Face::XLow, &[0.0; 3]);
+    }
+}

@@ -1,0 +1,584 @@
+//! Distributed-memory-style message passing over threads — the MPI substrate.
+//!
+//! The paper runs on up to 1,048,576 MPI processes. Mature Rust MPI bindings
+//! are not available in this environment, so this crate provides the same
+//! *communication structure* over OS threads: each rank is a thread with a
+//! private mailbox, and all data crosses rank boundaries as explicit,
+//! serialized byte messages — there is no shared-memory shortcut in the data
+//! path, so pack/transfer/unpack costs and orderings are exercised exactly
+//! like in an MPI build (see DESIGN.md §2, substitution 1).
+//!
+//! Supported operations mirror what the waLBerla phase-field app needs:
+//!
+//! * tagged, source-matched [`Rank::send`] / [`Rank::recv`] (buffered
+//!   standard-mode semantics),
+//! * nonblocking [`Rank::isend`] / [`Rank::irecv`] + [`Rank::wait`] — the
+//!   primitives behind Algorithm 2's communication hiding,
+//! * collectives: [`Rank::barrier`], [`Rank::allreduce_f64`],
+//!   [`Rank::gather`], [`Rank::broadcast`] (used for front-position
+//!   reduction of the moving window and for the hierarchical mesh
+//!   reduction),
+//! * byte-level payloads ([`bytes::Bytes`]) with f64 slice helpers, so ghost
+//!   layers are genuinely packed and unpacked.
+//!
+//! # Example
+//!
+//! ```
+//! use eutectica_comm::{Universe, f64s_to_bytes, bytes_to_f64s};
+//!
+//! let sums = Universe::run(4, |rank| {
+//!     // Ring shift: everyone sends its id to the right neighbor.
+//!     let right = (rank.rank() + 1) % rank.size();
+//!     let left = (rank.rank() + rank.size() - 1) % rank.size();
+//!     rank.send(right, 7, f64s_to_bytes(&[rank.rank() as f64]));
+//!     let got = bytes_to_f64s(&rank.recv(left, 7));
+//!     rank.allreduce_f64(got[0], eutectica_comm::ReduceOp::Sum)
+//! });
+//! assert_eq!(sums, vec![6.0; 4]); // 0+1+2+3
+//! ```
+
+#![deny(missing_docs)]
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Message tag. Tags with the top bit set are reserved for collectives.
+pub type Tag = u32;
+
+const COLLECTIVE_TAG: Tag = 1 << 31;
+
+#[derive(Debug)]
+struct Message {
+    src: usize,
+    tag: Tag,
+    payload: Bytes,
+}
+
+/// Handle to a posted nonblocking receive; complete it with [`Rank::wait`].
+#[derive(Debug, Clone, Copy)]
+#[must_use = "irecv does nothing until waited on"]
+pub struct RecvRequest {
+    src: usize,
+    tag: Tag,
+}
+
+/// Reduction operators for [`Rank::allreduce_f64`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum of contributions.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl ReduceOp {
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Cumulative per-rank communication statistics (drives the Fig. 8 analysis).
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    /// Total bytes passed to `send`/`isend`.
+    pub bytes_sent: u64,
+    /// Number of point-to-point messages sent.
+    pub messages_sent: u64,
+    /// Wall time spent blocked inside `recv`/`wait`.
+    pub recv_wait_time: Duration,
+}
+
+/// One participant of a [`Universe`]; the analog of an MPI rank.
+pub struct Rank {
+    rank: usize,
+    size: usize,
+    txs: Arc<Vec<Sender<Message>>>,
+    rx: Receiver<Message>,
+    /// Messages received but not yet matched by a recv, keyed by (src, tag).
+    pending: RefCell<HashMap<(usize, Tag), VecDeque<Bytes>>>,
+    barrier: Arc<std::sync::Barrier>,
+    stats: RefCell<CommStats>,
+}
+
+impl Rank {
+    /// This rank's id in `[0, size)`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the universe.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `payload` to rank `dst` with `tag` (buffered; returns
+    /// immediately, like MPI standard mode with a buffered payload).
+    pub fn send(&self, dst: usize, tag: Tag, payload: Bytes) {
+        assert!(tag & COLLECTIVE_TAG == 0, "tag reserved for collectives");
+        self.send_raw(dst, tag, payload);
+    }
+
+    fn send_raw(&self, dst: usize, tag: Tag, payload: Bytes) {
+        let mut stats = self.stats.borrow_mut();
+        stats.bytes_sent += payload.len() as u64;
+        stats.messages_sent += 1;
+        drop(stats);
+        self.txs[dst]
+            .send(Message {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            .expect("peer rank hung up");
+    }
+
+    /// Nonblocking send. With thread-backed buffered channels the transfer
+    /// is complete on return, so no request object is needed; the name keeps
+    /// the call sites structurally identical to the MPI original.
+    #[inline]
+    pub fn isend(&self, dst: usize, tag: Tag, payload: Bytes) {
+        self.send(dst, tag, payload);
+    }
+
+    /// Post a nonblocking receive for a message from `src` with `tag`.
+    pub fn irecv(&self, src: usize, tag: Tag) -> RecvRequest {
+        RecvRequest { src, tag }
+    }
+
+    /// Complete a posted receive, blocking until the message arrives.
+    pub fn wait(&self, req: RecvRequest) -> Bytes {
+        self.recv_matched(req.src, req.tag)
+    }
+
+    /// Blocking receive of a message from `src` with `tag`.
+    pub fn recv(&self, src: usize, tag: Tag) -> Bytes {
+        assert!(tag & COLLECTIVE_TAG == 0, "tag reserved for collectives");
+        self.recv_matched(src, tag)
+    }
+
+    fn recv_matched(&self, src: usize, tag: Tag) -> Bytes {
+        // Fast path: already in the pending store.
+        if let Some(q) = self.pending.borrow_mut().get_mut(&(src, tag)) {
+            if let Some(b) = q.pop_front() {
+                return b;
+            }
+        }
+        let start = Instant::now();
+        loop {
+            let msg = self.rx.recv().expect("universe shut down mid-recv");
+            if msg.src == src && msg.tag == tag {
+                self.stats.borrow_mut().recv_wait_time += start.elapsed();
+                return msg.payload;
+            }
+            self.pending
+                .borrow_mut()
+                .entry((msg.src, msg.tag))
+                .or_default()
+                .push_back(msg.payload);
+        }
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// All-reduce a single f64 over all ranks.
+    ///
+    /// Implemented as gather-to-0 + broadcast over point-to-point messages
+    /// (log-depth trees are unnecessary at thread scale; the *semantics*
+    /// match MPI_Allreduce).
+    pub fn allreduce_f64(&self, value: f64, op: ReduceOp) -> f64 {
+        let tag = COLLECTIVE_TAG | 1;
+        if self.rank == 0 {
+            let mut acc = value;
+            for src in 1..self.size {
+                let b = self.recv_matched(src, tag);
+                acc = op.apply(acc, f64::from_bits(u64::from_le_bytes(b[..8].try_into().unwrap())));
+            }
+            for dst in 1..self.size {
+                self.send_raw(dst, tag, Bytes::copy_from_slice(&acc.to_bits().to_le_bytes()));
+            }
+            acc
+        } else {
+            self.send_raw(0, tag, Bytes::copy_from_slice(&value.to_bits().to_le_bytes()));
+            let b = self.recv_matched(0, tag);
+            f64::from_bits(u64::from_le_bytes(b[..8].try_into().unwrap()))
+        }
+    }
+
+    /// Gather byte payloads on `root`; returns `Some(per-rank payloads)` on
+    /// the root, `None` elsewhere.
+    pub fn gather(&self, root: usize, payload: Bytes) -> Option<Vec<Bytes>> {
+        let tag = COLLECTIVE_TAG | 2;
+        if self.rank == root {
+            let mut out = vec![Bytes::new(); self.size];
+            out[root] = payload;
+            for src in 0..self.size {
+                if src != root {
+                    out[src] = self.recv_matched(src, tag);
+                }
+            }
+            Some(out)
+        } else {
+            self.send_raw(root, tag, payload);
+            None
+        }
+    }
+
+    /// Broadcast `payload` (significant on `root`) to all ranks.
+    pub fn broadcast(&self, root: usize, payload: Bytes) -> Bytes {
+        let tag = COLLECTIVE_TAG | 3;
+        if self.rank == root {
+            for dst in 0..self.size {
+                if dst != root {
+                    self.send_raw(dst, tag, payload.clone());
+                }
+            }
+            payload
+        } else {
+            self.recv_matched(root, tag)
+        }
+    }
+
+    /// Snapshot of this rank's communication statistics.
+    pub fn stats(&self) -> CommStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Reset the statistics counters (e.g. after warmup timesteps).
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = CommStats::default();
+    }
+}
+
+/// A set of ranks executing the same function — the analog of
+/// `mpirun -np N`.
+pub struct Universe;
+
+impl Universe {
+    /// Spawn `n` ranks running `f` and collect their return values in rank
+    /// order. Panics in any rank propagate.
+    pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Rank) -> T + Send + Sync + 'static,
+    {
+        assert!(n > 0, "need at least one rank");
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let txs = Arc::new(txs);
+        let barrier = Arc::new(std::sync::Barrier::new(n));
+        let f = Arc::new(f);
+        let results: Arc<Mutex<Vec<Option<T>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+
+        let mut handles = Vec::with_capacity(n);
+        for (rank_id, rx) in rxs.into_iter().enumerate() {
+            let rank = Rank {
+                rank: rank_id,
+                size: n,
+                txs: Arc::clone(&txs),
+                rx,
+                pending: RefCell::new(HashMap::new()),
+                barrier: Arc::clone(&barrier),
+                stats: RefCell::new(CommStats::default()),
+            };
+            let f = Arc::clone(&f);
+            let results = Arc::clone(&results);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank_id}"))
+                    .stack_size(8 << 20)
+                    .spawn(move || {
+                        let out = f(rank);
+                        results.lock()[rank_id] = Some(out);
+                    })
+                    .expect("spawn rank thread"),
+            );
+        }
+        for h in handles {
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+        Arc::try_unwrap(results)
+            .unwrap_or_else(|_| panic!("results still shared"))
+            .into_inner()
+            .into_iter()
+            .map(|o| o.expect("rank produced no result"))
+            .collect()
+    }
+}
+
+/// Cartesian process-grid helper (the analog of `MPI_Cart_create`): maps a
+/// rank onto coordinates of a `[px, py, pz]` grid and resolves face
+/// neighbors with optional periodic wrap — the topology the halo exchange
+/// of the block decomposition runs on.
+#[derive(Copy, Clone, Debug)]
+pub struct CartComm {
+    /// Ranks per axis.
+    pub dims: [usize; 3],
+    /// Periodicity per axis.
+    pub periodic: [bool; 3],
+}
+
+impl CartComm {
+    /// Create a Cartesian layout; `dims` must multiply to the rank count it
+    /// is used with.
+    pub fn new(dims: [usize; 3], periodic: [bool; 3]) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "empty Cartesian grid");
+        Self { dims, periodic }
+    }
+
+    /// Total ranks of the grid.
+    pub fn size(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Coordinates of `rank` (x fastest).
+    pub fn coords(&self, rank: usize) -> [usize; 3] {
+        assert!(rank < self.size());
+        [
+            rank % self.dims[0],
+            (rank / self.dims[0]) % self.dims[1],
+            rank / (self.dims[0] * self.dims[1]),
+        ]
+    }
+
+    /// Rank of `coords`.
+    pub fn rank_of(&self, coords: [usize; 3]) -> usize {
+        for a in 0..3 {
+            assert!(coords[a] < self.dims[a]);
+        }
+        (coords[2] * self.dims[1] + coords[1]) * self.dims[0] + coords[0]
+    }
+
+    /// Neighbor of `rank` one step along `axis` in direction `dir` (±1);
+    /// `None` at a non-periodic boundary.
+    pub fn neighbor(&self, rank: usize, axis: usize, dir: i32) -> Option<usize> {
+        assert!(axis < 3 && (dir == 1 || dir == -1));
+        let mut c = self.coords(rank);
+        let n = self.dims[axis] as i64;
+        let next = c[axis] as i64 + dir as i64;
+        if next < 0 || next >= n {
+            if self.periodic[axis] {
+                c[axis] = ((next + n) % n) as usize;
+            } else {
+                return None;
+            }
+        } else {
+            c[axis] = next as usize;
+        }
+        Some(self.rank_of(c))
+    }
+}
+
+/// Serialize a f64 slice into a byte payload (little-endian).
+pub fn f64s_to_bytes(vals: &[f64]) -> Bytes {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Deserialize a byte payload back into f64s.
+///
+/// # Panics
+/// Panics if the length is not a multiple of 8.
+pub fn bytes_to_f64s(b: &Bytes) -> Vec<f64> {
+    assert!(b.len() % 8 == 0, "payload not f64-aligned");
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Deserialize a byte payload into an existing buffer (allocation-free path
+/// used by the ghost-layer exchange every timestep).
+pub fn bytes_to_f64s_into(b: &Bytes, out: &mut Vec<f64>) {
+    assert!(b.len() % 8 == 0, "payload not f64-aligned");
+    out.clear();
+    out.extend(b.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_exchange() {
+        let got = Universe::run(5, |r| {
+            let right = (r.rank() + 1) % r.size();
+            let left = (r.rank() + r.size() - 1) % r.size();
+            r.send(right, 1, f64s_to_bytes(&[r.rank() as f64 * 2.0]));
+            bytes_to_f64s(&r.recv(left, 1))[0]
+        });
+        assert_eq!(got, vec![8.0, 0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn out_of_order_matching_by_tag() {
+        // Rank 0 sends two messages with different tags; rank 1 receives
+        // them in the opposite order.
+        let got = Universe::run(2, |r| {
+            if r.rank() == 0 {
+                r.send(1, 10, f64s_to_bytes(&[1.0]));
+                r.send(1, 20, f64s_to_bytes(&[2.0]));
+                0.0
+            } else {
+                let b = bytes_to_f64s(&r.recv(0, 20))[0];
+                let a = bytes_to_f64s(&r.recv(0, 10))[0];
+                10.0 * a + b
+            }
+        });
+        assert_eq!(got[1], 12.0);
+    }
+
+    #[test]
+    fn fifo_within_same_src_tag() {
+        let got = Universe::run(2, |r| {
+            if r.rank() == 0 {
+                for i in 0..10 {
+                    r.send(1, 5, f64s_to_bytes(&[i as f64]));
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| bytes_to_f64s(&r.recv(0, 5))[0]).collect()
+            }
+        });
+        assert_eq!(got[1], (0..10).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn self_send_works() {
+        let got = Universe::run(1, |r| {
+            r.send(0, 3, f64s_to_bytes(&[42.0]));
+            bytes_to_f64s(&r.recv(0, 3))[0]
+        });
+        assert_eq!(got, vec![42.0]);
+    }
+
+    #[test]
+    fn irecv_wait_overlap_pattern() {
+        // The Algorithm-2 pattern: post receives, send, compute, then wait.
+        let got = Universe::run(3, |r| {
+            let right = (r.rank() + 1) % r.size();
+            let left = (r.rank() + r.size() - 1) % r.size();
+            let req = r.irecv(left, 9);
+            r.isend(right, 9, f64s_to_bytes(&[r.rank() as f64]));
+            let local = 100.0 * r.rank() as f64; // "compute"
+            let remote = bytes_to_f64s(&r.wait(req))[0];
+            local + remote
+        });
+        assert_eq!(got, vec![2.0, 100.0, 201.0]);
+    }
+
+    #[test]
+    fn allreduce_ops() {
+        for (op, expect) in [
+            (ReduceOp::Sum, 0.0 + 1.0 + 2.0 + 3.0),
+            (ReduceOp::Min, 0.0),
+            (ReduceOp::Max, 3.0),
+        ] {
+            let got = Universe::run(4, move |r| r.allreduce_f64(r.rank() as f64, op));
+            assert_eq!(got, vec![expect; 4], "{op:?}");
+        }
+    }
+
+    #[test]
+    fn gather_and_broadcast() {
+        let got = Universe::run(4, |r| {
+            let gathered = r.gather(2, f64s_to_bytes(&[r.rank() as f64]));
+            if r.rank() == 2 {
+                let v: Vec<f64> = gathered
+                    .unwrap()
+                    .iter()
+                    .map(|b| bytes_to_f64s(b)[0])
+                    .collect();
+                assert_eq!(v, vec![0.0, 1.0, 2.0, 3.0]);
+            } else {
+                assert!(gathered.is_none());
+            }
+            let b = r.broadcast(1, f64s_to_bytes(&[7.5 * (r.rank() == 1) as u8 as f64]));
+            bytes_to_f64s(&b)[0]
+        });
+        assert_eq!(got, vec![7.5; 4]);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static PHASE1: AtomicUsize = AtomicUsize::new(0);
+        let got = Universe::run(4, |r| {
+            PHASE1.fetch_add(1, Ordering::SeqCst);
+            r.barrier();
+            PHASE1.load(Ordering::SeqCst)
+        });
+        assert_eq!(got, vec![4; 4]);
+    }
+
+    #[test]
+    fn stats_count_bytes_and_messages() {
+        let got = Universe::run(2, |r| {
+            if r.rank() == 0 {
+                r.send(1, 1, f64s_to_bytes(&[1.0, 2.0, 3.0]));
+                r.send(1, 2, f64s_to_bytes(&[4.0]));
+            } else {
+                let _ = r.recv(0, 1);
+                let _ = r.recv(0, 2);
+            }
+            r.barrier();
+            let s = r.stats();
+            (s.bytes_sent, s.messages_sent)
+        });
+        assert_eq!(got[0], (32, 2));
+        assert_eq!(got[1], (0, 0));
+    }
+
+    #[test]
+    fn cart_comm_coordinates_and_neighbors() {
+        let c = CartComm::new([4, 3, 2], [true, false, true]);
+        assert_eq!(c.size(), 24);
+        for r in 0..24 {
+            assert_eq!(c.rank_of(c.coords(r)), r);
+        }
+        // Periodic x wraps.
+        assert_eq!(c.neighbor(0, 0, -1), Some(3));
+        assert_eq!(c.neighbor(3, 0, 1), Some(0));
+        // Open y stops at the boundary.
+        assert_eq!(c.neighbor(0, 1, -1), None);
+        assert_eq!(c.neighbor(c.rank_of([0, 2, 0]), 1, 1), None);
+        assert_eq!(c.neighbor(0, 1, 1), Some(4));
+        // Periodic z wraps across the slowest axis.
+        assert_eq!(c.neighbor(0, 2, -1), Some(12));
+    }
+
+    #[test]
+    fn f64_bytes_roundtrip() {
+        let vals = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 3.141592653589793];
+        let b = f64s_to_bytes(&vals);
+        assert_eq!(bytes_to_f64s(&b), vals);
+        let mut out = Vec::new();
+        bytes_to_f64s_into(&b, &mut out);
+        assert_eq!(out, vals);
+    }
+}

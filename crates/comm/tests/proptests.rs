@@ -1,0 +1,89 @@
+//! Property-based tests of the message-passing substrate.
+
+use eutectica_comm::{bytes_to_f64s, f64s_to_bytes, ReduceOp, Universe};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Payload serialization round-trips bit-exactly, including special
+    /// values.
+    #[test]
+    fn payload_roundtrip(values in prop::collection::vec(any::<f64>(), 0..64)) {
+        let b = f64s_to_bytes(&values);
+        let back = bytes_to_f64s(&b);
+        prop_assert_eq!(values.len(), back.len());
+        for (x, y) in values.iter().zip(&back) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// allreduce(sum) over N ranks equals the serial sum, regardless of rank
+    /// count and contributions.
+    #[test]
+    fn allreduce_sum_matches_serial(values in prop::collection::vec(-100.0..100.0f64, 1..6)) {
+        let n = values.len();
+        let expect: f64 = values.iter().sum();
+        let vals = std::sync::Arc::new(values);
+        let got = Universe::run(n, move |rank| {
+            rank.allreduce_f64(vals[rank.rank()], ReduceOp::Sum)
+        });
+        for g in got {
+            prop_assert!((g - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Messages between a random pair of ranks arrive intact and in order.
+    #[test]
+    fn point_to_point_in_order(n in 2usize..5, count in 1usize..8, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let src = rng.random_range(0..n);
+        let dst = (src + 1 + rng.random_range(0..n - 1)) % n;
+        let payloads: Vec<Vec<f64>> = (0..count)
+            .map(|k| vec![k as f64, rng.random_range(-1.0..1.0)])
+            .collect();
+        let payloads = std::sync::Arc::new(payloads);
+        let expected = payloads.clone();
+        let ok = Universe::run(n, move |rank| {
+            if rank.rank() == src {
+                for p in payloads.iter() {
+                    rank.send(dst, 9, f64s_to_bytes(p));
+                }
+                true
+            } else if rank.rank() == dst {
+                (0..payloads.len()).all(|k| {
+                    let got = bytes_to_f64s(&rank.recv(src, 9));
+                    got == expected[k]
+                })
+            } else {
+                true
+            }
+        });
+        prop_assert!(ok.iter().all(|&b| b));
+    }
+
+    /// gather followed by broadcast distributes identical data everywhere.
+    #[test]
+    fn gather_broadcast_consistency(n in 1usize..6, root_pick in any::<u16>()) {
+        let root = root_pick as usize % n;
+        let got = Universe::run(n, move |rank| {
+            let gathered = rank.gather(root, f64s_to_bytes(&[rank.rank() as f64 * 3.0]));
+            let payload = if rank.rank() == root {
+                let sum: f64 = gathered
+                    .unwrap()
+                    .iter()
+                    .map(|b| bytes_to_f64s(b)[0])
+                    .sum();
+                f64s_to_bytes(&[sum])
+            } else {
+                f64s_to_bytes(&[f64::NAN]) // ignored on non-roots
+            };
+            bytes_to_f64s(&rank.broadcast(root, payload))[0]
+        });
+        let expect: f64 = (0..n).map(|r| r as f64 * 3.0).sum();
+        for g in got {
+            prop_assert!((g - expect).abs() < 1e-12);
+        }
+    }
+}

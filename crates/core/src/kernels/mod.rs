@@ -1,0 +1,256 @@
+//! Compute-kernel variants: the paper's full optimization ladder.
+//!
+//! Fig. 6 of the paper builds the φ- and µ-kernels up through six rungs;
+//! [`OptLevel`] reproduces them:
+//!
+//! | rung | paper label | here |
+//! |------|-------------|------|
+//! | 0 | "general purpose C code" | [`PhiVariant::Reference`] / [`MuVariant::Reference`]: runtime-N/K code with per-cell indirect calls |
+//! | 1 | "basic waLBerla implementation" | specialized scalar N=4/K=2 kernels |
+//! | 2 | "with SIMD intrinsics" | explicit vectorization: cellwise φ (4 phases = 4 lanes), four-cell µ |
+//! | 3 | "with T(z) optimization" | per-slice precomputation of temperature-dependent terms |
+//! | 4 | "with staggered buffer" | staggered face values buffered and reused (halves face work) |
+//! | 5 | "with shortcuts" | region-dependent term skipping (bulk / pure / solid checks) |
+//!
+//! Fig. 5 additionally compares three φ vectorization strategies at rung ≥ 2:
+//! [`PhiVariant::SimdCellwise`] (with and without shortcuts) and
+//! [`PhiVariant::SimdFourCell`].
+//!
+//! All variants implement the identical discretization in
+//! [`crate::model`]; `tests/kernel_equivalence.rs` pins them against each
+//! other ("a regularly running test suite checks all kernel versions for
+//! equivalence").
+
+pub mod reference;
+pub mod scalar_mu;
+pub mod scalar_phi;
+pub mod simd_common;
+pub mod simd_mu;
+pub mod simd_phi;
+
+use crate::params::ModelParams;
+use crate::state::BlockState;
+
+/// φ-kernel implementation selector.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PhiVariant {
+    /// General-purpose runtime-N code with per-cell dynamic dispatch.
+    Reference,
+    /// Specialized scalar N=4 kernel.
+    Scalar,
+    /// Explicit SIMD, one cell at a time: the 4 phases fill the 4 lanes.
+    /// Allows branching per cell (the paper's fastest strategy).
+    SimdCellwise,
+    /// Explicit SIMD, four cells at a time (lanes = cells). Can only take
+    /// shortcuts if the condition holds for all four cells.
+    SimdFourCell,
+}
+
+/// µ-kernel implementation selector.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MuVariant {
+    /// General-purpose runtime-N/K code.
+    Reference,
+    /// Specialized scalar kernel.
+    Scalar,
+    /// Explicit SIMD, four cells at a time (the only viable strategy for
+    /// the µ-kernel per Sec. 5.1.1).
+    SimdFourCell,
+}
+
+/// Which part of the split µ-sweep to run (Algorithm 2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MuPart {
+    /// Unsplit update (Algorithm 1).
+    Full,
+    /// Local-φ-dependency part: gradient flux + source + drift (line 6).
+    LocalOnly,
+    /// Neighbor-φ-dependency part: add −∇·J_at (line 8).
+    NeighborOnly,
+}
+
+/// Full kernel configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// φ-kernel implementation.
+    pub phi: PhiVariant,
+    /// µ-kernel implementation.
+    pub mu: MuVariant,
+    /// Precompute temperature-dependent terms once per z-slice.
+    pub tz_precompute: bool,
+    /// Buffer staggered face values and reuse them (3 instead of 6 face
+    /// evaluations per cell).
+    pub staggered_buffer: bool,
+    /// Region-dependent shortcuts (bulk skip, pure-cell driving skip,
+    /// solid/liquid J_at skip).
+    pub shortcuts: bool,
+}
+
+/// The cumulative optimization rungs of Fig. 6.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// Rung 0: general-purpose reference code.
+    Reference,
+    /// Rung 1: basic specialized implementation.
+    Basic,
+    /// Rung 2: + explicit SIMD vectorization.
+    Simd,
+    /// Rung 3: + T(z) per-slice precomputation.
+    SimdTz,
+    /// Rung 4: + staggered buffer.
+    SimdTzBuf,
+    /// Rung 5: + shortcuts.
+    SimdTzBufShortcuts,
+}
+
+impl OptLevel {
+    /// All rungs in ladder order.
+    pub const LADDER: [OptLevel; 6] = [
+        OptLevel::Reference,
+        OptLevel::Basic,
+        OptLevel::Simd,
+        OptLevel::SimdTz,
+        OptLevel::SimdTzBuf,
+        OptLevel::SimdTzBufShortcuts,
+    ];
+
+    /// The paper's label for this rung.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::Reference => "general purpose code",
+            OptLevel::Basic => "basic implementation",
+            OptLevel::Simd => "with SIMD intrinsics",
+            OptLevel::SimdTz => "with T(z) optimization",
+            OptLevel::SimdTzBuf => "with staggered buffer",
+            OptLevel::SimdTzBufShortcuts => "with shortcuts",
+        }
+    }
+
+    /// The kernel configuration of this rung.
+    pub fn config(self) -> KernelConfig {
+        match self {
+            OptLevel::Reference => KernelConfig {
+                phi: PhiVariant::Reference,
+                mu: MuVariant::Reference,
+                tz_precompute: false,
+                staggered_buffer: false,
+                shortcuts: false,
+            },
+            OptLevel::Basic => KernelConfig {
+                phi: PhiVariant::Scalar,
+                mu: MuVariant::Scalar,
+                tz_precompute: false,
+                staggered_buffer: false,
+                shortcuts: false,
+            },
+            OptLevel::Simd => KernelConfig {
+                phi: PhiVariant::SimdCellwise,
+                mu: MuVariant::SimdFourCell,
+                tz_precompute: false,
+                staggered_buffer: false,
+                shortcuts: false,
+            },
+            OptLevel::SimdTz => KernelConfig {
+                tz_precompute: true,
+                ..OptLevel::Simd.config()
+            },
+            OptLevel::SimdTzBuf => KernelConfig {
+                staggered_buffer: true,
+                ..OptLevel::SimdTz.config()
+            },
+            OptLevel::SimdTzBufShortcuts => KernelConfig {
+                shortcuts: true,
+                ..OptLevel::SimdTzBuf.config()
+            },
+        }
+    }
+}
+
+impl Default for KernelConfig {
+    /// The production configuration: the fastest rung of the ladder.
+    fn default() -> Self {
+        OptLevel::SimdTzBufShortcuts.config()
+    }
+}
+
+/// Run the φ-sweep over a block's interior with the selected variant:
+/// `φ_dst ← φ-kernel(φ_src, µ_src)` (Algorithm 1, line 1).
+pub fn phi_sweep(params: &ModelParams, state: &mut BlockState, time: f64, cfg: KernelConfig) {
+    match cfg.phi {
+        PhiVariant::Reference => reference::phi_sweep_reference(params, state, time),
+        PhiVariant::Scalar => {
+            scalar_phi::phi_sweep_scalar(params, state, time, cfg.tz_precompute, cfg.staggered_buffer, cfg.shortcuts)
+        }
+        PhiVariant::SimdCellwise => {
+            simd_phi::phi_sweep_cellwise(params, state, time, cfg.tz_precompute, cfg.staggered_buffer, cfg.shortcuts)
+        }
+        PhiVariant::SimdFourCell => {
+            simd_phi::phi_sweep_fourcell(params, state, time, cfg.tz_precompute, cfg.shortcuts)
+        }
+    }
+}
+
+/// Run the µ-sweep over a block's interior with the selected variant:
+/// `µ_dst ← µ-kernel(µ_src, φ_src, φ_dst)` (Algorithm 1, line 4).
+pub fn mu_sweep(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    cfg: KernelConfig,
+    part: MuPart,
+) {
+    match cfg.mu {
+        MuVariant::Reference => reference::mu_sweep_reference(params, state, time, part),
+        MuVariant::Scalar => scalar_mu::mu_sweep_scalar(
+            params,
+            state,
+            time,
+            part,
+            cfg.tz_precompute,
+            cfg.staggered_buffer,
+            cfg.shortcuts,
+        ),
+        MuVariant::SimdFourCell => simd_mu::mu_sweep_fourcell(
+            params,
+            state,
+            time,
+            part,
+            cfg.tz_precompute,
+            cfg.staggered_buffer,
+            cfg.shortcuts,
+        ),
+    }
+}
+
+/// Gather the 4 phase values of linear cell `i` from SoA component slices.
+#[inline(always)]
+pub(crate) fn get4(c: &[&[f64]; 4], i: usize) -> [f64; 4] {
+    [c[0][i], c[1][i], c[2][i], c[3][i]]
+}
+
+/// Gather the 2 µ components of linear cell `i`.
+#[inline(always)]
+pub(crate) fn get2(c: &[&[f64]; 2], i: usize) -> [f64; 2] {
+    [c[0][i], c[1][i]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_cumulative() {
+        let l = OptLevel::LADDER;
+        assert_eq!(l[0].config().phi, PhiVariant::Reference);
+        assert_eq!(l[1].config().phi, PhiVariant::Scalar);
+        for rung in &l[2..] {
+            assert_eq!(rung.config().phi, PhiVariant::SimdCellwise);
+            assert_eq!(rung.config().mu, MuVariant::SimdFourCell);
+        }
+        assert!(!l[2].config().tz_precompute);
+        assert!(l[3].config().tz_precompute && !l[3].config().staggered_buffer);
+        assert!(l[4].config().staggered_buffer && !l[4].config().shortcuts);
+        assert!(l[5].config().shortcuts);
+        assert_eq!(KernelConfig::default(), l[5].config());
+    }
+}

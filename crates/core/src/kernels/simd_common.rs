@@ -1,0 +1,166 @@
+//! Shared helpers for the explicitly vectorized kernels.
+
+use crate::temperature::SliceCtx;
+use crate::{N_COMP, N_PHASES};
+use eutectica_simd::F64x4;
+
+/// Gather the 4 phase values of one cell from the SoA planes into a vector
+/// (lane α = φ_α). This is the cost of running the cellwise φ-kernel on a
+/// SoA field; the paper measured it to be negligible thanks to the kernel's
+/// high arithmetic intensity (Sec. 5.1.1).
+#[inline(always)]
+pub fn gather_cell4(comps: &[&[f64]; N_PHASES], i: usize) -> F64x4 {
+    F64x4::from_array([comps[0][i], comps[1][i], comps[2][i], comps[3][i]])
+}
+
+/// Scatter a phase vector back to the SoA planes.
+#[inline(always)]
+pub fn scatter_cell4(comps: &mut [&mut [f64]; N_PHASES], i: usize, v: F64x4) {
+    let a = v.to_array();
+    comps[0][i] = a[0];
+    comps[1][i] = a[1];
+    comps[2][i] = a[2];
+    comps[3][i] = a[3];
+}
+
+/// 4×4 matrix–vector product with the matrix stored as column vectors:
+/// `(M v)_α = Σ_β M_αβ v_β`. Three FMAs and four lane broadcasts
+/// (`vpermpd`) — the "various permute or rotate operations" the cellwise
+/// strategy pays for (Sec. 5.1.1).
+#[inline(always)]
+pub fn matvec(cols: &[F64x4; N_PHASES], v: F64x4) -> F64x4 {
+    let r = cols[0] * v.broadcast_lane::<0>();
+    let r = cols[1].mul_add(v.broadcast_lane::<1>(), r);
+    let r = cols[2].mul_add(v.broadcast_lane::<2>(), r);
+    cols[3].mul_add(v.broadcast_lane::<3>(), r)
+}
+
+/// γ matrix as column vectors (symmetric, so columns = rows).
+#[inline]
+pub fn gamma_cols(gamma: &[[f64; N_PHASES]; N_PHASES]) -> [F64x4; N_PHASES] {
+    core::array::from_fn(|b| F64x4::from_array(core::array::from_fn(|a| gamma[a][b])))
+}
+
+/// Per-slice thermodynamic constants in lane-per-phase layout for the
+/// cellwise φ-kernel.
+#[derive(Copy, Clone, Debug)]
+pub struct SliceCtxV {
+    /// c^eq_α per component, lane α = phase.
+    pub c_eq: [F64x4; N_COMP],
+    /// Grand-potential offsets X_α, lane α = phase.
+    pub offset: F64x4,
+    /// 1/(4k_α,i(T)) per component, lane α = phase.
+    pub inv4k: [F64x4; N_COMP],
+    /// T·ε.
+    pub pref_grad: f64,
+    /// 16T/(π²ε).
+    pub pref_obst: f64,
+}
+
+impl SliceCtxV {
+    /// Convert a scalar slice context.
+    #[inline]
+    pub fn from_ctx(ctx: &SliceCtx) -> Self {
+        Self {
+            c_eq: [
+                F64x4::from_array(core::array::from_fn(|a| ctx.c_eq[a][0])),
+                F64x4::from_array(core::array::from_fn(|a| ctx.c_eq[a][1])),
+            ],
+            offset: F64x4::from_array(ctx.offset),
+            inv4k: [
+                F64x4::from_array(core::array::from_fn(|a| ctx.inv4k[a][0])),
+                F64x4::from_array(core::array::from_fn(|a| ctx.inv4k[a][1])),
+            ],
+            pref_grad: ctx.pref_grad,
+            pref_obst: ctx.pref_obst,
+        }
+    }
+}
+
+/// Lanewise equality mask via `ge ∧ le` (no dedicated eq in the API).
+#[inline(always)]
+pub fn eq_mask(a: F64x4, b: F64x4) -> eutectica_simd::Mask4 {
+    a.ge(b).and(a.le(b))
+}
+
+/// Lane-parallel Gibbs-simplex projection for four independent cells:
+/// `phi[α]` holds phase α of all four cells. Mirrors
+/// [`crate::simplex::project_to_simplex`] with compare/select instead of
+/// branches.
+#[inline(always)]
+pub fn project_simplex_lanes(phi: [F64x4; N_PHASES]) -> [F64x4; N_PHASES] {
+    // Sorting network (descending) across the four phase registers.
+    #[inline(always)]
+    fn cswap(a: F64x4, b: F64x4) -> (F64x4, F64x4) {
+        (a.max(b), a.min(b))
+    }
+    let [p0, p1, p2, p3] = phi;
+    let (u0, u1) = cswap(p0, p1);
+    let (u2, u3) = cswap(p2, p3);
+    let (u0, u2) = cswap(u0, u2);
+    let (u1, u3) = cswap(u1, u3);
+    let (u1, u2) = cswap(u1, u2);
+    let sorted = [u0, u1, u2, u3];
+
+    let one = F64x4::splat(1.0);
+    let zero = F64x4::zero();
+    let mut cumsum = zero;
+    let mut lambda = zero;
+    for (j, u) in sorted.iter().enumerate() {
+        cumsum += *u;
+        let l = (one - cumsum) * F64x4::splat(1.0 / (j as f64 + 1.0));
+        let mask = (*u + l).gt(zero);
+        lambda = mask.select(l, lambda);
+    }
+    core::array::from_fn(|a| (phi[a] + lambda).max(zero))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_matches_scalar() {
+        let gamma = crate::params::ModelParams::ag_al_cu().gamma;
+        let cols = gamma_cols(&gamma);
+        let v = F64x4::from_array([0.1, 0.2, 0.3, 0.4]);
+        let got = matvec(&cols, v).to_array();
+        for a in 0..4 {
+            let want: f64 = (0..4).map(|b| gamma[a][b] * v.extract(b)).sum();
+            assert!((got[a] - want).abs() < 1e-14, "row {a}");
+        }
+    }
+
+    #[test]
+    fn lane_projection_matches_scalar_projection() {
+        let cells = [
+            [1.2, -0.1, -0.05, -0.05],
+            [0.25, 0.25, 0.25, 0.25],
+            [0.9, 0.4, -0.2, 0.1],
+            [0.0, 1.0, 0.0, 0.0],
+        ];
+        // Transpose into per-phase lanes.
+        let phi: [F64x4; 4] =
+            core::array::from_fn(|a| F64x4::from_array(core::array::from_fn(|c| cells[c][a])));
+        let out = project_simplex_lanes(phi);
+        for (c, cell) in cells.iter().enumerate() {
+            let want = crate::simplex::project_to_simplex(*cell);
+            for a in 0..4 {
+                assert!(
+                    (out[a].extract(c) - want[a]).abs() < 1e-14,
+                    "cell {c} phase {a}: {} vs {}",
+                    out[a].extract(c),
+                    want[a]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eq_mask_detects_equality() {
+        let a = F64x4::from_array([1.0, 2.0, 3.0, 4.0]);
+        let b = F64x4::from_array([1.0, 2.5, 3.0, 4.0]);
+        assert_eq!(eq_mask(a, a).bitmask(), 0b1111);
+        assert_eq!(eq_mask(a, b).bitmask(), 0b1101);
+    }
+}

@@ -1,0 +1,447 @@
+//! Explicitly vectorized µ-kernel, four cells at a time (ladder rung 2+).
+//!
+//! "While this technique is the only possible one for the µ-kernel" — the
+//! µ-update has no natural per-cell vector structure, so the innermost loop
+//! is unrolled over four consecutive x-cells: every field access becomes a
+//! contiguous (SoA) vector load and all face quantities are evaluated for
+//! four faces at once.
+//!
+//! Staggered buffering works on vectors too: the x-low faces of a group are
+//! the lane-shifted x-high faces (with a scalar carry across groups), and
+//! the y/z face fluxes are buffered per group exactly like Fig. 3.
+//! Shortcuts can only trigger when the condition holds for **all four
+//! cells** of a group (the four-cell limitation the paper measures in
+//! Fig. 5's discussion).
+
+use crate::kernels::scalar_mu::SweepCtx;
+use crate::kernels::simd_common::eq_mask;
+use crate::kernels::{get2, get4, MuPart};
+use crate::model::{mu_cell_update, phase_change_source, susceptibility, temp_drift};
+use crate::params::ModelParams;
+use crate::state::BlockState;
+use crate::temperature::{SliceCtx, SliceTable};
+use crate::{LIQ, N_COMP, N_PHASES};
+use eutectica_simd::F64x4;
+
+/// Entry point.
+pub fn mu_sweep_fourcell(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    part: MuPart,
+    tz: bool,
+    stag: bool,
+    shortcuts: bool,
+) {
+    match (tz, stag, shortcuts) {
+        (false, false, false) => sweep::<false, false, false>(params, state, time, part),
+        (false, false, true) => sweep::<false, false, true>(params, state, time, part),
+        (false, true, false) => sweep::<false, true, false>(params, state, time, part),
+        (false, true, true) => sweep::<false, true, true>(params, state, time, part),
+        (true, false, false) => sweep::<true, false, false>(params, state, time, part),
+        (true, false, true) => sweep::<true, false, true>(params, state, time, part),
+        (true, true, false) => sweep::<true, true, false>(params, state, time, part),
+        (true, true, true) => sweep::<true, true, true>(params, state, time, part),
+    }
+}
+
+/// `[carry, v0, v1, v2]` — slide a face-flux vector one lane to reuse the
+/// overlapping x-faces of the previous group.
+#[inline(always)]
+fn shift_in(carry: f64, v: F64x4) -> F64x4 {
+    v.permute::<3, 0, 1, 2>().replace(0, carry)
+}
+
+struct VCtx<'a> {
+    #[allow(dead_code)]
+    params: &'a ModelParams,
+    inv_dx: F64x4,
+    inv_dt: F64x4,
+    dc_dt: [[f64; N_COMP]; N_PHASES],
+    atc_pref: f64,
+    sy: usize,
+    sz: usize,
+    with_grad: bool,
+    with_jat: bool,
+}
+
+impl VCtx<'_> {
+    #[inline(always)]
+    fn trans(&self, axis: usize) -> (usize, usize) {
+        match axis {
+            0 => (self.sy, self.sz),
+            1 => (1, self.sz),
+            _ => (1, self.sy),
+        }
+    }
+
+    /// Combined face flux `M∇µ − J_at` for the four faces between cell
+    /// groups starting at `il` and `ir` (ir = il + stride(axis)).
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn face_flux<const SC: bool>(
+        &self,
+        ps: &[&[f64]; N_PHASES],
+        pd: &[&[f64]; N_PHASES],
+        ms: &[&[f64]; N_COMP],
+        ctx_face: &SliceCtx,
+        il: usize,
+        ir: usize,
+        axis: usize,
+    ) -> [F64x4; N_COMP] {
+        let half = F64x4::splat(0.5);
+        let zero = F64x4::zero();
+        let phi_l: [F64x4; N_PHASES] = core::array::from_fn(|a| F64x4::load(ps[a], il));
+        let phi_r: [F64x4; N_PHASES] = core::array::from_fn(|a| F64x4::load(ps[a], ir));
+        let mu_l = [F64x4::load(ms[0], il), F64x4::load(ms[1], il)];
+        let mu_r = [F64x4::load(ms[0], ir), F64x4::load(ms[1], ir)];
+        let mut flux = [zero; N_COMP];
+        if self.with_grad {
+            for i in 0..N_COMP {
+                let mut m = zero;
+                for a in 0..N_PHASES {
+                    m += (phi_l[a] + phi_r[a]) * half * F64x4::splat(ctx_face.mob[a][i]);
+                }
+                flux[i] = m * (mu_r[i] - mu_l[i]) * self.inv_dx;
+            }
+        }
+        if self.with_jat {
+            let pl = (phi_l[LIQ] + phi_r[LIQ]) * half;
+            if SC && !pl.gt(zero).any() {
+                // Shortcut: no liquid at any of the four faces.
+                return flux;
+            }
+            let gl = self.face_gradient(ps, il, ir, axis, LIQ);
+            let nl2 = gl[0] * gl[0] + gl[1] * gl[1] + gl[2] * gl[2];
+            if SC && !nl2.gt(zero).any() {
+                // Shortcut: bulk liquid at all four faces.
+                return flux;
+            }
+            let minpos = F64x4::splat(f64::MIN_POSITIVE);
+            let one = F64x4::splat(1.0);
+            let ind_l = pl.gt(zero).and(nl2.gt(zero));
+            let inv_nl = one / nl2.max(minpos).sqrt();
+            let inv_pl = one / pl.max(minpos);
+            let pf: [F64x4; N_PHASES] = core::array::from_fn(|a| (phi_l[a] + phi_r[a]) * half);
+            let mut s_f = zero;
+            for p in &pf {
+                s_f = s_f + *p * *p;
+            }
+            let h_l = pl * pl / s_f;
+            let mu_f = [
+                (mu_l[0] + mu_r[0]) * half,
+                (mu_l[1] + mu_r[1]) * half,
+            ];
+            let pref = F64x4::splat(self.atc_pref);
+            for a in 0..LIQ {
+                let pa = pf[a];
+                let ga = self.face_gradient(ps, il, ir, axis, a);
+                let na2 = ga[0] * ga[0] + ga[1] * ga[1] + ga[2] * ga[2];
+                let ind = ind_l.and(pa.gt(zero)).and(na2.gt(zero));
+                let inv_na = one / na2.max(minpos).sqrt();
+                let weight = h_l * (pa.max(zero) * inv_pl).sqrt();
+                let dphidt = ((F64x4::load(pd[a], il) - phi_l[a])
+                    + (F64x4::load(pd[a], ir) - phi_r[a]))
+                    * half
+                    * self.inv_dt;
+                let n_dot = (ga[0] * gl[0] + ga[1] * gl[1] + ga[2] * gl[2]) * inv_na * inv_nl;
+                let base = pref * weight * dphidt * n_dot * ga[axis] * inv_na;
+                let base = ind.select(base, zero);
+                for i in 0..N_COMP {
+                    let cdiff = F64x4::splat(ctx_face.c_eq[LIQ][i] - ctx_face.c_eq[a][i])
+                        + mu_f[i]
+                            * F64x4::splat(ctx_face.inv2k[LIQ][i] - ctx_face.inv2k[a][i]);
+                    flux[i] -= base * cdiff;
+                }
+            }
+        }
+        flux
+    }
+
+    /// Face gradient of φ_a (lanes = the four faces).
+    #[inline(always)]
+    fn face_gradient(
+        &self,
+        ps: &[&[f64]; N_PHASES],
+        il: usize,
+        ir: usize,
+        axis: usize,
+        a: usize,
+    ) -> [F64x4; 3] {
+        let (se1, se2) = self.trans(axis);
+        let p = ps[a];
+        let quarter = F64x4::splat(0.25);
+        let normal = (F64x4::load(p, ir) - F64x4::load(p, il)) * self.inv_dx;
+        let t1 = quarter
+            * self.inv_dx
+            * ((F64x4::load(p, il + se1) - F64x4::load(p, il - se1))
+                + (F64x4::load(p, ir + se1) - F64x4::load(p, ir - se1)));
+        let t2 = quarter
+            * self.inv_dx
+            * ((F64x4::load(p, il + se2) - F64x4::load(p, il - se2))
+                + (F64x4::load(p, ir + se2) - F64x4::load(p, ir - se2)));
+        match axis {
+            0 => [normal, t1, t2],
+            1 => [t1, normal, t2],
+            _ => [t1, t2, normal],
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    part: MuPart,
+) {
+    let dims = state.dims;
+    let g = dims.ghost;
+    let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    let (sy, sz) = (dims.sy(), dims.sz());
+    let origin_z = state.origin[2] as isize;
+    let dt = params.dt;
+    let dtv = F64x4::splat(dt);
+
+    let cx = VCtx {
+        params,
+        inv_dx: F64x4::splat(1.0 / params.dx),
+        inv_dt: F64x4::splat(1.0 / params.dt),
+        dc_dt: params.dc_dt_coeffs(),
+        atc_pref: params.atc_prefactor(),
+        sy,
+        sz,
+        with_grad: part != MuPart::NeighborOnly,
+        with_jat: params.enable_atc && part != MuPart::LocalOnly,
+    };
+    // Scalar context for the remainder cells (nx not a multiple of 4).
+    let scx = SweepCtx::new(params, sy, sz, part);
+    let with_local_terms = part != MuPart::NeighborOnly;
+    let accumulate = part == MuPart::NeighborOnly;
+
+    let table = if TZ {
+        Some(SliceTable::build(params, origin_z, dims.tz(), g, time))
+    } else {
+        None
+    };
+    // black_box: see scalar_phi.rs.
+    let temp_of = |z: usize| -> f64 {
+        let gz = origin_z as f64 + z as f64 - g as f64;
+        if TZ {
+            params.temperature(gz, time)
+        } else {
+            std::hint::black_box(params.temperature(gz, time))
+        }
+    };
+    let zface_ctx = |z: usize| SliceCtx::at(params, 0.5 * (temp_of(z) + temp_of(z + 1)));
+
+    let BlockState {
+        phi_src,
+        phi_dst,
+        mu_src,
+        mu_dst,
+        ..
+    } = state;
+    let ps = phi_src.comps();
+    let pd = phi_dst.comps();
+    let ms = mu_src.comps();
+    let md = mu_dst.comps_mut();
+
+    let ngx = nx / 4; // vector groups per row
+    let mut zbuf = vec![[F64x4::zero(); N_COMP]; if STAG { ngx * ny } else { 0 }];
+    let mut ybuf = vec![[F64x4::zero(); N_COMP]; if STAG { ngx } else { 0 }];
+
+    if STAG {
+        let ctx_zlow = if TZ {
+            table.as_ref().unwrap().zface[g - 1]
+        } else {
+            zface_ctx(g - 1)
+        };
+        for y in 0..ny {
+            for gx in 0..ngx {
+                let i = dims.idx(4 * gx + g, y + g, g);
+                zbuf[y * ngx + gx] = cx.face_flux::<SC>(&ps, &pd, &ms, &ctx_zlow, i - sz, i, 2);
+            }
+        }
+    }
+
+    // Per-phase constant splats for the temperature-independent slopes.
+    let dcdt_v: [[F64x4; N_COMP]; N_PHASES] =
+        core::array::from_fn(|a| core::array::from_fn(|i| F64x4::splat(cx.dc_dt[a][i])));
+    let dtdt = F64x4::splat(params.dtemp_dt());
+
+    for z in g..g + nz {
+        let (ctx_z, ctx_zf_low, ctx_zf_high) = if TZ {
+            let t = table.as_ref().unwrap();
+            (t.cell[z], t.zface[z - 1], t.zface[z])
+        } else {
+            (
+                SliceCtx::at(params, 0.0),
+                SliceCtx::at(params, 0.0),
+                SliceCtx::at(params, 0.0),
+            )
+        };
+        if STAG {
+            let ctx_yf = if TZ { ctx_z } else { SliceCtx::at(params, temp_of(z)) };
+            for gx in 0..ngx {
+                let i = dims.idx(4 * gx + g, g, z);
+                ybuf[gx] = cx.face_flux::<SC>(&ps, &pd, &ms, &ctx_yf, i - sy, i, 1);
+            }
+        }
+        for y in g..g + ny {
+            let row = dims.idx(g, y, z);
+            // Row-start x carry: lane 0 of the explicit low-face evaluation.
+            let mut carry = [0.0f64; N_COMP];
+            if STAG && ngx > 0 {
+                let ctx_xf = if TZ { ctx_z } else { SliceCtx::at(params, temp_of(z)) };
+                let lo = cx.face_flux::<SC>(&ps, &pd, &ms, &ctx_xf, row - 1, row, 0);
+                carry = [lo[0].extract(0), lo[1].extract(0)];
+            }
+            for gx in 0..ngx {
+                let i = row + 4 * gx;
+                let (ctx, czl, czh) = if TZ {
+                    (ctx_z, ctx_zf_low, ctx_zf_high)
+                } else {
+                    (
+                        SliceCtx::at(params, temp_of(z)),
+                        zface_ctx(z - 1),
+                        zface_ctx(z),
+                    )
+                };
+
+                let f_xh = cx.face_flux::<SC>(&ps, &pd, &ms, &ctx, i, i + 1, 0);
+                let (f_xl, f_yl, f_zl) = if STAG {
+                    let xl = [shift_in(carry[0], f_xh[0]), shift_in(carry[1], f_xh[1])];
+                    carry = [f_xh[0].extract(3), f_xh[1].extract(3)];
+                    (xl, ybuf[gx], zbuf[(y - g) * ngx + gx])
+                } else {
+                    (
+                        cx.face_flux::<SC>(&ps, &pd, &ms, &ctx, i - 1, i, 0),
+                        cx.face_flux::<SC>(&ps, &pd, &ms, &ctx, i - sy, i, 1),
+                        cx.face_flux::<SC>(&ps, &pd, &ms, &czl, i - sz, i, 2),
+                    )
+                };
+                let f_yh = cx.face_flux::<SC>(&ps, &pd, &ms, &ctx, i, i + sy, 1);
+                let f_zh = cx.face_flux::<SC>(&ps, &pd, &ms, &czh, i, i + sz, 2);
+                if STAG {
+                    ybuf[gx] = f_yh;
+                    zbuf[(y - g) * ngx + gx] = f_zh;
+                }
+
+                let div = [
+                    (f_xh[0] - f_xl[0] + f_yh[0] - f_yl[0] + f_zh[0] - f_zl[0]) * cx.inv_dx,
+                    (f_xh[1] - f_xl[1] + f_yh[1] - f_yl[1] + f_zh[1] - f_zl[1]) * cx.inv_dx,
+                ];
+
+                // Local terms, lanes = cells.
+                let pc: [F64x4; N_PHASES] = core::array::from_fn(|a| F64x4::load(ps[a], i));
+                let mut s_old = F64x4::zero();
+                for p in &pc {
+                    s_old = p.mul_add(*p, s_old);
+                }
+                let inv_s_old = F64x4::splat(1.0) / s_old;
+                let h_old: [F64x4; N_PHASES] =
+                    core::array::from_fn(|a| pc[a] * pc[a] * inv_s_old);
+                let chi: [F64x4; N_COMP] = core::array::from_fn(|i| {
+                    let mut c = F64x4::zero();
+                    for a in 0..N_PHASES {
+                        c = h_old[a].mul_add(F64x4::splat(ctx.inv2k[a][i]), c);
+                    }
+                    c
+                });
+
+                if accumulate {
+                    for i_c in 0..N_COMP {
+                        let cur = F64x4::load(md[i_c], i);
+                        (cur + dtv * div[i_c] / chi[i_c]).store(md[i_c], i);
+                    }
+                    continue;
+                }
+
+                let mu = [F64x4::load(ms[0], i), F64x4::load(ms[1], i)];
+                let mut source = [F64x4::zero(); N_COMP];
+                let mut drift = [F64x4::zero(); N_COMP];
+                if with_local_terms {
+                    let pn: [F64x4; N_PHASES] = core::array::from_fn(|a| F64x4::load(pd[a], i));
+                    let unchanged = SC
+                        && eq_mask(pn[0], pc[0])
+                            .and(eq_mask(pn[1], pc[1]))
+                            .and(eq_mask(pn[2], pc[2]))
+                            .and(eq_mask(pn[3], pc[3]))
+                            .all();
+                    if !unchanged {
+                        let mut s_new = F64x4::zero();
+                        for p in &pn {
+                            s_new = p.mul_add(*p, s_new);
+                        }
+                        let inv_s_new = F64x4::splat(1.0) / s_new;
+                        for a in 0..N_PHASES {
+                            let h_new = pn[a] * pn[a] * inv_s_new;
+                            let dh = (h_new - h_old[a]) * cx.inv_dt;
+                            for i_c in 0..N_COMP {
+                                let c_a = F64x4::splat(ctx.c_eq[a][i_c])
+                                    + mu[i_c] * F64x4::splat(ctx.inv2k[a][i_c]);
+                                source[i_c] -= c_a * dh;
+                            }
+                        }
+                    }
+                    for i_c in 0..N_COMP {
+                        let mut dcdt = F64x4::zero();
+                        for a in 0..N_PHASES {
+                            dcdt = h_old[a].mul_add(dcdt_v[a][i_c], dcdt);
+                        }
+                        drift[i_c] = -(dcdt * dtdt);
+                    }
+                }
+
+                for i_c in 0..N_COMP {
+                    let out = mu[i_c] + dtv * (div[i_c] + source[i_c] + drift[i_c]) / chi[i_c];
+                    out.store(md[i_c], i);
+                }
+            }
+
+            // Scalar remainder (right edge of the row).
+            for x in (g + 4 * ngx)..(g + nx) {
+                let i = dims.idx(x, y, z);
+                let (ctx, czl, czh) = if TZ {
+                    (ctx_z, ctx_zf_low, ctx_zf_high)
+                } else {
+                    (
+                        SliceCtx::at(params, temp_of(z)),
+                        zface_ctx(z - 1),
+                        zface_ctx(z),
+                    )
+                };
+                let f_xl = scx.face_flux::<SC>(&ps, &pd, &ms, &ctx, i - 1, i, 0);
+                let f_xh = scx.face_flux::<SC>(&ps, &pd, &ms, &ctx, i, i + 1, 0);
+                let f_yl = scx.face_flux::<SC>(&ps, &pd, &ms, &ctx, i - sy, i, 1);
+                let f_yh = scx.face_flux::<SC>(&ps, &pd, &ms, &ctx, i, i + sy, 1);
+                let f_zl = scx.face_flux::<SC>(&ps, &pd, &ms, &czl, i - sz, i, 2);
+                let f_zh = scx.face_flux::<SC>(&ps, &pd, &ms, &czh, i, i + sz, 2);
+                let div = [
+                    (f_xh[0] - f_xl[0] + f_yh[0] - f_yl[0] + f_zh[0] - f_zl[0]) / params.dx,
+                    (f_xh[1] - f_xl[1] + f_yh[1] - f_yl[1] + f_zh[1] - f_zl[1]) / params.dx,
+                ];
+                let phi_old = get4(&ps, i);
+                let chi = susceptibility(&ctx, phi_old);
+                if accumulate {
+                    md[0][i] += dt * div[0] / chi[0];
+                    md[1][i] += dt * div[1] / chi[1];
+                    continue;
+                }
+                let mu = get2(&ms, i);
+                let (source, drift) = if with_local_terms {
+                    let phi_new = get4(&pd, i);
+                    let src =
+                        phase_change_source(&ctx, phi_old, phi_new, mu, 1.0 / params.dt);
+                    (src, temp_drift(&cx.dc_dt, phi_old, params.dtemp_dt()))
+                } else {
+                    ([0.0; N_COMP], [0.0; N_COMP])
+                };
+                let out = mu_cell_update(mu, div, source, drift, chi, dt);
+                md[0][i] = out[0];
+                md[1][i] = out[1];
+            }
+        }
+    }
+}

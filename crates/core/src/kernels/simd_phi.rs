@@ -1,0 +1,710 @@
+//! Explicitly vectorized φ-kernels (ladder rung 2+).
+//!
+//! Two strategies, exactly as compared in Fig. 5:
+//!
+//! * **cellwise** ([`phi_sweep_cellwise`]): "a SIMD vector [represents] the
+//!   four phases of a cell. With this technique, the field is still updated
+//!   cellwise, such that branching on a cell-by-cell basis becomes
+//!   possible" — pays for lane permutes (matrix–vector products need
+//!   broadcasts) but can take per-cell shortcuts and keeps more
+//!   intermediates in registers. The paper's fastest variant.
+//! * **four-cell** ([`phi_sweep_fourcell`]): "unroll the innermost loop,
+//!   updating four cells in one iteration" — contiguous SoA loads, no
+//!   permutes, but "can only take these shortcuts if the condition is true
+//!   for all four cells".
+
+use crate::kernels::simd_common::{
+    eq_mask, gamma_cols, gather_cell4, matvec, project_simplex_lanes, scatter_cell4, SliceCtxV,
+};
+use crate::params::ModelParams;
+use crate::state::BlockState;
+use crate::temperature::{SliceCtx, SliceTable};
+use crate::N_PHASES;
+use eutectica_simd::F64x4;
+
+/// Cellwise sweep entry point.
+pub fn phi_sweep_cellwise(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    tz: bool,
+    stag: bool,
+    shortcuts: bool,
+) {
+    // With a uniform surface-energy matrix (γ_αβ = γ for α ≠ β, the standard
+    // setup here and in the paper), Γ·v = γ(Σv − v): the matrix–vector
+    // product collapses to one horizontal sum — the "φ_α Σ φ_β"-style
+    // permute structure the paper describes for its cellwise kernel.
+    let g = params.gamma[0][1];
+    let uniform = (0..4).all(|a| {
+        (0..4).all(|b| {
+            let want = if a == b { 0.0 } else { g };
+            params.gamma[a][b] == want
+        })
+    });
+    match (uniform, tz, stag, shortcuts) {
+        (false, false, false, false) => cellwise::<false, false, false, false>(params, state, time),
+        (false, false, false, true) => cellwise::<false, false, true, false>(params, state, time),
+        (false, false, true, false) => cellwise::<false, true, false, false>(params, state, time),
+        (false, false, true, true) => cellwise::<false, true, true, false>(params, state, time),
+        (false, true, false, false) => cellwise::<true, false, false, false>(params, state, time),
+        (false, true, false, true) => cellwise::<true, false, true, false>(params, state, time),
+        (false, true, true, false) => cellwise::<true, true, false, false>(params, state, time),
+        (false, true, true, true) => cellwise::<true, true, true, false>(params, state, time),
+        (true, false, false, false) => cellwise::<false, false, false, true>(params, state, time),
+        (true, false, false, true) => cellwise::<false, false, true, true>(params, state, time),
+        (true, false, true, false) => cellwise::<false, true, false, true>(params, state, time),
+        (true, false, true, true) => cellwise::<false, true, true, true>(params, state, time),
+        (true, true, false, false) => cellwise::<true, false, false, true>(params, state, time),
+        (true, true, false, true) => cellwise::<true, false, true, true>(params, state, time),
+        (true, true, true, false) => cellwise::<true, true, false, true>(params, state, time),
+        (true, true, true, true) => cellwise::<true, true, true, true>(params, state, time),
+    }
+}
+
+/// Γ·v for the cellwise kernel: uniform-γ fast path (one horizontal sum)
+/// or the general 4×4 matrix–vector product.
+#[inline(always)]
+fn gamma_apply<const UG: bool>(gcols: &[F64x4; N_PHASES], gu: F64x4, v: F64x4) -> F64x4 {
+    if UG {
+        gu * (v.hsum_splat() - v)
+    } else {
+        matvec(gcols, v)
+    }
+}
+
+/// Staggered gradient-energy face flux, lanes = phases.
+#[inline(always)]
+fn face_flux_v<const UG: bool>(
+    gcols: &[F64x4; N_PHASES],
+    gu: F64x4,
+    l: F64x4,
+    r: F64x4,
+    inv_dx: F64x4,
+) -> F64x4 {
+    let pf = (l + r) * F64x4::splat(0.5);
+    let g = (r - l) * inv_dx;
+    let s1 = gamma_apply::<UG>(gcols, gu, pf * g);
+    let s2 = gamma_apply::<UG>(gcols, gu, pf * pf);
+    (pf * s1 - g * s2) * F64x4::splat(-2.0)
+}
+
+fn cellwise<const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+) {
+    let dims = state.dims;
+    let g = dims.ghost;
+    let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    let (sy, sz) = (dims.sy(), dims.sz());
+    let inv_dx_s = 1.0 / params.dx;
+    let inv_dx = F64x4::splat(inv_dx_s);
+    let inv_2dx = F64x4::splat(0.5 * inv_dx_s);
+    let gcols = gamma_cols(&params.gamma);
+    let gu = F64x4::splat(params.gamma[0][1]);
+    let rate = F64x4::splat(params.dt / (params.tau * params.eps));
+    let quarter = F64x4::splat(0.25);
+    let two = F64x4::splat(2.0);
+    let one = F64x4::splat(1.0);
+    let origin_z = state.origin[2] as isize;
+
+    let table = if TZ {
+        Some(SliceTable::build(params, origin_z, dims.tz(), g, time))
+    } else {
+        None
+    };
+    // black_box: keep the per-cell recomputation from being hoisted (see
+    // scalar_phi.rs).
+    let cell_ctx = |z: usize| -> SliceCtxV {
+        let gz = origin_z as f64 + z as f64 - g as f64;
+        SliceCtxV::from_ctx(&SliceCtx::at(
+            params,
+            std::hint::black_box(params.temperature(gz, time)),
+        ))
+    };
+
+    let BlockState {
+        phi_src,
+        mu_src,
+        phi_dst,
+        ..
+    } = state;
+    let ps = phi_src.comps();
+    let ms = mu_src.comps();
+    let mut pd = phi_dst.comps_mut();
+
+    let face = |il: usize, ir: usize| -> F64x4 {
+        face_flux_v::<UG>(&gcols, gu, gather_cell4(&ps, il), gather_cell4(&ps, ir), inv_dx)
+    };
+
+    let mut zbuf = vec![F64x4::zero(); if STAG { nx * ny } else { 0 }];
+    let mut ybuf = vec![F64x4::zero(); if STAG { nx } else { 0 }];
+
+    if STAG {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = dims.idx(x + g, y + g, g);
+                zbuf[y * nx + x] = face(i - sz, i);
+            }
+        }
+    }
+
+    for z in g..g + nz {
+        let ctx_z = if TZ {
+            SliceCtxV::from_ctx(&table.as_ref().unwrap().cell[z])
+        } else {
+            cell_ctx(g) // placeholder; recomputed per cell
+        };
+        if STAG {
+            for x in 0..nx {
+                let i = dims.idx(x + g, g, z);
+                ybuf[x] = face(i - sy, i);
+            }
+        }
+        for y in g..g + ny {
+            let mut xprev = if STAG {
+                let i = dims.idx(g, y, z);
+                face(i - 1, i)
+            } else {
+                F64x4::zero()
+            };
+            for x in g..g + nx {
+                let i = dims.idx(x, y, z);
+                let pc = gather_cell4(&ps, i);
+                let xm = gather_cell4(&ps, i - 1);
+                let xp = gather_cell4(&ps, i + 1);
+                let ym = gather_cell4(&ps, i - sy);
+                let yp = gather_cell4(&ps, i + sy);
+                let zm = gather_cell4(&ps, i - sz);
+                let zp = gather_cell4(&ps, i + sz);
+
+                let pure_mask = pc.ge(one);
+                if SC && pure_mask.any() {
+                    // Bulk shortcut: the cell is pure; if all six neighbors
+                    // equal it exactly, ∂φ/∂t = 0.
+                    let same = eq_mask(xm, pc)
+                        .and(eq_mask(xp, pc))
+                        .and(eq_mask(ym, pc))
+                        .and(eq_mask(yp, pc))
+                        .and(eq_mask(zm, pc))
+                        .and(eq_mask(zp, pc));
+                    if same.all() {
+                        scatter_cell4(&mut pd, i, pc);
+                        if STAG {
+                            xprev = F64x4::zero();
+                            ybuf[x - g] = F64x4::zero();
+                            zbuf[(y - g) * nx + (x - g)] = F64x4::zero();
+                        }
+                        continue;
+                    }
+                }
+
+                let ctx = if TZ { ctx_z } else { cell_ctx(z) };
+
+                // Reuse the already-gathered cell vectors for every face.
+                let (f_xl, f_yl, f_zl) = if STAG {
+                    (xprev, ybuf[x - g], zbuf[(y - g) * nx + (x - g)])
+                } else {
+                    (
+                        face_flux_v::<UG>(&gcols, gu, xm, pc, inv_dx),
+                        face_flux_v::<UG>(&gcols, gu, ym, pc, inv_dx),
+                        face_flux_v::<UG>(&gcols, gu, zm, pc, inv_dx),
+                    )
+                };
+                let f_xh = face_flux_v::<UG>(&gcols, gu, pc, xp, inv_dx);
+                let f_yh = face_flux_v::<UG>(&gcols, gu, pc, yp, inv_dx);
+                let f_zh = face_flux_v::<UG>(&gcols, gu, pc, zp, inv_dx);
+                if STAG {
+                    xprev = f_xh;
+                    ybuf[x - g] = f_yh;
+                    zbuf[(y - g) * nx + (x - g)] = f_zh;
+                }
+
+                // Central gradients (lanes = phases).
+                let gx = (xp - xm) * inv_2dx;
+                let gy = (yp - ym) * inv_2dx;
+                let gz = (zp - zm) * inv_2dx;
+
+                // ∂a/∂φ = 2[φ (Γ m) − Σ_axis g_axis (Γ (φ g_axis))].
+                let m = gx.mul_add(gx, gy.mul_add(gy, gz * gz));
+                let t2 = gx * gamma_apply::<UG>(&gcols, gu, pc * gx)
+                    + gy * gamma_apply::<UG>(&gcols, gu, pc * gy)
+                    + gz * gamma_apply::<UG>(&gcols, gu, pc * gz);
+                let da = (pc * gamma_apply::<UG>(&gcols, gu, m) - t2) * two;
+
+                let div = (f_xh - f_xl + f_yh - f_yl + f_zh - f_zl) * inv_dx;
+                let obst = gamma_apply::<UG>(&gcols, gu, pc);
+
+                // Driving force, skipped for pure cells with shortcuts.
+                let drive = if SC && pure_mask.any() {
+                    F64x4::zero()
+                } else {
+                    let phi2 = pc * pc;
+                    let inv_s = one / phi2.hsum_splat();
+                    let mu0 = F64x4::splat(ms[0][i]);
+                    let mu1 = F64x4::splat(ms[1][i]);
+                    let psi = -(mu0 * mu0 * ctx.inv4k[0] + mu1 * mu1 * ctx.inv4k[1])
+                        - (mu0 * ctx.c_eq[0] + mu1 * ctx.c_eq[1])
+                        + ctx.offset;
+                    let psi_bar = (phi2 * psi).hsum_splat() * inv_s;
+                    two * pc * inv_s * (psi - psi_bar)
+                };
+
+                let vdf = F64x4::splat(ctx.pref_grad) * (da - div)
+                    + F64x4::splat(ctx.pref_obst) * obst
+                    + drive;
+                let mean = vdf.hsum_splat() * quarter;
+                let raw = pc - rate * (vdf - mean);
+                let out = crate::simplex::project_to_simplex(raw.to_array());
+                scatter_cell4(&mut pd, i, F64x4::from_array(out));
+            }
+        }
+    }
+}
+
+/// Four-cell sweep entry point (no staggered-buffer variant: face values of
+/// a four-cell group overlap lanes, so the buffer would need lane-carry
+/// plumbing that the paper's measurements show is not worth it for this
+/// already-slower strategy).
+pub fn phi_sweep_fourcell(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    tz: bool,
+    shortcuts: bool,
+) {
+    match (tz, shortcuts) {
+        (false, false) => fourcell::<false, false>(params, state, time),
+        (false, true) => fourcell::<false, true>(params, state, time),
+        (true, false) => fourcell::<true, false>(params, state, time),
+        (true, true) => fourcell::<true, true>(params, state, time),
+    }
+}
+
+/// Face flux for four consecutive cells: lanes = cells, one output per phase.
+#[inline(always)]
+fn face_flux_cells(
+    gamma: &[[f64; N_PHASES]; N_PHASES],
+    l: &[F64x4; N_PHASES],
+    r: &[F64x4; N_PHASES],
+    inv_dx: F64x4,
+) -> [F64x4; N_PHASES] {
+    let half = F64x4::splat(0.5);
+    let pf: [F64x4; N_PHASES] = core::array::from_fn(|a| (l[a] + r[a]) * half);
+    let gd: [F64x4; N_PHASES] = core::array::from_fn(|a| (r[a] - l[a]) * inv_dx);
+    core::array::from_fn(|a| {
+        let mut s1 = F64x4::zero();
+        let mut s2 = F64x4::zero();
+        for b in 0..N_PHASES {
+            let gm = F64x4::splat(gamma[a][b]);
+            s1 = (gm * pf[b]).mul_add(gd[b], s1);
+            s2 = (gm * pf[b]).mul_add(pf[b], s2);
+        }
+        (pf[a] * s1 - gd[a] * s2) * F64x4::splat(-2.0)
+    })
+}
+
+fn fourcell<const TZ: bool, const SC: bool>(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+) {
+    let dims = state.dims;
+    let g = dims.ghost;
+    let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    let (sy, sz) = (dims.sy(), dims.sz());
+    let inv_dx_s = 1.0 / params.dx;
+    let inv_dx = F64x4::splat(inv_dx_s);
+    let inv_2dx = F64x4::splat(0.5 * inv_dx_s);
+    let rate = F64x4::splat(params.dt / (params.tau * params.eps));
+    let two = F64x4::splat(2.0);
+    let one = F64x4::splat(1.0);
+    let origin_z = state.origin[2] as isize;
+
+    let table = if TZ {
+        Some(SliceTable::build(params, origin_z, dims.tz(), g, time))
+    } else {
+        None
+    };
+    // black_box: see scalar_phi.rs.
+    let scalar_ctx = |z: usize| -> SliceCtx {
+        let gz = origin_z as f64 + z as f64 - g as f64;
+        SliceCtx::at(params, std::hint::black_box(params.temperature(gz, time)))
+    };
+
+    let BlockState {
+        phi_src,
+        mu_src,
+        phi_dst,
+        ..
+    } = state;
+    let ps = phi_src.comps();
+    let ms = mu_src.comps();
+    let pd = phi_dst.comps_mut();
+
+    let load4 = |off: isize, i: usize| -> [F64x4; N_PHASES] {
+        core::array::from_fn(|a| F64x4::load(ps[a], (i as isize + off) as usize))
+    };
+
+    for z in g..g + nz {
+        let ctx = if TZ {
+            table.as_ref().unwrap().cell[z]
+        } else {
+            scalar_ctx(z) // placeholder; recomputed per group below
+        };
+        for y in g..g + ny {
+            let row = dims.idx(g, y, z);
+            let mut x = 0usize;
+            // Vectorized groups of four cells.
+            while x + 4 <= nx {
+                let i = row + x;
+                let ctx = if TZ { ctx } else { scalar_ctx(z) };
+                let pc = load4(0, i);
+                let xm = load4(-1, i);
+                let xp = load4(1, i);
+                let ym = load4(-(sy as isize), i);
+                let yp = load4(sy as isize, i);
+                let zm = load4(-(sz as isize), i);
+                let zp = load4(sz as isize, i);
+
+                // Shortcut only if the condition holds for ALL four cells:
+                // some phase is pure (=1) in every lane with all neighbors
+                // equal — i.e. the whole group sits in one bulk region.
+                if SC {
+                    let mut skipped = false;
+                    for a in 0..N_PHASES {
+                        if pc[a].ge(one).all()
+                            && xm[a].ge(one).all()
+                            && xp[a].ge(one).all()
+                            && ym[a].ge(one).all()
+                            && yp[a].ge(one).all()
+                            && zm[a].ge(one).all()
+                            && zp[a].ge(one).all()
+                        {
+                            for b in 0..N_PHASES {
+                                pc[b].store(pd[b], i);
+                            }
+                            skipped = true;
+                            break;
+                        }
+                    }
+                    if skipped {
+                        x += 4;
+                        continue;
+                    }
+                }
+
+                // Face fluxes (lanes = cells): all six faces per group.
+                let f_xl = face_flux_cells(&params.gamma, &xm, &pc, inv_dx);
+                let f_xh = face_flux_cells(&params.gamma, &pc, &xp, inv_dx);
+                let f_yl = face_flux_cells(&params.gamma, &ym, &pc, inv_dx);
+                let f_yh = face_flux_cells(&params.gamma, &pc, &yp, inv_dx);
+                let f_zl = face_flux_cells(&params.gamma, &zm, &pc, inv_dx);
+                let f_zh = face_flux_cells(&params.gamma, &pc, &zp, inv_dx);
+
+                // Gradients per phase.
+                let gx: [F64x4; N_PHASES] = core::array::from_fn(|a| (xp[a] - xm[a]) * inv_2dx);
+                let gy: [F64x4; N_PHASES] = core::array::from_fn(|a| (yp[a] - ym[a]) * inv_2dx);
+                let gz: [F64x4; N_PHASES] = core::array::from_fn(|a| (zp[a] - zm[a]) * inv_2dx);
+
+                // ∂a/∂φ_a = 2[φ_a Σ_b γ m_b − Σ_b γ φ_b (g_a·g_b)].
+                let m: [F64x4; N_PHASES] = core::array::from_fn(|a| {
+                    gx[a].mul_add(gx[a], gy[a].mul_add(gy[a], gz[a] * gz[a]))
+                });
+                let mut da = [F64x4::zero(); N_PHASES];
+                for a in 0..N_PHASES {
+                    let mut s_norm = F64x4::zero();
+                    let mut s_dot = F64x4::zero();
+                    for b in 0..N_PHASES {
+                        let gm = F64x4::splat(params.gamma[a][b]);
+                        s_norm = gm.mul_add(m[b], s_norm);
+                        let dot = gx[a].mul_add(gx[b], gy[a].mul_add(gy[b], gz[a] * gz[b]));
+                        s_dot = (gm * pc[b]).mul_add(dot, s_dot);
+                    }
+                    da[a] = (pc[a] * s_norm - s_dot) * two;
+                }
+
+                // Driving force (ψ per phase, lanes = cells).
+                let mu0 = F64x4::load(ms[0], i);
+                let mu1 = F64x4::load(ms[1], i);
+                let mut s_phi2 = F64x4::zero();
+                for a in 0..N_PHASES {
+                    s_phi2 = pc[a].mul_add(pc[a], s_phi2);
+                }
+                let inv_s = one / s_phi2;
+                let mut psi = [F64x4::zero(); N_PHASES];
+                let mut psi_bar = F64x4::zero();
+                let skip_drive = SC && {
+                    // All four cells pure in some (possibly different) phase.
+                    let mut max = pc[0];
+                    for v in &pc[1..] {
+                        max = max.max(*v);
+                    }
+                    max.ge(one).all()
+                };
+                if !skip_drive {
+                    for a in 0..N_PHASES {
+                        psi[a] = -(mu0 * mu0 * F64x4::splat(ctx.inv4k[a][0])
+                            + mu1 * mu1 * F64x4::splat(ctx.inv4k[a][1]))
+                            - (mu0 * F64x4::splat(ctx.c_eq[a][0])
+                                + mu1 * F64x4::splat(ctx.c_eq[a][1]))
+                            + F64x4::splat(ctx.offset[a]);
+                        psi_bar = (pc[a] * pc[a] * inv_s).mul_add(psi[a], psi_bar);
+                    }
+                }
+
+                // Assemble, project the mean out, integrate.
+                let pref_grad = F64x4::splat(ctx.pref_grad);
+                let pref_obst = F64x4::splat(ctx.pref_obst);
+                let mut vdf = [F64x4::zero(); N_PHASES];
+                let mut mean = F64x4::zero();
+                for a in 0..N_PHASES {
+                    let div = (f_xh[a] - f_xl[a] + f_yh[a] - f_yl[a] + f_zh[a] - f_zl[a]) * inv_dx;
+                    let mut obst = F64x4::zero();
+                    for b in 0..N_PHASES {
+                        obst = F64x4::splat(params.gamma[a][b]).mul_add(pc[b], obst);
+                    }
+                    let drive = if skip_drive {
+                        F64x4::zero()
+                    } else {
+                        two * pc[a] * inv_s * (psi[a] - psi_bar)
+                    };
+                    vdf[a] = pref_grad * (da[a] - div) + pref_obst * obst + drive;
+                    mean += vdf[a];
+                }
+                mean *= F64x4::splat(0.25);
+                let raw: [F64x4; N_PHASES] =
+                    core::array::from_fn(|a| pc[a] - rate * (vdf[a] - mean));
+                let out = project_simplex_lanes(raw);
+                for a in 0..N_PHASES {
+                    out[a].store(pd[a], i);
+                }
+                x += 4;
+            }
+            // Scalar remainder.
+            while x < nx {
+                let i = row + x;
+                let ctx = if TZ {
+                    table.as_ref().unwrap().cell[z]
+                } else {
+                    scalar_ctx(z)
+                };
+                let pc = crate::kernels::get4(&ps, i);
+                let xm = crate::kernels::get4(&ps, i - 1);
+                let xp = crate::kernels::get4(&ps, i + 1);
+                let ym = crate::kernels::get4(&ps, i - sy);
+                let yp = crate::kernels::get4(&ps, i + sy);
+                let zm = crate::kernels::get4(&ps, i - sz);
+                let zp = crate::kernels::get4(&ps, i + sz);
+                let grads =
+                    crate::model::central_gradients(xm, xp, ym, yp, zm, zp, 0.5 * inv_dx_s);
+                let faces = [
+                    crate::model::phi_face_flux(&params.gamma, xm, pc, inv_dx_s),
+                    crate::model::phi_face_flux(&params.gamma, pc, xp, inv_dx_s),
+                    crate::model::phi_face_flux(&params.gamma, ym, pc, inv_dx_s),
+                    crate::model::phi_face_flux(&params.gamma, pc, yp, inv_dx_s),
+                    crate::model::phi_face_flux(&params.gamma, zm, pc, inv_dx_s),
+                    crate::model::phi_face_flux(&params.gamma, pc, zp, inv_dx_s),
+                ];
+                let mu = crate::kernels::get2(&ms, i);
+                let out = crate::model::phi_cell_update(
+                    params,
+                    &ctx,
+                    pc,
+                    &grads,
+                    &faces,
+                    mu,
+                    SC && crate::model::is_pure(pc),
+                );
+                for c in 0..N_PHASES {
+                    pd[c][i] = out[c];
+                }
+                x += 1;
+            }
+        }
+    }
+}
+
+/// Cellwise φ-sweep reading the phase field from an **array-of-structures**
+/// mirror: the four phases of a cell load as one contiguous vector, removing
+/// the SoA gather (the layout experiment of Sec. 5.1.1: "the fastest
+/// φ-kernel requires an array-of-structures (AoS) layout to be able to load
+/// a SIMD vector directly from contiguous memory ... no notable differences
+/// could be measured in the φ-kernel performance after a data layout
+/// change"). Production uses SoA (the µ-kernel's preference); this variant
+/// exists for the layout ablation bench and is equivalence-tested against
+/// [`phi_sweep_cellwise`].
+///
+/// Runs the T(z) + staggered-buffer configuration (rung 4) with uniform-γ
+/// fast path when applicable.
+pub fn phi_sweep_cellwise_aos(
+    params: &ModelParams,
+    phi_src: &eutectica_blockgrid::field::AosField<N_PHASES>,
+    mu_src: &eutectica_blockgrid::field::SoaField<2>,
+    phi_dst: &mut eutectica_blockgrid::field::SoaField<N_PHASES>,
+    origin_z: isize,
+    time: f64,
+) {
+    let dims = phi_dst.dims();
+    assert_eq!(dims, phi_src.dims());
+    let g = dims.ghost;
+    let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    let (sy, sz) = (dims.sy(), dims.sz());
+    let inv_dx_s = 1.0 / params.dx;
+    let inv_dx = F64x4::splat(inv_dx_s);
+    let inv_2dx = F64x4::splat(0.5 * inv_dx_s);
+    let gcols = gamma_cols(&params.gamma);
+    let gu = F64x4::splat(params.gamma[0][1]);
+    let uniform = {
+        let gv = params.gamma[0][1];
+        (0..N_PHASES).all(|a| {
+            (0..N_PHASES).all(|b| params.gamma[a][b] == if a == b { 0.0 } else { gv })
+        })
+    };
+    let rate = F64x4::splat(params.dt / (params.tau * params.eps));
+    let quarter = F64x4::splat(0.25);
+    let two = F64x4::splat(2.0);
+    let one = F64x4::splat(1.0);
+
+    let table = SliceTable::build(params, origin_z, dims.tz(), g, time);
+    let raw = phi_src.raw();
+    let ms: [&[f64]; 2] = [mu_src.comp(0), mu_src.comp(1)];
+    let pd = phi_dst.comps_mut();
+
+    // One contiguous load per cell — the AoS advantage.
+    let cell = |i: usize| -> F64x4 { F64x4::load(raw, i * N_PHASES) };
+    let gapply = |v: F64x4| -> F64x4 {
+        if uniform {
+            gu * (v.hsum_splat() - v)
+        } else {
+            matvec(&gcols, v)
+        }
+    };
+    let face = |il: usize, ir: usize| -> F64x4 {
+        let (l, r) = (cell(il), cell(ir));
+        let pf = (l + r) * F64x4::splat(0.5);
+        let gd = (r - l) * inv_dx;
+        let s1 = gapply(pf * gd);
+        let s2 = gapply(pf * pf);
+        (pf * s1 - gd * s2) * F64x4::splat(-2.0)
+    };
+
+    let mut zbuf = vec![F64x4::zero(); nx * ny];
+    let mut ybuf = vec![F64x4::zero(); nx];
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = dims.idx(x + g, y + g, g);
+            zbuf[y * nx + x] = face(i - sz, i);
+        }
+    }
+
+    for z in g..g + nz {
+        let ctx = SliceCtxV::from_ctx(&table.cell[z]);
+        for x in 0..nx {
+            let i = dims.idx(x + g, g, z);
+            ybuf[x] = face(i - sy, i);
+        }
+        for y in g..g + ny {
+            let mut xprev = {
+                let i = dims.idx(g, y, z);
+                face(i - 1, i)
+            };
+            for x in g..g + nx {
+                let i = dims.idx(x, y, z);
+                let pc = cell(i);
+                let xm = cell(i - 1);
+                let xp = cell(i + 1);
+                let ym = cell(i - sy);
+                let yp = cell(i + sy);
+                let zm = cell(i - sz);
+                let zp = cell(i + sz);
+
+                let (f_xl, f_yl, f_zl) = (xprev, ybuf[x - g], zbuf[(y - g) * nx + (x - g)]);
+                let f_xh = face(i, i + 1);
+                let f_yh = face(i, i + sy);
+                let f_zh = face(i, i + sz);
+                xprev = f_xh;
+                ybuf[x - g] = f_yh;
+                zbuf[(y - g) * nx + (x - g)] = f_zh;
+
+                let gx = (xp - xm) * inv_2dx;
+                let gy = (yp - ym) * inv_2dx;
+                let gz = (zp - zm) * inv_2dx;
+                let m = gx.mul_add(gx, gy.mul_add(gy, gz * gz));
+                let t2 = gx * gapply(pc * gx) + gy * gapply(pc * gy) + gz * gapply(pc * gz);
+                let da = (pc * gapply(m) - t2) * two;
+                let div = (f_xh - f_xl + f_yh - f_yl + f_zh - f_zl) * inv_dx;
+                let obst = gapply(pc);
+
+                let phi2 = pc * pc;
+                let inv_s = one / phi2.hsum_splat();
+                let mu0 = F64x4::splat(ms[0][i]);
+                let mu1 = F64x4::splat(ms[1][i]);
+                let psi = -(mu0 * mu0 * ctx.inv4k[0] + mu1 * mu1 * ctx.inv4k[1])
+                    - (mu0 * ctx.c_eq[0] + mu1 * ctx.c_eq[1])
+                    + ctx.offset;
+                let psi_bar = (phi2 * psi).hsum_splat() * inv_s;
+                let drive = two * pc * inv_s * (psi - psi_bar);
+
+                let vdf = F64x4::splat(ctx.pref_grad) * (da - div)
+                    + F64x4::splat(ctx.pref_obst) * obst
+                    + drive;
+                let mean = vdf.hsum_splat() * quarter;
+                let out =
+                    crate::simplex::project_to_simplex((pc - rate * (vdf - mean)).to_array());
+                for c in 0..N_PHASES {
+                    pd[c][i] = out[c];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod aos_tests {
+    use super::*;
+    use eutectica_blockgrid::GridDims;
+    use crate::state::BlockState;
+
+    #[test]
+    fn aos_variant_matches_soa_cellwise() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let dims = GridDims::cube(8);
+        let mut s = BlockState::new(dims, [0, 0, 2]);
+        for z in 0..dims.tz() {
+            for y in 0..dims.ty() {
+                for x in 0..dims.tx() {
+                    let raw: [f64; 4] = core::array::from_fn(|_| rng.random_range(0.0..1.0));
+                    s.phi_src
+                        .set_cell(x, y, z, crate::simplex::project_to_simplex(raw));
+                    s.mu_src.set_cell(
+                        x,
+                        y,
+                        z,
+                        [rng.random_range(-0.2..0.2), rng.random_range(-0.2..0.2)],
+                    );
+                }
+            }
+        }
+        // SoA cellwise (T(z) + staggered buffer, no shortcuts).
+        let mut soa = s.clone();
+        phi_sweep_cellwise(&ModelParams::ag_al_cu(), &mut soa, 1.0, true, true, false);
+        // AoS variant.
+        let params = ModelParams::ag_al_cu();
+        let aos = s.phi_src.to_aos();
+        let mut out = s.phi_dst.clone();
+        phi_sweep_cellwise_aos(&params, &aos, &s.mu_src, &mut out, 2, 1.0);
+        for c in 0..4 {
+            for (x, y, z) in dims.interior_iter() {
+                let a = soa.phi_dst.at(c, x, y, z);
+                let b = out.at(c, x, y, z);
+                assert!(
+                    (a - b).abs() < 1e-13,
+                    "phi[{c}]@({x},{y},{z}): {a} vs {b}"
+                );
+            }
+        }
+    }
+}

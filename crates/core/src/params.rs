@@ -1,0 +1,181 @@
+//! Model and numerical parameters.
+
+use eutectica_thermo::TernarySystem;
+use serde::{Deserialize, Serialize};
+
+use crate::{N_COMP, N_PHASES};
+
+/// All physical and numerical parameters of the phase-field model.
+///
+/// Everything is nondimensionalized: `dx = 1` cell, eutectic temperature 1,
+/// liquid diffusivity 1 (see `eutectica-thermo`). Defaults correspond to the
+/// Ag-Al-Cu directional-solidification scenario of the paper, scaled to
+/// workstation domain sizes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Thermodynamic description of the ternary system.
+    pub sys: TernarySystem,
+    /// Interface-width parameter ε (in units of dx). The diffuse interface
+    /// spans ≈ π²ε/4 cells.
+    pub eps: f64,
+    /// Relaxation constant τ coupling the phase-field to physical time.
+    pub tau: f64,
+    /// Symmetric surface-energy matrix γ_αβ (diagonal unused).
+    pub gamma: [[f64; N_PHASES]; N_PHASES],
+    /// Grid spacing (1 in nondimensional units).
+    pub dx: f64,
+    /// Time-step size; must satisfy [`ModelParams::validate`].
+    pub dt: f64,
+    /// Temperature at global z = 0 at t = 0.
+    pub t0: f64,
+    /// Frozen temperature gradient G (per cell).
+    pub grad_g: f64,
+    /// Pulling velocity v of the temperature profile (cells per time unit).
+    pub vel_v: f64,
+    /// Enable the anti-trapping current J_at (Eq. 4). Disabling it is the
+    /// model ablation discussed in the introduction (refs. [29] vs [30]).
+    pub enable_atc: bool,
+}
+
+impl ModelParams {
+    /// Default Ag-Al-Cu directional solidification parameters.
+    pub fn ag_al_cu() -> Self {
+        let g = 1.0;
+        let mut gamma = [[g; N_PHASES]; N_PHASES];
+        for (a, row) in gamma.iter_mut().enumerate() {
+            row[a] = 0.0;
+        }
+        Self {
+            sys: TernarySystem::ag_al_cu(),
+            eps: 2.0,
+            tau: 1.0,
+            gamma,
+            dx: 1.0,
+            dt: 0.08,
+            // Slightly undercooled at the bottom so nuclei grow, with the
+            // eutectic isotherm inside the domain.
+            t0: 0.97,
+            grad_g: 0.001,
+            vel_v: 0.02,
+            enable_atc: true,
+        }
+    }
+
+    /// Frozen-temperature ansatz: T(z, t) = t0 + G (z·dx − v·t), constant in
+    /// each x-y-slice (Sec. 2; Fig. 2).
+    #[inline(always)]
+    pub fn temperature(&self, global_z: f64, time: f64) -> f64 {
+        self.t0 + self.grad_g * (global_z * self.dx - self.vel_v * time)
+    }
+
+    /// ∂T/∂t of the frozen profile (spatially constant): −G·v.
+    #[inline(always)]
+    pub fn dtemp_dt(&self) -> f64 {
+        -self.grad_g * self.vel_v
+    }
+
+    /// Largest surface energy (used by the stability estimate).
+    pub fn gamma_max(&self) -> f64 {
+        let mut m: f64 = 0.0;
+        for a in 0..N_PHASES {
+            for b in 0..N_PHASES {
+                if a != b {
+                    m = m.max(self.gamma[a][b]);
+                }
+            }
+        }
+        m
+    }
+
+    /// Check explicit-Euler stability limits.
+    ///
+    /// The µ-equation is diffusive with effective diffusivity D_α (χ cancels
+    /// between mobility and susceptibility), the φ-equation with effective
+    /// diffusivity ≈ 2 T γ_max / τ. Both must satisfy the 3-D stability
+    /// bound `dt ≤ dx² / (6 D)` with margin.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.eps > 0.0 && self.tau > 0.0 && self.dx > 0.0 && self.dt > 0.0) {
+            return Err("eps, tau, dx, dt must be positive".into());
+        }
+        let d_mu = self
+            .sys
+            .phases
+            .iter()
+            .map(|p| p.diffusivity)
+            .fold(0.0f64, f64::max);
+        // The moving window keeps temperatures near T_eu; bound the profile
+        // by a 512-cell domain height.
+        let t_max = self.t0 + self.grad_g.abs() * 512.0;
+        let d_phi = t_max * self.gamma_max() / self.tau;
+        let d = d_mu.max(d_phi);
+        let dt_max = self.dx * self.dx / (6.0 * d);
+        if self.dt > dt_max {
+            return Err(format!(
+                "dt = {} exceeds stability limit {:.4} (D_mu = {d_mu}, D_phi = {d_phi:.3})",
+                self.dt, dt_max
+            ));
+        }
+        for a in 0..N_PHASES {
+            for b in 0..N_PHASES {
+                if (self.gamma[a][b] - self.gamma[b][a]).abs() > 1e-14 {
+                    return Err(format!("gamma not symmetric at ({a},{b})"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Scaled obstacle-potential prefactor 16/π².
+    #[inline(always)]
+    pub fn obstacle_scale() -> f64 {
+        16.0 / (core::f64::consts::PI * core::f64::consts::PI)
+    }
+
+    /// Anti-trapping prefactor π ε / 4 (Eq. 4).
+    #[inline(always)]
+    pub fn atc_prefactor(&self) -> f64 {
+        core::f64::consts::PI * self.eps / 4.0
+    }
+
+    /// Per-phase dc^eq/dT slopes (temperature-independent).
+    pub fn dc_dt_coeffs(&self) -> [[f64; N_COMP]; N_PHASES] {
+        core::array::from_fn(|a| self.sys.dc_dt(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_stable() {
+        ModelParams::ag_al_cu().validate().expect("default params valid");
+    }
+
+    #[test]
+    fn unstable_dt_rejected() {
+        let mut p = ModelParams::ag_al_cu();
+        p.dt = 10.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn asymmetric_gamma_rejected() {
+        let mut p = ModelParams::ag_al_cu();
+        p.gamma[0][1] = 2.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn temperature_profile_moves_with_velocity() {
+        let p = ModelParams::ag_al_cu();
+        let t_a = p.temperature(10.0, 0.0);
+        let t_b = p.temperature(10.0, 100.0);
+        // Temperature at a fixed point drops as the hot zone moves up.
+        assert!(t_b < t_a);
+        assert!((t_a - t_b - p.grad_g * p.vel_v * 100.0).abs() < 1e-12);
+        assert!((p.dtemp_dt() + p.grad_g * p.vel_v).abs() < 1e-15);
+        // Higher z is hotter (liquid on top).
+        assert!(p.temperature(50.0, 0.0) > p.temperature(0.0, 0.0));
+    }
+}

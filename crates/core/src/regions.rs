@@ -1,0 +1,363 @@
+//! Domain-region classification and the benchmark scenarios of Sec. 5.1.
+//!
+//! The paper defines (Sec. 2): the bulk region B_α where exactly one phase
+//! exists, the diffuse interface I_Ω between bulk regions, the
+//! solidification front F_Ω (interface containing liquid), the liquid region
+//! L_Ω = B_ℓ and the solid region S_Ω. Kernel performance depends on the
+//! region mix ("the performance of the compute kernels depends on the
+//! composition of the simulation domain"), so the benchmarks run three
+//! representative block states: **interface** (the solidification front),
+//! **solid** (solidified lamellae, lower third of a production domain) and
+//! **liquid** (melt, upper part).
+
+use crate::simplex::project_to_simplex;
+use crate::state::{BlockState, PHI_LIQUID};
+use crate::{LIQ, N_PHASES};
+use eutectica_blockgrid::GridDims;
+
+/// Region of a single cell per the paper's Sec. 2 definitions.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CellRegion {
+    /// Pure solid cell with all neighbors equal (some B_α, α ≠ ℓ).
+    SolidBulk,
+    /// Pure liquid cell with all neighbors equal (B_ℓ).
+    LiquidBulk,
+    /// Diffuse interface without liquid contribution (solid-solid boundary).
+    SolidInterface,
+    /// Solidification front: interface cell with φ_ℓ > 0.
+    Front,
+}
+
+/// Classify one interior cell of a block.
+pub fn classify_cell(state: &BlockState, x: usize, y: usize, z: usize) -> CellRegion {
+    let phi = state.phi_src.cell(x, y, z);
+    let neighbors = [
+        state.phi_src.cell(x - 1, y, z),
+        state.phi_src.cell(x + 1, y, z),
+        state.phi_src.cell(x, y - 1, z),
+        state.phi_src.cell(x, y + 1, z),
+        state.phi_src.cell(x, y, z - 1),
+        state.phi_src.cell(x, y, z + 1),
+    ];
+    if crate::model::is_bulk(phi, &neighbors) {
+        if phi[LIQ] == 1.0 {
+            CellRegion::LiquidBulk
+        } else {
+            CellRegion::SolidBulk
+        }
+    } else if phi[LIQ] > 0.0 || neighbors.iter().any(|n| n[LIQ] > 0.0) {
+        CellRegion::Front
+    } else {
+        CellRegion::SolidInterface
+    }
+}
+
+/// Cell counts per region of a block interior.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RegionCounts {
+    /// Pure-solid bulk cells.
+    pub solid_bulk: usize,
+    /// Pure-liquid bulk cells.
+    pub liquid_bulk: usize,
+    /// Solid-solid interface cells.
+    pub solid_interface: usize,
+    /// Solidification-front cells.
+    pub front: usize,
+}
+
+impl RegionCounts {
+    /// Total classified cells.
+    pub fn total(&self) -> usize {
+        self.solid_bulk + self.liquid_bulk + self.solid_interface + self.front
+    }
+}
+
+/// Classify every interior cell of a block.
+pub fn classify_block(state: &BlockState) -> RegionCounts {
+    let mut c = RegionCounts::default();
+    for (x, y, z) in state.dims.interior_iter() {
+        match classify_cell(state, x, y, z) {
+            CellRegion::SolidBulk => c.solid_bulk += 1,
+            CellRegion::LiquidBulk => c.liquid_bulk += 1,
+            CellRegion::SolidInterface => c.solid_interface += 1,
+            CellRegion::Front => c.front += 1,
+        }
+    }
+    c
+}
+
+/// Estimated relative cost (time per cell) of a block from its region
+/// composition and the measured per-region kernel rates (MLUP/s for
+/// interface / liquid / solid cells). This is the per-block weight for the
+/// load-balancing experiment of Sec. 5.1.2 ("in production runs, where all
+/// of the three block compositions occur in the domain, the runtime is
+/// dominated by the interface blocks").
+pub fn block_weight(counts: &RegionCounts, rates_mlups: [f64; 3]) -> f64 {
+    let [r_interface, r_liquid, r_solid] = rates_mlups;
+    assert!(r_interface > 0.0 && r_liquid > 0.0 && r_solid > 0.0);
+    (counts.front + counts.solid_interface) as f64 / r_interface
+        + counts.liquid_bulk as f64 / r_liquid
+        + counts.solid_bulk as f64 / r_solid
+}
+
+/// The three benchmark block compositions of Sec. 5.1.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// "the middle third of the simulation domain": the solidification front
+    /// with all four phases and steep gradients.
+    Interface,
+    /// "purely ... solidified material": three-phase lamellae with
+    /// solid-solid interfaces, no liquid.
+    Solid,
+    /// "the upper part of the domain consists only of liquid phase".
+    Liquid,
+}
+
+impl Scenario {
+    /// All three scenarios in the paper's plotting order.
+    pub const ALL: [Scenario; 3] = [Scenario::Interface, Scenario::Liquid, Scenario::Solid];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Interface => "interface",
+            Scenario::Solid => "solid",
+            Scenario::Liquid => "liquid",
+        }
+    }
+}
+
+/// Build a benchmark block in the requested composition.
+///
+/// The states are deterministic. φ_dst is a slightly-evolved copy of φ_src
+/// (as it is when the µ-kernel runs after the φ-kernel), so the source and
+/// anti-trapping terms of the µ-kernel are realistically exercised, and µ
+/// carries a smooth profile so gradient fluxes are nonzero.
+pub fn build_scenario(scenario: Scenario, dims: GridDims) -> BlockState {
+    let mut s = BlockState::new(dims, [0, 0, 0]);
+    let g = dims.ghost;
+    // Lamella width: three bands across the block (12 cells at the paper's
+    // 40³..60³ benchmark blocks), so all three solids appear.
+    let lam = (dims.nx as f64 / 3.0).clamp(4.0, 12.0);
+    for z in 0..dims.tz() {
+        for y in 0..dims.ty() {
+            for x in 0..dims.tx() {
+                let (gx, gy, gz) = (
+                    x as f64 - g as f64,
+                    y as f64 - g as f64,
+                    z as f64 - g as f64,
+                );
+                let phi = match scenario {
+                    Scenario::Liquid => PHI_LIQUID,
+                    Scenario::Solid => solid_lamellae(gx, gy, lam),
+                    Scenario::Interface => front_profile(gx, gy, gz, dims.nz as f64 * 0.5, lam),
+                };
+                s.phi_src.set_cell(x, y, z, phi);
+                // Smooth µ profile: gradients everywhere, zero mean.
+                let mu0 = 0.05 * (0.37 * gx + 0.21 * gy + 0.11 * gz).sin();
+                let mu1 = -0.04 * (0.13 * gx - 0.29 * gy + 0.17 * gz).cos();
+                s.mu_src.set_cell(x, y, z, [mu0, mu1]);
+                // φ_dst: slightly advanced front (only interface cells move).
+                let phi_new = match scenario {
+                    Scenario::Interface => {
+                        front_profile(gx, gy, gz, dims.nz as f64 * 0.5 + 0.05, lam)
+                    }
+                    _ => phi,
+                };
+                s.phi_dst.set_cell(x, y, z, phi_new);
+            }
+        }
+    }
+    s
+}
+
+/// Solidification-front profile: lamellae below, liquid above, a tanh blend
+/// of width ≈ 4 cells at `front`. The tails are snapped to exactly pure
+/// values so the state contains true bulk regions (the tanh alone never
+/// reaches 0/1 exactly, which would defeat the bulk shortcuts and the
+/// region classification).
+fn front_profile(gx: f64, gy: f64, gz: f64, front: f64, lam: f64) -> [f64; N_PHASES] {
+    let d = gz - front;
+    let liq = if d > 8.0 {
+        1.0
+    } else if d < -8.0 {
+        0.0
+    } else {
+        0.5 + 0.5 * (d / 2.0).tanh()
+    };
+    if liq == 1.0 {
+        return PHI_LIQUID;
+    }
+    let mut v = solid_lamellae(gx, gy, lam);
+    if liq == 0.0 {
+        return v;
+    }
+    for p in v.iter_mut() {
+        *p *= 1.0 - liq;
+    }
+    v[LIQ] = liq;
+    project_to_simplex(v)
+}
+
+/// Alternating three-phase lamellae in x with diffuse solid-solid walls.
+fn solid_lamellae(gx: f64, _gy: f64, lam: f64) -> [f64; N_PHASES] {
+    let pos = gx / lam;
+    let band = pos.floor();
+    let frac = pos - band; // 0..1 inside the band
+    let this = (band.rem_euclid(3.0)) as usize;
+    let next = ((band + 1.0).rem_euclid(3.0)) as usize;
+    // Diffuse wall of ~3 cells at the band boundary.
+    let w = 1.5 / lam;
+    let mut v = [0.0; N_PHASES];
+    if frac > 1.0 - w {
+        let t = (frac - (1.0 - w)) / w * 0.5; // 0..0.5 blend into next band
+        v[this] = 1.0 - t;
+        v[next] = t;
+    } else if frac < w {
+        let t = 0.5 - frac / w * 0.5;
+        v[this] = 1.0 - t;
+        let prev = ((band - 1.0).rem_euclid(3.0)) as usize;
+        v[prev] = t;
+    } else {
+        v[this] = 1.0;
+    }
+    project_to_simplex(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn liquid_scenario_is_all_liquid_bulk() {
+        let s = build_scenario(Scenario::Liquid, GridDims::cube(8));
+        let c = classify_block(&s);
+        assert_eq!(c.liquid_bulk, c.total());
+    }
+
+    #[test]
+    fn solid_scenario_has_no_liquid_but_has_interfaces() {
+        let s = build_scenario(Scenario::Solid, GridDims::cube(24));
+        let c = classify_block(&s);
+        assert_eq!(c.liquid_bulk, 0);
+        assert_eq!(c.front, 0, "solid scenario must contain no liquid");
+        assert!(c.solid_bulk > 0, "{c:?}");
+        assert!(c.solid_interface > 0, "{c:?}");
+    }
+
+    #[test]
+    fn interface_scenario_contains_front_cells_and_all_phases() {
+        let s = build_scenario(Scenario::Interface, GridDims::cube(24));
+        let c = classify_block(&s);
+        assert!(c.front > 0, "{c:?}");
+        assert!(c.liquid_bulk > 0, "{c:?}");
+        // All four phases present somewhere.
+        let mut present = [false; 4];
+        for (x, y, z) in s.dims.interior_iter() {
+            let phi = s.phi_src.cell(x, y, z);
+            for a in 0..4 {
+                if phi[a] > 0.5 {
+                    present[a] = true;
+                }
+            }
+        }
+        assert!(present.iter().all(|&p| p), "{present:?}");
+    }
+
+    #[test]
+    fn scenario_states_are_valid_simplex_fields() {
+        for sc in Scenario::ALL {
+            let s = build_scenario(sc, GridDims::cube(16));
+            for (x, y, z) in s.dims.interior_iter() {
+                let phi = s.phi_src.cell(x, y, z);
+                assert!(
+                    crate::simplex::on_simplex(phi, 1e-12),
+                    "{sc:?} off simplex at ({x},{y},{z}): {phi:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_weights_rank_scenarios_like_the_paper() {
+        // "the 'interface' scenario being the slowest due to higher workload
+        // in interface cells" — with the measured rate ordering
+        // (liquid > solid > interface at full optimization), interface
+        // blocks get the largest weight.
+        let rates = [30.0, 100.0, 45.0]; // interface, liquid, solid MLUP/s
+        let dims = GridDims::cube(16);
+        let w_interface = block_weight(&classify_block(&build_scenario(Scenario::Interface, dims)), rates);
+        let w_liquid = block_weight(&classify_block(&build_scenario(Scenario::Liquid, dims)), rates);
+        let w_solid = block_weight(&classify_block(&build_scenario(Scenario::Solid, dims)), rates);
+        assert!(w_interface > w_solid, "{w_interface} vs {w_solid}");
+        assert!(w_solid > w_liquid, "{w_solid} vs {w_liquid}");
+    }
+
+    #[test]
+    fn weighted_balancing_helps_mixed_domains_not_interface_only() {
+        // The paper's load-balancing experiment outcome: weighting helps a
+        // mixed solid/interface/liquid column, but with the moving window
+        // every block is interface-like and there is nothing to gain.
+        use eutectica_blockgrid::balance::{
+            assign_contiguous_uniform, assign_contiguous_weighted, imbalance,
+        };
+        let rates = [30.0, 100.0, 45.0];
+        let dims = GridDims::cube(12);
+        let weight_of = |sc: Scenario| block_weight(&classify_block(&build_scenario(sc, dims)), rates);
+        // Full-domain column: interface band at the bottom, liquid above
+        // (the pre-moving-window situation where most blocks are cheap
+        // liquid and a few are expensive interface).
+        let mixed: Vec<f64> = [
+            Scenario::Interface,
+            Scenario::Interface,
+            Scenario::Liquid,
+            Scenario::Liquid,
+            Scenario::Liquid,
+            Scenario::Liquid,
+            Scenario::Liquid,
+            Scenario::Liquid,
+        ]
+        .iter()
+        .map(|&sc| weight_of(sc))
+        .collect();
+        let gain_mixed = imbalance(&mixed, &assign_contiguous_uniform(8, 4), 4)
+            - imbalance(&mixed, &assign_contiguous_weighted(&mixed, 4), 4);
+        assert!(gain_mixed > 0.05, "weighting should help mixed: {gain_mixed}");
+        // Moving-window column: everything interface-like.
+        let windowed = vec![weight_of(Scenario::Interface); 8];
+        let gain_window = imbalance(&windowed, &assign_contiguous_uniform(8, 4), 4)
+            - imbalance(&windowed, &assign_contiguous_weighted(&windowed, 4), 4);
+        assert!(
+            gain_window.abs() < 1e-9,
+            "no gain expected under the moving window: {gain_window}"
+        );
+    }
+
+    #[test]
+    fn region_definitions_follow_paper() {
+        // Hand-built 3³ neighborhoods.
+        let dims = GridDims::cube(3);
+        let mut s = BlockState::new(dims, [0, 0, 0]);
+        // All liquid: center is liquid bulk.
+        assert_eq!(classify_cell(&s, 2, 2, 2), CellRegion::LiquidBulk);
+        // Mixed cell: front.
+        s.phi_src.set_cell(2, 2, 2, [0.5, 0.0, 0.0, 0.5]);
+        assert_eq!(classify_cell(&s, 2, 2, 2), CellRegion::Front);
+        // Pure solid cell whose neighbor differs: still front (liquid near).
+        s.phi_src.set_cell(2, 2, 2, [1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(classify_cell(&s, 2, 2, 2), CellRegion::Front);
+        // Solid-solid interface, no liquid anywhere nearby.
+        let dims = GridDims::cube(3);
+        let mut s2 = BlockState::new(dims, [0, 0, 0]);
+        for z in 0..dims.tz() {
+            for y in 0..dims.ty() {
+                for x in 0..dims.tx() {
+                    s2.phi_src.set_cell(x, y, z, [1.0, 0.0, 0.0, 0.0]);
+                }
+            }
+        }
+        assert_eq!(classify_cell(&s2, 2, 2, 2), CellRegion::SolidBulk);
+        s2.phi_src.set_cell(3, 2, 2, [0.5, 0.5, 0.0, 0.0]);
+        assert_eq!(classify_cell(&s2, 2, 2, 2), CellRegion::SolidInterface);
+    }
+}

@@ -1,0 +1,146 @@
+//! Projection onto the Gibbs simplex Δ³ = {φ ∈ ℝ⁴ : Σφ = 1, φ ≥ 0}.
+//!
+//! The multi-obstacle potential ω(φ) is only finite on the simplex, so after
+//! every explicit update the order parameters are projected back — the
+//! "routine that projects the φ values back into the allowed simplex" whose
+//! branches the paper identifies as the source of region-dependent φ-kernel
+//! runtimes (Sec. 5.1.1).
+//!
+//! The projection is the Euclidean one (Michelot's algorithm, specialized to
+//! four components): sort descending, find the largest prefix that stays
+//! positive after the common shift, clip the rest to zero.
+
+/// Project `phi` onto the Gibbs simplex (Σ = 1, all components ≥ 0).
+///
+/// Returns the projected values. Exact fixed points: any `phi` already on
+/// the simplex is returned unchanged (up to no-op arithmetic), in particular
+/// pure-phase corners — which the bulk shortcut of the optimized kernels
+/// relies on.
+#[inline]
+pub fn project_to_simplex(phi: [f64; 4]) -> [f64; 4] {
+    // Sort a copy descending (sorting network for 4 elements).
+    let mut u = phi;
+    #[inline(always)]
+    fn cswap(u: &mut [f64; 4], i: usize, j: usize) {
+        if u[i] < u[j] {
+            u.swap(i, j);
+        }
+    }
+    cswap(&mut u, 0, 1);
+    cswap(&mut u, 2, 3);
+    cswap(&mut u, 0, 2);
+    cswap(&mut u, 1, 3);
+    cswap(&mut u, 1, 2);
+
+    // Find ρ = max{ j : u_j + (1 − Σ_{k≤j} u_k)/j > 0 } and the shift λ.
+    let mut cumsum = 0.0;
+    let mut lambda = 0.0;
+    for j in 0..4 {
+        cumsum += u[j];
+        let l = (1.0 - cumsum) / (j as f64 + 1.0);
+        if u[j] + l > 0.0 {
+            lambda = l;
+        }
+    }
+    [
+        (phi[0] + lambda).max(0.0),
+        (phi[1] + lambda).max(0.0),
+        (phi[2] + lambda).max(0.0),
+        (phi[3] + lambda).max(0.0),
+    ]
+}
+
+/// True if `phi` lies on the simplex within `tol`.
+pub fn on_simplex(phi: [f64; 4], tol: f64) -> bool {
+    let sum: f64 = phi.iter().sum();
+    (sum - 1.0).abs() <= tol && phi.iter().all(|&p| p >= -tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_on_simplex(p: [f64; 4]) {
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "sum {sum} of {p:?}");
+        assert!(p.iter().all(|&x| x >= 0.0), "negative component in {p:?}");
+    }
+
+    #[test]
+    fn projects_out_of_bound_points() {
+        for phi in [
+            [1.2, -0.1, -0.05, -0.05],
+            [0.5, 0.5, 0.5, 0.5],
+            [-1.0, -1.0, -1.0, -1.0],
+            [2.0, 0.0, 0.0, 0.0],
+            [0.3, 0.3, 0.3, 0.3],
+        ] {
+            let p = project_to_simplex(phi);
+            assert_on_simplex(p);
+        }
+    }
+
+    #[test]
+    fn simplex_points_are_fixed() {
+        for phi in [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+            [0.25, 0.25, 0.25, 0.25],
+            [0.5, 0.3, 0.2, 0.0],
+            [0.7, 0.0, 0.1, 0.2],
+        ] {
+            let p = project_to_simplex(phi);
+            for i in 0..4 {
+                assert!(
+                    (p[i] - phi[i]).abs() < 1e-15,
+                    "{phi:?} moved to {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pure_corner_is_exact_fixed_point() {
+        // Bit-exactness matters: the bulk shortcut assumes corners stay put.
+        let p = project_to_simplex([0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(p, [0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let phi = [0.9, 0.4, -0.2, 0.1];
+        let p1 = project_to_simplex(phi);
+        let p2 = project_to_simplex(p1);
+        for i in 0..4 {
+            assert!((p1[i] - p2[i]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn projection_is_euclidean_nearest_point() {
+        // Against a brute-force search over a fine simplex grid.
+        let phi = [0.6, 0.6, -0.1, 0.0];
+        let p = project_to_simplex(phi);
+        let dist =
+            |a: [f64; 4]| -> f64 { (0..4).map(|i| (a[i] - phi[i]).powi(2)).sum::<f64>() };
+        let d_proj = dist(p);
+        let n = 40;
+        for i in 0..=n {
+            for j in 0..=n - i {
+                for k in 0..=n - i - j {
+                    let l = n - i - j - k;
+                    let q = [
+                        i as f64 / n as f64,
+                        j as f64 / n as f64,
+                        k as f64 / n as f64,
+                        l as f64 / n as f64,
+                    ];
+                    assert!(
+                        dist(q) >= d_proj - 1e-9,
+                        "{q:?} closer than projection {p:?}"
+                    );
+                }
+            }
+        }
+    }
+}

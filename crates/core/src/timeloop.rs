@@ -1,0 +1,673 @@
+//! Distributed time loop: Algorithms 1 and 2 over blocks and ranks.
+//!
+//! Each rank owns a contiguous set of blocks from the static decomposition.
+//! Every time step runs the φ- and µ-sweeps on all local blocks with ghost
+//! layers exchanged through `eutectica-comm` (local block pairs copy
+//! directly; remote pairs send serialized face messages).
+//!
+//! The four communication-hiding combinations of Fig. 8 are supported via
+//! [`OverlapOptions`]:
+//!
+//! * **hide µ**: the µ_src ghost exchange is posted *before* the φ-sweep and
+//!   completed after it — straightforward "since the following update of the
+//!   phase-field only depends on local µ values" (Sec. 3.3). The µ-field
+//!   needs no edge ghosts, so all six face messages are independent.
+//! * **hide φ**: the φ_dst exchange's x-phase is posted before the *local*
+//!   µ-sweep; the sequenced y/z phases (which must wait for x) run after it,
+//!   followed by the neighbor µ-sweep (the J_at part). This requires the
+//!   split µ-kernel, whose per-slice temperature values are computed twice —
+//!   the overhead that makes φ-hiding a net loss in the paper's Fig. 8.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use eutectica_blockgrid::boundary::{Bc, BoundarySpec};
+use eutectica_blockgrid::decomp::Decomposition;
+use eutectica_blockgrid::ghost;
+use eutectica_blockgrid::Face;
+use eutectica_comm::{bytes_to_f64s_into, f64s_to_bytes, Rank, RecvRequest};
+
+use crate::kernels::{self, KernelConfig, MuPart};
+use crate::params::ModelParams;
+use crate::state::{BlockState, PHI_LIQUID};
+use crate::{LIQ, N_COMP, N_PHASES};
+
+/// Which ghost exchanges to overlap with computation.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct OverlapOptions {
+    /// Hide the µ communication behind the φ-sweep.
+    pub hide_mu: bool,
+    /// Hide (part of) the φ communication behind the split µ-sweep.
+    pub hide_phi: bool,
+}
+
+impl OverlapOptions {
+    /// All four combinations measured in Fig. 8.
+    pub const ALL: [OverlapOptions; 4] = [
+        OverlapOptions { hide_mu: false, hide_phi: false },
+        OverlapOptions { hide_mu: true, hide_phi: false },
+        OverlapOptions { hide_mu: false, hide_phi: true },
+        OverlapOptions { hide_mu: true, hide_phi: true },
+    ];
+}
+
+/// Exposed (non-hidden) time per communication routine, plus compute time.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct StepTimings {
+    /// Time in the φ ghost-exchange routines.
+    pub phi_comm: Duration,
+    /// Time in the µ ghost-exchange routines.
+    pub mu_comm: Duration,
+    /// Time in compute sweeps.
+    pub compute: Duration,
+    /// Steps accumulated.
+    pub steps: usize,
+}
+
+/// Which field a ghost exchange operates on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum FieldSel {
+    PhiSrc,
+    PhiDst,
+    MuSrc,
+    MuDst,
+}
+
+impl FieldSel {
+    fn code(self) -> u32 {
+        match self {
+            FieldSel::PhiSrc => 0,
+            FieldSel::PhiDst => 1,
+            FieldSel::MuSrc => 2,
+            FieldSel::MuDst => 3,
+        }
+    }
+}
+
+/// A posted nonblocking exchange awaiting completion.
+struct Pending {
+    /// (local block index, face to unpack at, request, plain or sequenced).
+    recvs: Vec<(usize, Face, RecvRequest, bool)>,
+    /// Same-rank transfers applied immediately at post time keep no state.
+    field: FieldSel,
+}
+
+/// One rank's share of a distributed simulation.
+pub struct DistributedSim<'r> {
+    /// Model parameters.
+    pub params: ModelParams,
+    /// Kernel configuration.
+    pub cfg: KernelConfig,
+    /// Overlap options.
+    pub overlap: OverlapOptions,
+    rank: &'r Rank,
+    decomp: Decomposition,
+    n_ranks: usize,
+    local_ids: Vec<usize>,
+    /// Local block states, aligned with `local_ids`.
+    pub blocks: Vec<BlockState>,
+    time: f64,
+    step: usize,
+    /// Accumulated timings.
+    pub timings: StepTimings,
+    scratch: Vec<f64>,
+    window: Option<f64>,
+    window_shifts: usize,
+}
+
+impl<'r> DistributedSim<'r> {
+    /// Build this rank's blocks for the given decomposition.
+    pub fn new(
+        rank: &'r Rank,
+        params: ModelParams,
+        decomp: Decomposition,
+        cfg: KernelConfig,
+        overlap: OverlapOptions,
+    ) -> Self {
+        let n_ranks = rank.size();
+        let local_ids = decomp.blocks_of_rank(rank.rank(), n_ranks);
+        let blocks = local_ids
+            .iter()
+            .map(|&id| {
+                let desc = decomp.block(id);
+                let mut st = BlockState::new(desc.dims(1), desc.origin);
+                st.bc_phi = block_bc::<N_PHASES>(desc.neighbors, PHI_LIQUID);
+                st.bc_mu = block_bc::<N_COMP>(desc.neighbors, [0.0; N_COMP]);
+                st
+            })
+            .collect();
+        Self {
+            params,
+            cfg,
+            overlap,
+            rank,
+            decomp,
+            n_ranks,
+            local_ids,
+            blocks,
+            time: 0.0,
+            step: 0,
+            timings: StepTimings::default(),
+            scratch: Vec::new(),
+            window: None,
+            window_shifts: 0,
+        }
+    }
+
+    /// Enable the moving-window technique (Sec. 3.3) for distributed runs.
+    /// Requires a decomposition with a single block layer in z (the window
+    /// shifts within each block; blocks never exchange interior slabs).
+    pub fn enable_moving_window(&mut self, trigger_fraction: f64) {
+        assert!((0.0..1.0).contains(&trigger_fraction));
+        assert_eq!(
+            self.decomp.spec.blocks[2], 1,
+            "moving window requires a single block layer in z"
+        );
+        self.window = Some(trigger_fraction);
+    }
+
+    /// Number of moving-window shifts so far.
+    pub fn window_shifts(&self) -> usize {
+        self.window_shifts
+    }
+
+    /// Highest global z with ≥ 5 % solid in any local block slice.
+    fn local_front(&self) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        for b in &self.blocks {
+            let d = b.dims;
+            let g = d.ghost;
+            for z in (g..g + d.nz).rev() {
+                let mut solid = 0.0;
+                for y in g..g + d.ny {
+                    for x in g..g + d.nx {
+                        solid += 1.0 - b.phi_src.at(LIQ, x, y, z);
+                    }
+                }
+                if solid / (d.nx * d.ny) as f64 > 0.05 {
+                    best = best.max((b.origin[2] + z - g) as f64);
+                    break;
+                }
+            }
+        }
+        if best.is_finite() {
+            best
+        } else {
+            self.blocks.first().map_or(0.0, |b| b.origin[2] as f64)
+        }
+    }
+
+    /// Collective window advance: all ranks agree on the front position and
+    /// shift the same number of slices.
+    fn maybe_shift_window(&mut self) {
+        let Some(frac) = self.window else { return };
+        let front = self
+            .rank
+            .allreduce_f64(self.local_front(), eutectica_comm::ReduceOp::Max);
+        let Some(b0) = self.blocks.first() else { return };
+        let local_trigger = b0.dims.nz as f64 * frac;
+        let over = front - b0.origin[2] as f64 - local_trigger;
+        if over <= 0.0 {
+            return;
+        }
+        let shifts = over.ceil() as usize;
+        for _ in 0..shifts {
+            for b in &mut self.blocks {
+                b.shift_window_up();
+            }
+            self.window_shifts += 1;
+        }
+        self.refresh_src_ghosts();
+    }
+
+    /// Initialize every local block with `f` and refresh all source ghosts.
+    pub fn init_blocks(&mut self, f: impl Fn(&mut BlockState)) {
+        for b in &mut self.blocks {
+            f(b);
+        }
+        self.refresh_src_ghosts();
+    }
+
+    /// Exchange + boundary-handle the source fields (after init or window
+    /// shifts).
+    pub fn refresh_src_ghosts(&mut self) {
+        self.exchange_sequenced(FieldSel::PhiSrc);
+        self.exchange_sequenced(FieldSel::MuSrc);
+        for b in &mut self.blocks {
+            b.apply_bc_src();
+            // Keep dst consistent too (read by the first µ-sweep's J_at).
+            b.bc_phi.apply(&mut b.phi_dst);
+            b.bc_mu.apply(&mut b.mu_dst);
+        }
+        self.rank.barrier();
+    }
+
+    /// Execute one time step.
+    pub fn step(&mut self) {
+        let ov = self.overlap;
+
+        // --- φ-sweep, optionally hiding the µ_src exchange behind it.
+        let mu_pending = if ov.hide_mu {
+            let t = Instant::now();
+            let p = Some(self.post_plain(FieldSel::MuSrc));
+            self.timings.mu_comm += t.elapsed();
+            p
+        } else {
+            None
+        };
+
+        let t = Instant::now();
+        for b in &mut self.blocks {
+            kernels::phi_sweep(&self.params, b, self.time, self.cfg);
+        }
+        self.timings.compute += t.elapsed();
+
+        if let Some(p) = mu_pending {
+            let t = Instant::now();
+            self.finish_plain(p);
+            for b in &mut self.blocks {
+                b.bc_mu.apply(&mut b.mu_src);
+            }
+            self.timings.mu_comm += t.elapsed();
+        }
+
+        // --- φ_dst exchange then boundary handling (the BC fill reads
+        // ghost columns, so the sequenced exchange must complete first),
+        // optionally split around the local µ-sweep.
+        if ov.hide_phi {
+            // Post the x-phase, run the local µ-sweep, then finish x and do
+            // the dependent y/z phases synchronously.
+            let t = Instant::now();
+            let p = self.post_axis(FieldSel::PhiDst, 0);
+            self.timings.phi_comm += t.elapsed();
+
+            let t = Instant::now();
+            for b in &mut self.blocks {
+                kernels::mu_sweep(&self.params, b, self.time, self.cfg, MuPart::LocalOnly);
+            }
+            self.timings.compute += t.elapsed();
+
+            let t = Instant::now();
+            self.finish_plain(p);
+            self.exchange_axis(FieldSel::PhiDst, 1);
+            self.exchange_axis(FieldSel::PhiDst, 2);
+            self.timings.phi_comm += t.elapsed();
+            for b in &mut self.blocks {
+                b.bc_phi.apply(&mut b.phi_dst);
+            }
+
+            let t = Instant::now();
+            for b in &mut self.blocks {
+                kernels::mu_sweep(&self.params, b, self.time, self.cfg, MuPart::NeighborOnly);
+            }
+            self.timings.compute += t.elapsed();
+        } else {
+            let t = Instant::now();
+            self.exchange_sequenced(FieldSel::PhiDst);
+            self.timings.phi_comm += t.elapsed();
+            for b in &mut self.blocks {
+                b.bc_phi.apply(&mut b.phi_dst);
+            }
+
+            let t = Instant::now();
+            for b in &mut self.blocks {
+                kernels::mu_sweep(&self.params, b, self.time, self.cfg, MuPart::Full);
+            }
+            self.timings.compute += t.elapsed();
+        }
+
+        // --- µ_dst exchange then boundary handling, unless deferred to the
+        // next step's hidden µ_src exchange (which reapplies the BCs).
+        if !ov.hide_mu {
+            let t = Instant::now();
+            self.exchange_sequenced(FieldSel::MuDst);
+            self.timings.mu_comm += t.elapsed();
+        }
+        for b in &mut self.blocks {
+            b.bc_mu.apply(&mut b.mu_dst);
+        }
+
+        for b in &mut self.blocks {
+            b.swap();
+        }
+        self.time += self.params.dt;
+        self.step += 1;
+        self.timings.steps += 1;
+        self.maybe_shift_window();
+    }
+
+    /// Run `n` steps.
+    pub fn step_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Reset accumulated timings (e.g. after warmup).
+    pub fn reset_timings(&mut self) {
+        self.timings = StepTimings::default();
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Global solid fraction (allreduce over ranks).
+    pub fn solid_fraction_global(&self) -> f64 {
+        let mut local = 0.0;
+        let mut cells = 0.0;
+        for b in &self.blocks {
+            for (x, y, z) in b.dims.interior_iter() {
+                local += 1.0 - b.phi_src.at(LIQ, x, y, z);
+                cells += 1.0;
+            }
+        }
+        let sum = self.rank.allreduce_f64(local, eutectica_comm::ReduceOp::Sum);
+        let n = self.rank.allreduce_f64(cells, eutectica_comm::ReduceOp::Sum);
+        sum / n
+    }
+
+    // ----- ghost exchange plumbing -----
+
+    fn tag(&self, field: FieldSel, sender_block: usize, sender_face: Face) -> u32 {
+        let nb = self.decomp.blocks().len() as u32;
+        field.code() * nb * 6 + (sender_block as u32) * 6 + sender_face as u32
+    }
+
+    fn pack_face(&mut self, li: usize, field: FieldSel, face: Face, plain: bool) -> Bytes {
+        fn pack_one<const NC: usize>(
+            f: &eutectica_blockgrid::field::SoaField<NC>,
+            face: Face,
+            plain: bool,
+            buf: &mut Vec<f64>,
+        ) {
+            let r = if plain {
+                ghost::send_region_plain(f.dims(), face)
+            } else {
+                ghost::send_region(f.dims(), face)
+            };
+            ghost::pack_region(f, r, buf);
+        }
+        let mut buf = core::mem::take(&mut self.scratch);
+        let b = &self.blocks[li];
+        match field {
+            FieldSel::PhiSrc => pack_one(&b.phi_src, face, plain, &mut buf),
+            FieldSel::PhiDst => pack_one(&b.phi_dst, face, plain, &mut buf),
+            FieldSel::MuSrc => pack_one(&b.mu_src, face, plain, &mut buf),
+            FieldSel::MuDst => pack_one(&b.mu_dst, face, plain, &mut buf),
+        }
+        let bytes = f64s_to_bytes(&buf);
+        self.scratch = buf;
+        bytes
+    }
+
+    fn unpack_face(&mut self, li: usize, field: FieldSel, face: Face, plain: bool, data: &[f64]) {
+        fn unpack_one<const NC: usize>(
+            f: &mut eutectica_blockgrid::field::SoaField<NC>,
+            face: Face,
+            plain: bool,
+            data: &[f64],
+        ) {
+            let r = if plain {
+                ghost::recv_region_plain(f.dims(), face)
+            } else {
+                ghost::recv_region(f.dims(), face)
+            };
+            ghost::unpack_region(f, r, data);
+        }
+        let b = &mut self.blocks[li];
+        match field {
+            FieldSel::PhiSrc => unpack_one(&mut b.phi_src, face, plain, data),
+            FieldSel::PhiDst => unpack_one(&mut b.phi_dst, face, plain, data),
+            FieldSel::MuSrc => unpack_one(&mut b.mu_src, face, plain, data),
+            FieldSel::MuDst => unpack_one(&mut b.mu_dst, face, plain, data),
+        }
+    }
+
+    /// Post the exchange of `faces` for `field`; same-rank transfers are
+    /// applied immediately, remote recvs are returned as pending.
+    fn post_faces(&mut self, field: FieldSel, faces: &[Face], plain: bool) -> Pending {
+        let my = self.rank.rank();
+        let mut recvs = Vec::new();
+        // Send (or locally deliver) all outgoing faces first.
+        for li in 0..self.local_ids.len() {
+            let id = self.local_ids[li];
+            for &face in faces {
+                let Some(nb) = self.decomp.block(id).neighbors[face as usize] else {
+                    continue;
+                };
+                let nb_rank = self.decomp.rank_of(nb, self.n_ranks);
+                let payload = self.pack_face(li, field, face, plain);
+                if nb_rank == my {
+                    // Neighbor is local: deliver directly into its ghosts.
+                    let nli = self.local_ids.iter().position(|&b| b == nb).unwrap();
+                    let mut vals = core::mem::take(&mut self.scratch);
+                    bytes_to_f64s_into(&payload, &mut vals);
+                    self.unpack_face(nli, field, face.opposite(), plain, &vals);
+                    self.scratch = vals;
+                } else {
+                    self.rank
+                        .isend(nb_rank, self.tag(field, id, face), payload);
+                }
+            }
+        }
+        // Post matching receives for remote neighbors.
+        for li in 0..self.local_ids.len() {
+            let id = self.local_ids[li];
+            for &face in faces {
+                let Some(nb) = self.decomp.block(id).neighbors[face as usize] else {
+                    continue;
+                };
+                let nb_rank = self.decomp.rank_of(nb, self.n_ranks);
+                if nb_rank != my {
+                    let tag = self.tag(field, nb, face.opposite());
+                    recvs.push((li, face, self.rank.irecv(nb_rank, tag), plain));
+                }
+            }
+        }
+        Pending { recvs, field }
+    }
+
+    fn finish_plain(&mut self, p: Pending) {
+        let field = p.field;
+        for (li, face, req, plain) in p.recvs {
+            let payload = self.rank.wait(req);
+            let mut vals = core::mem::take(&mut self.scratch);
+            bytes_to_f64s_into(&payload, &mut vals);
+            self.unpack_face(li, field, face, plain, &vals);
+            self.scratch = vals;
+        }
+    }
+
+    fn post_plain(&mut self, field: FieldSel) -> Pending {
+        self.post_faces(field, &Face::ALL, true)
+    }
+
+    fn post_axis(&mut self, field: FieldSel, axis: usize) -> Pending {
+        let faces = [Face::ALL[2 * axis], Face::ALL[2 * axis + 1]];
+        self.post_faces(field, &faces, false)
+    }
+
+    fn exchange_axis(&mut self, field: FieldSel, axis: usize) {
+        let p = self.post_axis(field, axis);
+        self.finish_plain(p);
+    }
+
+    fn exchange_sequenced(&mut self, field: FieldSel) {
+        for axis in 0..3 {
+            self.exchange_axis(field, axis);
+        }
+    }
+}
+
+/// Boundary spec for a block: Comm on faces with neighbors, the
+/// directional-solidification physical conditions elsewhere.
+fn block_bc<const NC: usize>(neighbors: [Option<usize>; 6], top: [f64; NC]) -> BoundarySpec<NC> {
+    let mut spec = BoundarySpec::uniform(Bc::Comm);
+    for f in Face::ALL {
+        if neighbors[f as usize].is_none() {
+            let bc = match f {
+                Face::ZLow => Bc::Neumann,
+                Face::ZHigh => Bc::Dirichlet(top),
+                _ => Bc::Neumann, // non-periodic side walls (rare)
+            };
+            spec = spec.with_face(f, bc);
+        }
+    }
+    spec
+}
+
+/// Run a distributed simulation on `n_ranks` thread-ranks and return every
+/// rank's blocks plus timings (rank order).
+///
+/// Convenience wrapper over [`DistributedSim`] for tests and benchmarks.
+pub fn run_distributed<F>(
+    params: ModelParams,
+    decomp: Decomposition,
+    n_ranks: usize,
+    steps: usize,
+    cfg: KernelConfig,
+    overlap: OverlapOptions,
+    init: F,
+) -> Vec<(Vec<BlockState>, StepTimings)>
+where
+    F: Fn(&mut BlockState) + Send + Sync + 'static,
+{
+    let params = std::sync::Arc::new(params);
+    let decomp = std::sync::Arc::new(decomp);
+    let init = std::sync::Arc::new(init);
+    eutectica_comm::Universe::run(n_ranks, move |rank| {
+        let mut sim = DistributedSim::new(
+            &rank,
+            (*params).clone(),
+            (*decomp).clone(),
+            cfg,
+            overlap,
+        );
+        sim.init_blocks(|b| init(b));
+        sim.step_n(steps);
+        (std::mem::take(&mut sim.blocks), sim.timings)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eutectica_blockgrid::decomp::DomainSpec;
+
+    fn init_fn(b: &mut BlockState) {
+        let seeds = crate::init::VoronoiSeeds::generate([16, 16], 5, [0.34, 0.33, 0.33], 11);
+        crate::init::init_directional_block(b, &seeds, 4);
+    }
+
+    /// Single-rank single-block distributed run must match the Simulation
+    /// façade exactly.
+    #[test]
+    fn matches_single_block_solver() {
+        let params = ModelParams::ag_al_cu();
+        let spec = DomainSpec::directional([16, 16, 16], [1, 1, 1]);
+        let out = run_distributed(
+            params.clone(),
+            Decomposition::new(spec),
+            1,
+            5,
+            KernelConfig::default(),
+            OverlapOptions::default(),
+            init_fn,
+        );
+        let mut sim = crate::solver::Simulation::new(params, [16, 16, 16]).unwrap();
+        init_fn(&mut sim.state);
+        sim.step_n(5);
+        let dist = &out[0].0[0];
+        for c in 0..N_PHASES {
+            for (x, y, z) in dist.dims.interior_iter() {
+                let a = dist.phi_src.at(c, x, y, z);
+                let b = sim.state.phi_src.at(c, x, y, z);
+                assert!(
+                    (a - b).abs() < 1e-14,
+                    "phi[{c}] mismatch at ({x},{y},{z}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// 1 rank with 4 blocks must match 4 ranks with 1 block each.
+    #[test]
+    fn rank_count_invariance() {
+        let params = ModelParams::ag_al_cu();
+        let spec = DomainSpec::directional([16, 16, 8], [2, 2, 1]);
+        let run = |n_ranks: usize| {
+            run_distributed(
+                params.clone(),
+                Decomposition::new(spec),
+                n_ranks,
+                4,
+                KernelConfig::default(),
+                OverlapOptions::default(),
+                init_fn,
+            )
+        };
+        let one = run(1);
+        let four = run(4);
+        // Collect blocks by id.
+        let blocks_one = &one[0].0;
+        for (r, (blocks, _)) in four.iter().enumerate() {
+            assert_eq!(blocks.len(), 1);
+            let b = &blocks[0];
+            let a = &blocks_one[r];
+            assert_eq!(a.origin, b.origin, "block order mismatch");
+            for c in 0..N_PHASES {
+                assert_eq!(a.phi_src.comp(c), b.phi_src.comp(c), "phi[{c}] rank {r}");
+            }
+            for c in 0..N_COMP {
+                assert_eq!(a.mu_src.comp(c), b.mu_src.comp(c), "mu[{c}] rank {r}");
+            }
+        }
+    }
+
+    /// All four overlap combinations produce (numerically) the same fields.
+    #[test]
+    fn overlap_equivalence() {
+        let params = ModelParams::ag_al_cu();
+        let spec = DomainSpec::directional([8, 8, 8], [2, 1, 1]);
+        let runs: Vec<_> = OverlapOptions::ALL
+            .iter()
+            .map(|&ov| {
+                run_distributed(
+                    params.clone(),
+                    Decomposition::new(spec),
+                    2,
+                    4,
+                    KernelConfig::default(),
+                    ov,
+                    |b| {
+                        let seeds =
+                            crate::init::VoronoiSeeds::generate([8, 8], 3, [0.34, 0.33, 0.33], 2);
+                        crate::init::init_directional_block(b, &seeds, 3);
+                    },
+                )
+            })
+            .collect();
+        let base = &runs[0];
+        for (k, run) in runs.iter().enumerate().skip(1) {
+            for (r, (blocks, _)) in run.iter().enumerate() {
+                for (bi, b) in blocks.iter().enumerate() {
+                    let a = &base[r].0[bi];
+                    for c in 0..N_PHASES {
+                        for (x, y, z) in b.dims.interior_iter() {
+                            let d = (a.phi_src.at(c, x, y, z) - b.phi_src.at(c, x, y, z)).abs();
+                            assert!(d < 1e-11, "overlap {k} phi[{c}] differs by {d:e}");
+                        }
+                    }
+                    for c in 0..N_COMP {
+                        for (x, y, z) in b.dims.interior_iter() {
+                            let d = (a.mu_src.at(c, x, y, z) - b.mu_src.at(c, x, y, z)).abs();
+                            assert!(d < 1e-11, "overlap {k} mu[{c}] differs by {d:e}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

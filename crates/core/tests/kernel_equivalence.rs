@@ -1,0 +1,270 @@
+//! Cross-variant kernel equivalence — the paper's Sec. 5.1.1: "To decrease
+//! the maintenance effort for the various kernels, a regularly running test
+//! suite checks all kernel versions for equivalence."
+//!
+//! Within one implementation (scalar or SIMD), the T(z) / staggered-buffer /
+//! shortcut flags must be **bit-exact** (they only reorganize identical
+//! arithmetic or skip exactly-zero terms). Across implementations (reference
+//! ↔ scalar ↔ SIMD), FMA contraction and summation order differ, so
+//! equivalence holds to tight floating-point tolerance.
+
+use eutectica_core::kernels::{mu_sweep, phi_sweep, KernelConfig, MuPart, MuVariant, PhiVariant};
+use eutectica_core::params::ModelParams;
+use eutectica_core::regions::{build_scenario, Scenario};
+use eutectica_core::simplex::project_to_simplex;
+use eutectica_core::state::BlockState;
+use eutectica_blockgrid::GridDims;
+use rand::{Rng, SeedableRng};
+
+fn random_state(seed: u64, dims: GridDims) -> BlockState {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut s = BlockState::new(dims, [0, 0, 3]);
+    for z in 0..dims.tz() {
+        for y in 0..dims.ty() {
+            for x in 0..dims.tx() {
+                let raw: [f64; 4] = core::array::from_fn(|_| rng.random_range(0.0..1.0));
+                let phi = project_to_simplex(raw);
+                s.phi_src.set_cell(x, y, z, phi);
+                let nudged: [f64; 4] =
+                    core::array::from_fn(|a| phi[a] + rng.random_range(-0.02..0.02));
+                s.phi_dst.set_cell(x, y, z, project_to_simplex(nudged));
+                s.mu_src.set_cell(
+                    x,
+                    y,
+                    z,
+                    [rng.random_range(-0.3..0.3), rng.random_range(-0.3..0.3)],
+                );
+            }
+        }
+    }
+    s
+}
+
+/// Test states: random (worst case) plus the three benchmark scenarios
+/// (which exercise the bulk/pure/solid shortcut paths heavily).
+fn states(dims: GridDims) -> Vec<(String, BlockState)> {
+    let mut v = vec![
+        ("random-1".to_string(), random_state(101, dims)),
+        ("random-2".to_string(), random_state(202, dims)),
+    ];
+    for sc in Scenario::ALL {
+        v.push((format!("{:?}", sc), build_scenario(sc, dims)));
+    }
+    v
+}
+
+fn max_phi_diff(a: &BlockState, b: &BlockState) -> f64 {
+    let mut m = 0.0f64;
+    for c in 0..4 {
+        for (x, y, z) in a.dims.interior_iter() {
+            m = m.max((a.phi_dst.at(c, x, y, z) - b.phi_dst.at(c, x, y, z)).abs());
+        }
+    }
+    m
+}
+
+fn max_mu_diff(a: &BlockState, b: &BlockState) -> f64 {
+    let mut m = 0.0f64;
+    for c in 0..2 {
+        for (x, y, z) in a.dims.interior_iter() {
+            m = m.max((a.mu_dst.at(c, x, y, z) - b.mu_dst.at(c, x, y, z)).abs());
+        }
+    }
+    m
+}
+
+fn cfg(phi: PhiVariant, mu: MuVariant, tz: bool, stag: bool, sc: bool) -> KernelConfig {
+    KernelConfig {
+        phi,
+        mu,
+        tz_precompute: tz,
+        staggered_buffer: stag,
+        shortcuts: sc,
+    }
+}
+
+#[test]
+fn phi_all_variants_agree() {
+    let params = ModelParams::ag_al_cu();
+    let dims = GridDims::cube(10); // not a multiple of 4: remainder path too
+    for (name, base) in states(dims) {
+        let mut oracle = base.clone();
+        phi_sweep(
+            &params,
+            &mut oracle,
+            1.5,
+            cfg(PhiVariant::Scalar, MuVariant::Scalar, false, false, false),
+        );
+        let variants = [
+            (PhiVariant::Reference, false, false, false),
+            (PhiVariant::Scalar, true, true, true),
+            (PhiVariant::SimdCellwise, false, false, false),
+            (PhiVariant::SimdCellwise, true, true, true),
+            (PhiVariant::SimdFourCell, false, false, false),
+            (PhiVariant::SimdFourCell, true, false, true),
+        ];
+        for (variant, tz, stag, sc) in variants {
+            let mut s = base.clone();
+            phi_sweep(
+                &params,
+                &mut s,
+                1.5,
+                cfg(variant, MuVariant::Scalar, tz, stag, sc),
+            );
+            let d = max_phi_diff(&oracle, &s);
+            assert!(
+                d < 1e-11,
+                "{name}: φ {variant:?} (tz={tz},stag={stag},sc={sc}) differs by {d:e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mu_all_variants_agree() {
+    let params = ModelParams::ag_al_cu();
+    let dims = GridDims::cube(10);
+    for (name, base) in states(dims) {
+        let mut oracle = base.clone();
+        mu_sweep(
+            &params,
+            &mut oracle,
+            1.5,
+            cfg(PhiVariant::Scalar, MuVariant::Scalar, false, false, false),
+            MuPart::Full,
+        );
+        let variants = [
+            (MuVariant::Reference, false, false, false),
+            (MuVariant::Scalar, true, true, true),
+            (MuVariant::SimdFourCell, false, false, false),
+            (MuVariant::SimdFourCell, true, false, false),
+            (MuVariant::SimdFourCell, true, true, false),
+            (MuVariant::SimdFourCell, true, true, true),
+        ];
+        for (variant, tz, stag, sc) in variants {
+            let mut s = base.clone();
+            mu_sweep(
+                &params,
+                &mut s,
+                1.5,
+                cfg(PhiVariant::Scalar, variant, tz, stag, sc),
+                MuPart::Full,
+            );
+            let d = max_mu_diff(&oracle, &s);
+            assert!(
+                d < 1e-11,
+                "{name}: µ {variant:?} (tz={tz},stag={stag},sc={sc}) differs by {d:e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn simd_cellwise_flags_are_bit_exact() {
+    let params = ModelParams::ag_al_cu();
+    let dims = GridDims::cube(8);
+    for (name, base) in states(dims) {
+        let mut oracle = base.clone();
+        phi_sweep(
+            &params,
+            &mut oracle,
+            0.7,
+            cfg(PhiVariant::SimdCellwise, MuVariant::Scalar, false, false, false),
+        );
+        for tz in [false, true] {
+            for stag in [false, true] {
+                for sc in [false, true] {
+                    let mut s = base.clone();
+                    phi_sweep(
+                        &params,
+                        &mut s,
+                        0.7,
+                        cfg(PhiVariant::SimdCellwise, MuVariant::Scalar, tz, stag, sc),
+                    );
+                    let d = max_phi_diff(&oracle, &s);
+                    assert_eq!(
+                        d, 0.0,
+                        "{name}: cellwise flags ({tz},{stag},{sc}) not bit-exact: {d:e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn simd_mu_flags_are_bit_exact() {
+    let params = ModelParams::ag_al_cu();
+    let dims = GridDims::new(12, 8, 8, 1); // multiple of 4: pure vector path
+    for (name, base) in states(dims) {
+        let mut oracle = base.clone();
+        mu_sweep(
+            &params,
+            &mut oracle,
+            0.7,
+            cfg(PhiVariant::Scalar, MuVariant::SimdFourCell, false, false, false),
+            MuPart::Full,
+        );
+        for tz in [false, true] {
+            for stag in [false, true] {
+                for sc in [false, true] {
+                    let mut s = base.clone();
+                    mu_sweep(
+                        &params,
+                        &mut s,
+                        0.7,
+                        cfg(PhiVariant::Scalar, MuVariant::SimdFourCell, tz, stag, sc),
+                        MuPart::Full,
+                    );
+                    let d = max_mu_diff(&oracle, &s);
+                    assert_eq!(
+                        d, 0.0,
+                        "{name}: four-cell µ flags ({tz},{stag},{sc}) not bit-exact: {d:e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn split_mu_equals_full_for_all_variants() {
+    let params = ModelParams::ag_al_cu();
+    let dims = GridDims::cube(10);
+    let base = random_state(7, dims);
+    for variant in [MuVariant::Scalar, MuVariant::SimdFourCell] {
+        let c = cfg(PhiVariant::Scalar, variant, true, true, true);
+        let mut full = base.clone();
+        mu_sweep(&params, &mut full, 0.3, c, MuPart::Full);
+        let mut split = base.clone();
+        mu_sweep(&params, &mut split, 0.3, c, MuPart::LocalOnly);
+        mu_sweep(&params, &mut split, 0.3, c, MuPart::NeighborOnly);
+        let d = max_mu_diff(&full, &split);
+        assert!(d < 1e-12, "{variant:?}: split differs from full by {d:e}");
+    }
+}
+
+#[test]
+fn disabled_anti_trapping_changes_results_near_front_only() {
+    // The ATC ablation: J_at only acts at the solidification front.
+    let mut params = ModelParams::ag_al_cu();
+    let dims = GridDims::cube(12);
+    let base = build_scenario(Scenario::Interface, dims);
+    let c = KernelConfig::default();
+    let mut with_atc = base.clone();
+    mu_sweep(&params, &mut with_atc, 0.0, c, MuPart::Full);
+    params.enable_atc = false;
+    let mut without = base.clone();
+    mu_sweep(&params, &mut without, 0.0, c, MuPart::Full);
+    let d = max_mu_diff(&with_atc, &without);
+    assert!(d > 0.0, "ATC had no effect at the front");
+    // In the pure-liquid scenario the ATC changes nothing.
+    let liquid = build_scenario(Scenario::Liquid, dims);
+    params.enable_atc = true;
+    let mut a = liquid.clone();
+    mu_sweep(&params, &mut a, 0.0, c, MuPart::Full);
+    params.enable_atc = false;
+    let mut b = liquid.clone();
+    mu_sweep(&params, &mut b, 0.0, c, MuPart::Full);
+    assert_eq!(max_mu_diff(&a, &b), 0.0, "ATC acted in bulk liquid");
+}

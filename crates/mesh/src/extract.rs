@@ -1,0 +1,300 @@
+//! Per-block isosurface extraction (marching tetrahedra).
+//!
+//! Each cell-center cube is split into the six Kuhn tetrahedra sharing the
+//! main diagonal; this decomposition uses the *same* face diagonal on the
+//! shared face of two adjacent cubes, so the triangulation is consistent
+//! across cube — and block — boundaries. Because ghost layers replicate the
+//! neighbor block's cells exactly, vertices generated on a block border are
+//! bitwise identical in both blocks and the local meshes weld into one
+//! watertight surface ("the local meshes can be stitched together to a
+//! single mesh describing the complete domain", Sec. 3.2).
+//!
+//! Triangles are wound so normals point out of the `φ ≥ iso` region.
+
+use crate::{cross, dot, sub, TriMesh};
+use eutectica_blockgrid::GridDims;
+
+/// The six Kuhn tetrahedra of a unit cube, as corner ids (bit 0 = +x,
+/// bit 1 = +y, bit 2 = +z). All share the 0–7 main diagonal.
+const TETS: [[usize; 4]; 6] = [
+    [0, 1, 3, 7],
+    [0, 3, 2, 7],
+    [0, 2, 6, 7],
+    [0, 6, 4, 7],
+    [0, 4, 5, 7],
+    [0, 5, 1, 7],
+];
+
+/// Extract the `iso`-surface of one SoA component of a ghost-layered field.
+///
+/// `comp` is the component slice (length `dims.volume()`), `origin` the
+/// global coordinates of the first *interior* cell center. Cubes anchored at
+/// every interior cell are triangulated (the +side cube uses ghost values,
+/// so each interface cube is owned by exactly one block).
+pub fn extract_isosurface(
+    comp: &[f64],
+    dims: GridDims,
+    origin: [f64; 3],
+    iso: f64,
+) -> TriMesh {
+    assert_eq!(comp.len(), dims.volume());
+    let g = dims.ghost;
+    let mut mesh = TriMesh::new();
+    let corner_off = |c: usize| -> (usize, usize, usize) { (c & 1, (c >> 1) & 1, (c >> 2) & 1) };
+
+    for z in g..g + dims.nz {
+        for y in g..g + dims.ny {
+            for x in g..g + dims.nx {
+                // Cube corner values and global positions.
+                let mut vals = [0.0f64; 8];
+                let mut pos = [[0.0f64; 3]; 8];
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for c in 0..8 {
+                    let (ox, oy, oz) = corner_off(c);
+                    vals[c] = comp[dims.idx(x + ox, y + oy, z + oz)];
+                    lo = lo.min(vals[c]);
+                    hi = hi.max(vals[c]);
+                    pos[c] = [
+                        origin[0] + (x + ox - g) as f64,
+                        origin[1] + (y + oy - g) as f64,
+                        origin[2] + (z + oz - g) as f64,
+                    ];
+                }
+                if hi < iso || lo >= iso {
+                    continue; // cube entirely inside or outside
+                }
+                for tet in TETS {
+                    emit_tet(
+                        &mut mesh,
+                        [pos[tet[0]], pos[tet[1]], pos[tet[2]], pos[tet[3]]],
+                        [vals[tet[0]], vals[tet[1]], vals[tet[2]], vals[tet[3]]],
+                        iso,
+                    );
+                }
+            }
+        }
+    }
+    mesh.weld(1e-9);
+    mesh
+}
+
+/// Interpolate the iso-crossing on edge a-b.
+#[inline]
+fn cut(pa: [f64; 3], pb: [f64; 3], va: f64, vb: f64, iso: f64) -> [f64; 3] {
+    let t = (iso - va) / (vb - va);
+    let t = t.clamp(0.0, 1.0);
+    [
+        pa[0] + t * (pb[0] - pa[0]),
+        pa[1] + t * (pb[1] - pa[1]),
+        pa[2] + t * (pb[2] - pa[2]),
+    ]
+}
+
+/// Push a triangle oriented so its normal points away from `inside_ref`.
+fn push_oriented(mesh: &mut TriMesh, tri: [[f64; 3]; 3], inside_ref: [f64; 3]) {
+    let n = cross(sub(tri[1], tri[0]), sub(tri[2], tri[0]));
+    let centroid = [
+        (tri[0][0] + tri[1][0] + tri[2][0]) / 3.0,
+        (tri[0][1] + tri[1][1] + tri[2][1]) / 3.0,
+        (tri[0][2] + tri[1][2] + tri[2][2]) / 3.0,
+    ];
+    let outward = sub(centroid, inside_ref);
+    let base = mesh.vertices.len() as u32;
+    if dot(n, outward) >= 0.0 {
+        mesh.vertices.extend_from_slice(&tri);
+        mesh.triangles.push([base, base + 1, base + 2]);
+    } else {
+        mesh.vertices.extend_from_slice(&[tri[0], tri[2], tri[1]]);
+        mesh.triangles.push([base, base + 1, base + 2]);
+    }
+}
+
+/// Triangulate one tetrahedron.
+fn emit_tet(mesh: &mut TriMesh, p: [[f64; 3]; 4], v: [f64; 4], iso: f64) {
+    let inside: Vec<usize> = (0..4).filter(|&i| v[i] >= iso).collect();
+    let outside: Vec<usize> = (0..4).filter(|&i| v[i] < iso).collect();
+    match inside.len() {
+        0 | 4 => {}
+        1 => {
+            let i = inside[0];
+            let q: Vec<[f64; 3]> = outside
+                .iter()
+                .map(|&o| cut(p[i], p[o], v[i], v[o], iso))
+                .collect();
+            push_oriented(mesh, [q[0], q[1], q[2]], p[i]);
+        }
+        3 => {
+            let o = outside[0];
+            let q: Vec<[f64; 3]> = inside
+                .iter()
+                .map(|&i| cut(p[i], p[o], v[i], v[o], iso))
+                .collect();
+            // Inside reference: centroid of the inside face.
+            let r = [
+                (p[inside[0]][0] + p[inside[1]][0] + p[inside[2]][0]) / 3.0,
+                (p[inside[0]][1] + p[inside[1]][1] + p[inside[2]][1]) / 3.0,
+                (p[inside[0]][2] + p[inside[1]][2] + p[inside[2]][2]) / 3.0,
+            ];
+            push_oriented(mesh, [q[0], q[1], q[2]], r);
+        }
+        2 => {
+            // Quad: cuts of the four inside-outside edges.
+            let (i0, i1) = (inside[0], inside[1]);
+            let (o0, o1) = (outside[0], outside[1]);
+            let q00 = cut(p[i0], p[o0], v[i0], v[o0], iso);
+            let q01 = cut(p[i0], p[o1], v[i0], v[o1], iso);
+            let q10 = cut(p[i1], p[o0], v[i1], v[o0], iso);
+            let q11 = cut(p[i1], p[o1], v[i1], v[o1], iso);
+            let r = [
+                0.5 * (p[i0][0] + p[i1][0]),
+                0.5 * (p[i0][1] + p[i1][1]),
+                0.5 * (p[i0][2] + p[i1][2]),
+            ];
+            // Split the quad q00-q01-q11-q10 along q00-q11.
+            push_oriented(mesh, [q00, q01, q11], r);
+            push_oriented(mesh, [q00, q11, q10], r);
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eutectica_blockgrid::field::SoaField;
+
+    /// A sphere level-set sampled on cell centers.
+    fn sphere_field(n: usize, center: [f64; 3], radius: f64) -> (SoaField<1>, GridDims) {
+        let dims = GridDims::cube(n);
+        let g = dims.ghost;
+        let mut f = SoaField::<1>::new(dims, [0.0]);
+        for z in 0..dims.tz() {
+            for y in 0..dims.ty() {
+                for x in 0..dims.tx() {
+                    let p = [
+                        x as f64 - g as f64,
+                        y as f64 - g as f64,
+                        z as f64 - g as f64,
+                    ];
+                    let d = (0..3).map(|i| (p[i] - center[i]).powi(2)).sum::<f64>().sqrt();
+                    // Smooth indicator: 1 inside, 0 outside.
+                    f.set(0, x, y, z, 0.5 - 0.5 * ((d - radius) / 1.5).tanh());
+                }
+            }
+        }
+        (f, dims)
+    }
+
+    #[test]
+    fn sphere_surface_is_watertight_with_correct_measures() {
+        let r = 8.0;
+        let (f, dims) = sphere_field(24, [12.0, 12.0, 12.0], r);
+        let mesh = extract_isosurface(f.comp(0), dims, [0.0; 3], 0.5);
+        assert!(mesh.num_triangles() > 500);
+        assert_eq!(mesh.open_edge_count(), 0, "sphere mesh not watertight");
+        assert_eq!(mesh.euler_characteristic(), 2, "not sphere-topology");
+        let area = mesh.area();
+        let expect = 4.0 * std::f64::consts::PI * r * r;
+        assert!(
+            (area - expect).abs() / expect < 0.08,
+            "area {area} vs {expect}"
+        );
+        let vol = mesh.signed_volume().abs();
+        let expect_v = 4.0 / 3.0 * std::f64::consts::PI * r.powi(3);
+        assert!(
+            (vol - expect_v).abs() / expect_v < 0.08,
+            "volume {vol} vs {expect_v}"
+        );
+    }
+
+    #[test]
+    fn orientation_points_outward() {
+        let (f, dims) = sphere_field(16, [8.0, 8.0, 8.0], 5.0);
+        let mesh = extract_isosurface(f.comp(0), dims, [0.0; 3], 0.5);
+        // Outward orientation ⇒ positive signed volume.
+        assert!(mesh.signed_volume() > 0.0);
+    }
+
+    #[test]
+    fn split_blocks_stitch_to_single_watertight_surface() {
+        // One 24³ sphere vs two 12-cell-thick slabs extracted separately
+        // (with correct ghost values) and stitched by welding.
+        let r = 7.0;
+        let (full_f, full_d) = sphere_field(24, [12.0, 12.0, 12.0], r);
+        let full = extract_isosurface(full_f.comp(0), full_d, [0.0; 3], 0.5);
+
+        let mut stitched = TriMesh::new();
+        for half in 0..2 {
+            let dims = GridDims::new(24, 24, 12, 1);
+            let mut f = SoaField::<1>::new(dims, [0.0]);
+            let z_off = half * 12;
+            for z in 0..dims.tz() {
+                for y in 0..dims.ty() {
+                    for x in 0..dims.tx() {
+                        // Global cell = local + offset (ghost-aware).
+                        let p = [
+                            x as f64 - 1.0,
+                            y as f64 - 1.0,
+                            (z + z_off) as f64 - 1.0,
+                        ];
+                        let d = ((p[0] - 12.0).powi(2) + (p[1] - 12.0).powi(2)
+                            + (p[2] - 12.0).powi(2))
+                        .sqrt();
+                        f.set(0, x, y, z, 0.5 - 0.5 * ((d - r) / 1.5).tanh());
+                    }
+                }
+            }
+            let m = extract_isosurface(f.comp(0), dims, [0.0, 0.0, z_off as f64], 0.5);
+            stitched.append(&m);
+        }
+        stitched.weld(1e-9);
+        assert_eq!(stitched.open_edge_count(), 0, "stitched mesh has cracks");
+        assert!(
+            (stitched.area() - full.area()).abs() < 1e-9,
+            "stitched area {} vs full {}",
+            stitched.area(),
+            full.area()
+        );
+        assert_eq!(stitched.num_triangles(), full.num_triangles());
+    }
+
+    #[test]
+    fn empty_and_full_fields_give_no_surface() {
+        let dims = GridDims::cube(8);
+        let f0 = SoaField::<1>::new(dims, [0.0]);
+        let f1 = SoaField::<1>::new(dims, [1.0]);
+        assert_eq!(extract_isosurface(f0.comp(0), dims, [0.0; 3], 0.5).num_triangles(), 0);
+        assert_eq!(extract_isosurface(f1.comp(0), dims, [0.0; 3], 0.5).num_triangles(), 0);
+    }
+
+    #[test]
+    fn planar_interface_has_expected_area() {
+        // φ = 1 below z = 7.5, 0 above: the surface is a plane of area n².
+        let dims = GridDims::cube(16);
+        let mut f = SoaField::<1>::new(dims, [0.0]);
+        for z in 0..dims.tz() {
+            for y in 0..dims.ty() {
+                for x in 0..dims.tx() {
+                    f.set(0, x, y, z, if z <= 8 { 1.0 } else { 0.0 });
+                }
+            }
+        }
+        let mesh = extract_isosurface(f.comp(0), dims, [0.0; 3], 0.5);
+        // The plane spans the 15-cube-wide interior (cut cubes only).
+        let expect = 16.0 * 16.0;
+        let area = mesh.area();
+        assert!(
+            (area - expect).abs() / expect < 0.15,
+            "area {area} vs {expect}"
+        );
+        // All triangle centroids sit at z = 7.5.
+        for t in &mesh.triangles {
+            let zc = (mesh.vertices[t[0] as usize][2]
+                + mesh.vertices[t[1] as usize][2]
+                + mesh.vertices[t[2] as usize][2])
+                / 3.0;
+            assert!((zc - 7.5).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Performance models: roofline, in-core throughput, and machine-level
+//! scaling models.
+//!
+//! The paper's Sec. 5.1.1 performance analysis uses (i) a roofline model
+//! with STREAM-measured bandwidth [22, 34], (ii) the Intel Architecture Code
+//! Analyzer for the in-core bound, and (iii) three supercomputers for the
+//! scaling runs. In this reproduction:
+//!
+//! * [`roofline`] measures the host's sustainable bandwidth (STREAM triad)
+//!   and peak FLOP rate (FMA chain micro-kernel) and combines them with the
+//!   exact per-cell FLOP/byte counts from `eutectica-core::metrics`;
+//! * [`incore`] is the IACA substitute: an analytic port/latency bound from
+//!   the measured instruction mix (DESIGN.md substitution 2);
+//! * [`network`] + [`machines`] model the three machines' interconnects
+//!   (pruned fat tree / dragonfly / 5-D torus) with α-β-γ parameters and
+//!   replay the halo-exchange pattern for the weak-scaling extrapolation of
+//!   Figs. 7–9 (DESIGN.md substitution 1 — this container has one physical
+//!   core, so large rank counts are modeled, calibrated by measured
+//!   single-core kernel rates and message sizes).
+
+#![deny(missing_docs)]
+
+pub mod incore;
+pub mod machines;
+pub mod network;
+pub mod roofline;

@@ -1,0 +1,51 @@
+//! Property-based tests of the scaling models.
+
+use eutectica_perfmodel::machines::{all_machines, weak_scaling};
+use eutectica_perfmodel::network::{balanced_factors, populated_faces};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Balanced factorizations are exact and sorted.
+    #[test]
+    fn factorization_is_exact(p in 1usize..100_000) {
+        let f = balanced_factors(p);
+        prop_assert_eq!(f[0] * f[1] * f[2], p);
+        prop_assert!(f[0] <= f[1] && f[1] <= f[2]);
+    }
+
+    /// Populated faces are even and at most 6.
+    #[test]
+    fn face_population_properties(px in 1usize..8, py in 1usize..8, pz in 1usize..8) {
+        let f = populated_faces([px, py, pz]);
+        prop_assert!(f <= 6 && f % 2 == 0);
+    }
+
+    /// Weak-scaling per-core rates are positive, bounded by the single-core
+    /// rate, and monotone non-increasing in the rank count.
+    #[test]
+    fn weak_scaling_is_monotone(rate in 1.0..100.0f64, exp in 0u32..16) {
+        for m in all_machines() {
+            let cores: Vec<usize> = (0..=exp).map(|k| 1usize << k).collect();
+            let pts = weak_scaling(&m, [40; 3], rate, true, &cores);
+            let single = pts[0].mlups_per_core;
+            prop_assert!(single <= rate * m.core_speed + 1e-9);
+            for w in pts.windows(2) {
+                prop_assert!(w[1].mlups_per_core <= w[0].mlups_per_core + 1e-9);
+                prop_assert!(w[1].mlups_per_core > 0.0);
+            }
+        }
+    }
+
+    /// Hiding the µ communication never hurts.
+    #[test]
+    fn overlap_never_hurts(rate in 1.0..100.0f64, exp in 1u32..16) {
+        for m in all_machines() {
+            let cores = [1usize << exp];
+            let with = weak_scaling(&m, [60; 3], rate, true, &cores)[0].mlups_per_core;
+            let without = weak_scaling(&m, [60; 3], rate, false, &cores)[0].mlups_per_core;
+            prop_assert!(with >= without - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Simulation I/O: checkpoints and VTK output (Sec. 3.2).
+//!
+//! "For generating checkpoints, the complete simulation state has to be
+//! stored on disk, containing four φ values and two µ values per cell. While
+//! all computations are carried out in double precision, checkpoints use
+//! only single precision to save disk space and I/O bandwidth." This crate
+//! implements exactly that checkpoint format, plus a legacy-VTK writer for
+//! visual inspection of fields.
+
+#![deny(missing_docs)]
+
+use std::io::{Read, Write};
+
+use eutectica_blockgrid::decomp::{Decomposition, DomainSpec};
+use eutectica_blockgrid::GridDims;
+use eutectica_core::state::BlockState;
+use eutectica_core::{N_COMP, N_PHASES};
+
+/// Magic bytes identifying a checkpoint file.
+const MAGIC: &[u8; 8] = b"EUTECKP1";
+
+/// Write a single-precision checkpoint of a block's source fields.
+///
+/// Layout: magic, dims (nx, ny, nz, ghost), origin, time, then the interior
+/// cells of the four φ components and two µ components as little-endian
+/// f32, component-major. Ghost layers are *not* stored — they are
+/// reconstructed by communication + boundary handling after restart.
+pub fn write_checkpoint(
+    w: &mut impl Write,
+    state: &BlockState,
+    time: f64,
+) -> std::io::Result<()> {
+    let d = state.dims;
+    w.write_all(MAGIC)?;
+    for v in [d.nx as u64, d.ny as u64, d.nz as u64, d.ghost as u64] {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    for v in state.origin {
+        w.write_all(&(v as u64).to_le_bytes())?;
+    }
+    w.write_all(&time.to_le_bytes())?;
+    let mut write_comp = |comp: &[f64]| -> std::io::Result<()> {
+        for z in d.ghost..d.ghost + d.nz {
+            for y in d.ghost..d.ghost + d.ny {
+                let row = d.idx(d.ghost, y, z);
+                for v in &comp[row..row + d.nx] {
+                    w.write_all(&(*v as f32).to_le_bytes())?;
+                }
+            }
+        }
+        Ok(())
+    };
+    for c in 0..N_PHASES {
+        write_comp(state.phi_src.comp(c))?;
+    }
+    for c in 0..N_COMP {
+        write_comp(state.mu_src.comp(c))?;
+    }
+    Ok(())
+}
+
+/// Restore a checkpoint written by [`write_checkpoint`]. Returns the block
+/// state (with default directional boundary conditions — adjust afterwards
+/// if needed) and the simulation time.
+///
+/// Ghost layers are left at their initial values; call the appropriate
+/// exchange/boundary handling before stepping.
+pub fn read_checkpoint(r: &mut impl Read) -> std::io::Result<(BlockState, f64)> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "not a eutectica checkpoint",
+        ));
+    }
+    let mut u64buf = [0u8; 8];
+    let mut read_u64 = |r: &mut dyn Read| -> std::io::Result<u64> {
+        r.read_exact(&mut u64buf)?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let nx = read_u64(r)? as usize;
+    let ny = read_u64(r)? as usize;
+    let nz = read_u64(r)? as usize;
+    let ghost = read_u64(r)? as usize;
+    let origin = [
+        read_u64(r)? as usize,
+        read_u64(r)? as usize,
+        read_u64(r)? as usize,
+    ];
+    let mut f64buf = [0u8; 8];
+    r.read_exact(&mut f64buf)?;
+    let time = f64::from_le_bytes(f64buf);
+
+    let dims = GridDims::new(nx, ny, nz, ghost);
+    let mut state = BlockState::new(dims, origin);
+    let mut buf = [0u8; 4];
+    let mut read_comp = |r: &mut dyn Read, comp: &mut [f64]| -> std::io::Result<()> {
+        for z in ghost..ghost + nz {
+            for y in ghost..ghost + ny {
+                let row = dims.idx(ghost, y, z);
+                for v in comp[row..row + nx].iter_mut() {
+                    r.read_exact(&mut buf)?;
+                    *v = f32::from_le_bytes(buf) as f64;
+                }
+            }
+        }
+        Ok(())
+    };
+    for c in 0..N_PHASES {
+        read_comp(r, state.phi_src.comp_mut(c))?;
+    }
+    for c in 0..N_COMP {
+        read_comp(r, state.mu_src.comp_mut(c))?;
+    }
+    state.sync_dst_from_src();
+    Ok((state, time))
+}
+
+/// Size in bytes of a checkpoint for the given dims (used by I/O planning).
+pub fn checkpoint_size(dims: GridDims) -> usize {
+    8 + 4 * 8 + 3 * 8 + 8 + dims.interior_volume() * (N_PHASES + N_COMP) * 4
+}
+
+/// Magic bytes of a block-structure file.
+const BS_MAGIC: &[u8; 8] = b"EUTECBS1";
+
+/// Persist the block structure. waLBerla's "initialization can be executed
+/// independently of the actual simulation. The resulting block structure is
+/// then stored in a file to be loaded by the simulation at runtime"
+/// (Sec. 3.1). The decomposition is deterministic from the domain spec, so
+/// the file stores the spec and the loader rebuilds the block graph.
+pub fn write_block_structure(w: &mut impl Write, spec: &DomainSpec) -> std::io::Result<()> {
+    w.write_all(BS_MAGIC)?;
+    for v in spec.cells.iter().chain(spec.blocks.iter()) {
+        w.write_all(&(*v as u64).to_le_bytes())?;
+    }
+    for p in spec.periodic {
+        w.write_all(&[p as u8])?;
+    }
+    Ok(())
+}
+
+/// Load a block structure written by [`write_block_structure`] and rebuild
+/// the full decomposition (block descriptors + neighbor topology).
+pub fn read_block_structure(r: &mut impl Read) -> std::io::Result<Decomposition> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BS_MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "not a eutectica block-structure file",
+        ));
+    }
+    let mut buf = [0u8; 8];
+    let mut read_u64 = |r: &mut dyn Read| -> std::io::Result<u64> {
+        r.read_exact(&mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    };
+    let cells = [
+        read_u64(r)? as usize,
+        read_u64(r)? as usize,
+        read_u64(r)? as usize,
+    ];
+    let blocks = [
+        read_u64(r)? as usize,
+        read_u64(r)? as usize,
+        read_u64(r)? as usize,
+    ];
+    let mut pb = [0u8; 3];
+    r.read_exact(&mut pb)?;
+    let spec = DomainSpec {
+        cells,
+        blocks,
+        periodic: [pb[0] != 0, pb[1] != 0, pb[2] != 0],
+    };
+    Ok(Decomposition::new(spec))
+}
+
+/// Checkpoint-cadence planning: "Writing a checkpoint can take a
+/// significant amount of time compared to a simulation time step, therefore
+/// checkpoints are written infrequently" (Sec. 3.2). Given the measured (or
+/// modeled) time of one step and of one checkpoint, return the smallest
+/// write interval (in steps) that keeps the checkpoint overhead below
+/// `overhead_budget` (e.g. 0.01 = 1 % of runtime).
+pub fn checkpoint_interval(step_time: f64, checkpoint_time: f64, overhead_budget: f64) -> usize {
+    assert!(step_time > 0.0 && checkpoint_time >= 0.0);
+    assert!(overhead_budget > 0.0);
+    ((checkpoint_time / (step_time * overhead_budget)).ceil() as usize).max(1)
+}
+
+/// Write the interior fields as a legacy-VTK `STRUCTURED_POINTS` file with
+/// the four φ components, the dominant-phase id, and the two µ components.
+pub fn write_vtk(w: &mut impl Write, state: &BlockState, title: &str) -> std::io::Result<()> {
+    let d = state.dims;
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    writeln!(w, "{title}")?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET STRUCTURED_POINTS")?;
+    writeln!(w, "DIMENSIONS {} {} {}", d.nx, d.ny, d.nz)?;
+    writeln!(
+        w,
+        "ORIGIN {} {} {}",
+        state.origin[0], state.origin[1], state.origin[2]
+    )?;
+    writeln!(w, "SPACING 1 1 1")?;
+    writeln!(w, "POINT_DATA {}", d.interior_volume())?;
+    for c in 0..N_PHASES {
+        writeln!(w, "SCALARS phi{c} float 1")?;
+        writeln!(w, "LOOKUP_TABLE default")?;
+        for (x, y, z) in d.interior_iter() {
+            writeln!(w, "{}", state.phi_src.at(c, x, y, z) as f32)?;
+        }
+    }
+    writeln!(w, "SCALARS phase_id float 1")?;
+    writeln!(w, "LOOKUP_TABLE default")?;
+    for (x, y, z) in d.interior_iter() {
+        let phi = state.phi_src.cell(x, y, z);
+        let id = (0..N_PHASES).max_by(|&a, &b| phi[a].total_cmp(&phi[b])).unwrap();
+        writeln!(w, "{id}")?;
+    }
+    for c in 0..N_COMP {
+        writeln!(w, "SCALARS mu{c} float 1")?;
+        writeln!(w, "LOOKUP_TABLE default")?;
+        for (x, y, z) in d.interior_iter() {
+            writeln!(w, "{}", state.mu_src.at(c, x, y, z) as f32)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_state(seed: u64) -> BlockState {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dims = GridDims::new(6, 5, 7, 1);
+        let mut s = BlockState::new(dims, [3, 1, 9]);
+        for (x, y, z) in dims.interior_iter() {
+            let raw: [f64; 4] = core::array::from_fn(|_| rng.random_range(0.0..1.0));
+            s.phi_src
+                .set_cell(x, y, z, eutectica_core::simplex::project_to_simplex(raw));
+            s.mu_src
+                .set_cell(x, y, z, [rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)]);
+        }
+        s
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_within_f32_precision() {
+        let s = random_state(5);
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &s, 123.25).unwrap();
+        assert_eq!(buf.len(), checkpoint_size(s.dims));
+        let (s2, time) = read_checkpoint(&mut buf.as_slice()).unwrap();
+        assert_eq!(time, 123.25);
+        assert_eq!(s2.dims, s.dims);
+        assert_eq!(s2.origin, s.origin);
+        for c in 0..N_PHASES {
+            for (x, y, z) in s.dims.interior_iter() {
+                let a = s.phi_src.at(c, x, y, z);
+                let b = s2.phi_src.at(c, x, y, z);
+                assert!((a - b).abs() <= a.abs() * 1e-7 + 1e-7, "phi[{c}]");
+            }
+        }
+        for c in 0..N_COMP {
+            for (x, y, z) in s.dims.interior_iter() {
+                let a = s.mu_src.at(c, x, y, z);
+                let b = s2.mu_src.at(c, x, y, z);
+                assert!((a - b).abs() <= a.abs() * 1e-7 + 1e-7, "mu[{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_garbage() {
+        let garbage = b"NOTACKPT-and-some-more-bytes".to_vec();
+        assert!(read_checkpoint(&mut garbage.as_slice()).is_err());
+    }
+
+    #[test]
+    fn checkpoint_is_single_precision_sized() {
+        // 4 φ + 2 µ per cell at 4 bytes — half the in-memory double size.
+        let dims = GridDims::new(10, 10, 10, 1);
+        let payload = checkpoint_size(dims) - (8 + 4 * 8 + 3 * 8 + 8);
+        assert_eq!(payload, 1000 * 6 * 4);
+    }
+
+    #[test]
+    fn block_structure_roundtrip() {
+        let spec = DomainSpec::directional([48, 24, 96], [4, 2, 3]);
+        let mut buf = Vec::new();
+        write_block_structure(&mut buf, &spec).unwrap();
+        let d = read_block_structure(&mut buf.as_slice()).unwrap();
+        assert_eq!(d.spec, spec);
+        let direct = Decomposition::new(spec);
+        assert_eq!(d.blocks().len(), direct.blocks().len());
+        for (a, b) in d.blocks().iter().zip(direct.blocks()) {
+            assert_eq!(a, b);
+        }
+        // Garbage is rejected.
+        assert!(read_block_structure(&mut &b"NOTABS.."[..]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_cadence() {
+        // A checkpoint costing 50 steps of runtime at a 1 % budget must be
+        // written at most every 5000 steps.
+        assert_eq!(checkpoint_interval(1.0, 50.0, 0.01), 5000);
+        // Free checkpoints may go every step.
+        assert_eq!(checkpoint_interval(1.0, 0.0, 0.01), 1);
+        // Budgets below one checkpoint per step round up to 1.
+        assert_eq!(checkpoint_interval(10.0, 1.0, 0.5), 1);
+    }
+
+    #[test]
+    fn vtk_output_contains_all_fields() {
+        let s = random_state(9);
+        let mut out = Vec::new();
+        write_vtk(&mut out, &s, "test").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        for field in ["phi0", "phi1", "phi2", "phi3", "phase_id", "mu0", "mu1"] {
+            assert!(text.contains(&format!("SCALARS {field} float 1")), "{field}");
+        }
+        assert!(text.contains("DIMENSIONS 6 5 7"));
+        assert!(text.contains("ORIGIN 3 1 9"));
+        // One value per interior cell per field.
+        let values = text
+            .lines()
+            .filter(|l| l.parse::<f32>().is_ok())
+            .count();
+        assert_eq!(values, 6 * 5 * 7 * 7);
+    }
+}

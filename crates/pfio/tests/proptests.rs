@@ -1,0 +1,75 @@
+//! Property-based tests of the checkpoint format.
+
+use eutectica_blockgrid::GridDims;
+use eutectica_core::simplex::project_to_simplex;
+use eutectica_core::state::BlockState;
+use eutectica_pfio::{checkpoint_size, read_checkpoint, write_checkpoint};
+use proptest::prelude::*;
+
+fn make_state(nx: usize, ny: usize, nz: usize, origin: [usize; 3], seed: u64) -> BlockState {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dims = GridDims::new(nx, ny, nz, 1);
+    let mut s = BlockState::new(dims, origin);
+    for (x, y, z) in dims.interior_iter() {
+        let raw: [f64; 4] = core::array::from_fn(|_| rng.random_range(0.0..1.0));
+        s.phi_src.set_cell(x, y, z, project_to_simplex(raw));
+        s.mu_src.set_cell(
+            x,
+            y,
+            z,
+            [rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0)],
+        );
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Round-trip through the single-precision checkpoint reproduces every
+    /// interior value to f32 accuracy, and the file size matches the
+    /// documented layout exactly.
+    #[test]
+    fn checkpoint_roundtrip(
+        nx in 1usize..8,
+        ny in 1usize..8,
+        nz in 1usize..8,
+        ox in 0usize..100,
+        oz in 0usize..1000,
+        seed in any::<u64>(),
+        time in 0.0..1e6f64,
+    ) {
+        let s = make_state(nx, ny, nz, [ox, 0, oz], seed);
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &s, time).unwrap();
+        prop_assert_eq!(buf.len(), checkpoint_size(s.dims));
+        let (s2, t2) = read_checkpoint(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(t2, time);
+        prop_assert_eq!(s2.dims, s.dims);
+        prop_assert_eq!(s2.origin, s.origin);
+        for (x, y, z) in s.dims.interior_iter() {
+            for c in 0..4 {
+                let a = s.phi_src.at(c, x, y, z);
+                let b = s2.phi_src.at(c, x, y, z);
+                prop_assert!((a - b).abs() <= a.abs() * 1e-7 + 1e-7);
+            }
+            for c in 0..2 {
+                let a = s.mu_src.at(c, x, y, z);
+                let b = s2.mu_src.at(c, x, y, z);
+                prop_assert!((a - b).abs() <= a.abs() * 1e-7 + 1e-7);
+            }
+        }
+    }
+
+    /// Truncated checkpoints are rejected, never mis-read.
+    #[test]
+    fn truncation_is_detected(cut in 0usize..200, seed in any::<u64>()) {
+        let s = make_state(4, 4, 4, [0, 0, 0], seed);
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &s, 1.0).unwrap();
+        let cut = cut.min(buf.len().saturating_sub(1));
+        let truncated = &buf[..cut];
+        prop_assert!(read_checkpoint(&mut &truncated[..]).is_err());
+    }
+}

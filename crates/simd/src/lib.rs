@@ -1,0 +1,140 @@
+//! Portable 4-wide double-precision SIMD abstraction layer.
+//!
+//! This crate is the Rust analog of the "lightweight abstraction layer" the
+//! SC'15 paper describes in Sec. 3.3: a common API over the machine's vector
+//! extensions so the explicitly vectorized φ- and µ-kernels stay portable.
+//! The paper's layer covered SSE2/SSE4/AVX/AVX2 and Blue Gene/Q QPX; ours
+//! provides
+//!
+//! * an **AVX2 + FMA backend** ([`avx2`]) selected at compile time when the
+//!   build targets a CPU with those extensions (the workspace builds with
+//!   `-C target-cpu=native`, mirroring waLBerla's per-machine builds), and
+//! * a **portable scalar backend** ([`scalar`]) used on other targets or when
+//!   the `force-scalar` feature is enabled (used by the optimization-ladder
+//!   benchmarks to isolate the benefit of explicit vectorization).
+//!
+//! All operations are provided on the 4-lane vector type [`F64x4`] and its
+//! comparison-mask companion [`Mask4`]. Like the paper's API, not every
+//! function maps to a single instruction on every ISA: lane permutes are one
+//! `vpermpd` on AVX2 but shuffles in the scalar backend; the API hides the
+//! difference.
+//!
+//! The width of 4 doubles is not arbitrary: the paper vectorizes the φ-kernel
+//! *cellwise*, mapping the **four phase-field components of one cell** to the
+//! four vector lanes, and the µ-kernel *four-cells-at-a-time*. Both uses are
+//! exercised heavily by `eutectica-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use eutectica_simd::F64x4;
+//!
+//! let phi = F64x4::from_array([0.1, 0.2, 0.3, 0.4]);
+//! let sum = phi.hsum_splat();              // Σφ broadcast to all lanes
+//! let h = (phi * phi) / (phi * phi).hsum_splat(); // Moelans interpolation
+//! assert!((sum.extract(0) - 1.0).abs() < 1e-15);
+//! assert!((h.to_array().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod scalar;
+
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma",
+    not(feature = "force-scalar")
+))]
+pub mod avx2;
+
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma",
+    not(feature = "force-scalar")
+))]
+pub use avx2::{F64x4, Mask4};
+
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma",
+    not(feature = "force-scalar")
+)))]
+pub use scalar::{F64x4, Mask4};
+
+/// Number of lanes in [`F64x4`].
+pub const LANES: usize = 4;
+
+/// Name of the backend selected at compile time (`"avx2"` or `"scalar"`).
+///
+/// Reported by the benchmark harness so figure outputs record which ISA the
+/// measurements were taken with.
+pub const BACKEND: &str = {
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma",
+        not(feature = "force-scalar")
+    ))]
+    {
+        "avx2"
+    }
+    #[cfg(not(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma",
+        not(feature = "force-scalar")
+    )))]
+    {
+        "scalar"
+    }
+};
+
+/// Scalar fast inverse square root (Lomont's method, double precision).
+///
+/// The paper replaces `1/sqrt(x)` used for vector normalization in the
+/// anti-trapping current by "approximated values provided by a fast inverse
+/// square root algorithm [20]" (Lomont). `iters` Newton–Raphson refinements
+/// are applied; 2 give ≈1e-5 relative error, 4 reach near machine precision.
+#[inline(always)]
+pub fn rsqrt_fast_scalar(x: f64, iters: u32) -> f64 {
+    debug_assert!(x > 0.0);
+    let i = x.to_bits();
+    // Double-precision magic constant from Lomont's report.
+    let i = 0x5FE6EB50C7B537A9u64.wrapping_sub(i >> 1);
+    let mut y = f64::from_bits(i);
+    let half = 0.5 * x;
+    for _ in 0..iters {
+        y = y * (1.5 - half * y * y);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rsqrt_fast_converges() {
+        for &x in &[1e-8f64, 0.3, 1.0, 2.0, 123.0, 1e12] {
+            let exact = 1.0 / x.sqrt();
+            let approx2 = rsqrt_fast_scalar(x, 2);
+            let approx4 = rsqrt_fast_scalar(x, 4);
+            assert!(
+                ((approx2 - exact) / exact).abs() < 1e-4,
+                "2 iters too inaccurate at {x}"
+            );
+            assert!(
+                ((approx4 - exact) / exact).abs() < 1e-14,
+                "4 iters too inaccurate at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn backend_is_reported() {
+        assert!(BACKEND == "avx2" || BACKEND == "scalar");
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: set up a small directional-solidification simulation of the
+//! ternary eutectic Ag-Al-Cu system, run it, and inspect basic observables.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use eutectica_core::prelude::*;
+use eutectica_thermo::Phase;
+
+fn main() {
+    // Model parameters: the nondimensionalized Ag-Al-Cu system of the paper
+    // with a frozen temperature gradient moving at velocity v (Fig. 2).
+    let mut params = ModelParams::ag_al_cu();
+    params.t0 = 0.95; // undercooling at the bottom of the domain
+    params.validate().expect("parameters satisfy the CFL limits");
+
+    // A 32×32×64-cell domain, liquid-filled, with Voronoi-tessellated solid
+    // nuclei at the bottom (Sec. 2.1).
+    let mut sim = Simulation::new(params, [32, 32, 64]).expect("valid setup");
+    sim.init_directional(42);
+
+    println!("initial solid fraction: {:.3}", sim.solid_fraction());
+    println!(
+        "phase fractions (Al, Ag2Al, Al2Cu, liquid): {:?}",
+        sim.phase_fractions().map(|f| (f * 1000.0).round() / 1000.0)
+    );
+
+    // Run 500 explicit-Euler steps (Algorithm 1 with the fully optimized
+    // kernels: explicit SIMD, T(z) precompute, staggered buffers,
+    // shortcuts).
+    let steps = 500;
+    let t = std::time::Instant::now();
+    sim.step_n(steps);
+    let dt = t.elapsed().as_secs_f64();
+    let cells = 32 * 32 * 64;
+    println!();
+    println!(
+        "{steps} steps in {:.2} s  ->  {:.1} MLUP/s",
+        dt,
+        (cells * steps) as f64 / dt / 1e6
+    );
+    println!();
+    println!("after {} time units:", sim.time());
+    println!("  solid fraction : {:.3}", sim.solid_fraction());
+    println!("  front position : z = {:.0}", sim.front_position());
+    for p in Phase::ALL {
+        println!(
+            "  {:8}: {:.3}",
+            p.name(),
+            sim.phase_fractions()[p as usize]
+        );
+    }
+    println!("  mean chemical potentials: {:?}", sim.mean_mu());
+}

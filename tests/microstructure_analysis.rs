@@ -1,0 +1,120 @@
+//! Integration: the quantitative microstructure pipeline (two-point
+//! correlation → radial average → PCA) distinguishes microstructures, and
+//! the pattern census matches constructed ground truth — the machinery for
+//! the paper's announced "quantitative comparison using Principal Component
+//! Analysis on two-point correlation" (Sec. 5.2).
+
+use eutectica_analysis::correlation::{
+    correlation_length, radial_average, two_point_correlation,
+};
+use eutectica_analysis::lamellae::Snapshot;
+use eutectica_analysis::patterns::census_slice;
+use eutectica_analysis::pca::Pca;
+use eutectica_blockgrid::GridDims;
+use eutectica_core::state::BlockState;
+
+/// Periodic lamellar indicator with the given stripe half-period (cells).
+fn stripes(n: usize, half_period: usize) -> Vec<f64> {
+    (0..n * n * n)
+        .map(|i| (((i % n) / half_period) % 2 == 0) as u8 as f64)
+        .collect()
+}
+
+#[test]
+fn correlation_length_tracks_lamella_spacing() {
+    let n = 32;
+    let fine = radial_average(
+        &two_point_correlation(&stripes(n, 2), [n, n, n]),
+        [n, n, n],
+        10,
+    );
+    let coarse = radial_average(
+        &two_point_correlation(&stripes(n, 8), [n, n, n]),
+        [n, n, n],
+        10,
+    );
+    let l_fine = correlation_length(&fine, 0.5).expect("fine length");
+    let l_coarse = correlation_length(&coarse, 0.5).expect("coarse length");
+    assert!(
+        l_coarse > l_fine,
+        "coarser lamellae must have the longer correlation length: {l_fine} vs {l_coarse}"
+    );
+}
+
+#[test]
+fn pca_separates_fine_from_coarse_lamellae() {
+    let n = 32;
+    // Several samples per class (periods 2–3 vs 7–8, shifted phases).
+    let mut samples = Vec::new();
+    let mut labels = Vec::new();
+    for (class, periods) in [(0, [2usize, 3]), (1, [7, 8])] {
+        for &hp in &periods {
+            for shift in 0..2 {
+                let mask: Vec<f64> = (0..n * n * n)
+                    .map(|i| ((((i % n) + shift * hp) / hp) % 2 == 0) as u8 as f64)
+                    .collect();
+                let corr = two_point_correlation(&mask, [n, n, n]);
+                samples.push(radial_average(&corr, [n, n, n], 12));
+                labels.push(class);
+            }
+        }
+    }
+    let pca = Pca::fit(&samples);
+    let proj: Vec<f64> = samples.iter().map(|s| pca.project(s, 1)[0]).collect();
+    // The two classes must be linearly separated on the first component.
+    let c0: Vec<f64> = proj
+        .iter()
+        .zip(&labels)
+        .filter(|(_, &l)| l == 0)
+        .map(|(p, _)| *p)
+        .collect();
+    let c1: Vec<f64> = proj
+        .iter()
+        .zip(&labels)
+        .filter(|(_, &l)| l == 1)
+        .map(|(p, _)| *p)
+        .collect();
+    let (min0, max0) = (
+        c0.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+        c0.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+    );
+    let (min1, max1) = (
+        c1.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+        c1.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+    );
+    assert!(
+        max0 < min1 || max1 < min0,
+        "classes overlap on PC1: [{min0},{max0}] vs [{min1},{max1}]"
+    );
+}
+
+#[test]
+fn census_and_snapshot_agree_on_constructed_lamellae() {
+    // Build a block with three exact solid lamellae of one phase.
+    let dims = GridDims::new(24, 24, 8, 1);
+    let mut s = BlockState::new(dims, [0, 0, 0]);
+    let g = dims.ghost;
+    for z in 0..8usize {
+        for y in 0..24usize {
+            for x in 0..24usize {
+                // Lamellae of phase 0 at x ∈ [2,5), [10,13), [18,21).
+                let in_lamella = [2..5usize, 10..13, 18..21]
+                    .iter()
+                    .any(|r| r.contains(&x));
+                let phi = if in_lamella {
+                    [1.0, 0.0, 0.0, 0.0]
+                } else {
+                    [0.0, 0.0, 0.0, 1.0]
+                };
+                s.phi_src.set_cell(x + g, y + g, z + g, phi);
+            }
+        }
+    }
+    // 3-D: exactly three lamellae.
+    let snap = Snapshot::of_block(&s, 0);
+    assert_eq!(snap.lamella_count(), 3);
+    // 2-D census: three elongated (chain) sections, nothing else.
+    let census = census_slice(&s, 0, g + 2, 4);
+    assert_eq!(census.total(), 3, "{census:?}");
+    assert_eq!(census.chains, 3, "{census:?}");
+}

@@ -185,7 +185,7 @@ mod tests {
 
     #[test]
     fn full_grid_is_one_component() {
-        let l = label_3d(&vec![true; 27], [3, 3, 3], [false; 3]);
+        let l = label_3d(&[true; 27], [3, 3, 3], [false; 3]);
         assert_eq!(l.count, 1);
         assert_eq!(l.sizes[1], 27);
     }

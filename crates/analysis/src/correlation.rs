@@ -90,7 +90,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let dims = [16, 16, 16];
         let n: usize = dims.iter().product();
-        let mask: Vec<f64> = (0..n).map(|_| (rng.random::<f64>() < 0.3) as u8 as f64).collect();
+        let mask: Vec<f64> = (0..n)
+            .map(|_| (rng.random::<f64>() < 0.3) as u8 as f64)
+            .collect();
         let corr = two_point_correlation(&mask, dims);
         let f = corr[0];
         // Offset (8,8,8): far from any correlation.
@@ -136,6 +138,6 @@ mod tests {
         // Monotone decay initially, then recovery towards the period.
         assert!(rad[1] < rad[0]);
         let l = correlation_length(&rad, 0.5).expect("has a correlation length");
-        assert!(l >= 1 && l <= 4, "length {l}");
+        assert!((1..=4).contains(&l), "length {l}");
     }
 }

@@ -20,8 +20,7 @@ pub fn front_height_map(state: &BlockState) -> Vec<f64> {
     let mut map = Vec::with_capacity(d.nx * d.ny);
     for y in 0..d.ny {
         for x in 0..d.nx {
-            let solid_at =
-                |z: usize| -> f64 { 1.0 - state.phi_src.at(LIQ, x + g, y + g, z + g) };
+            let solid_at = |z: usize| -> f64 { 1.0 - state.phi_src.at(LIQ, x + g, y + g, z + g) };
             let mut h = z0; // default: no solid found
             if solid_at(d.nz - 1) >= 0.5 {
                 h = z0 + (d.nz - 1) as f64;
@@ -113,7 +112,11 @@ mod tests {
         // Solid below global z = 30 (local z < 5).
         init_planar_front(&mut s, 1, 30);
         let map = front_height_map(&s);
-        assert!((front_mean(&map) - 29.5).abs() < 0.51, "{}", front_mean(&map));
+        assert!(
+            (front_mean(&map) - 29.5).abs() < 0.51,
+            "{}",
+            front_mean(&map)
+        );
     }
 
     #[test]

@@ -179,8 +179,8 @@ mod tests {
 
     #[test]
     fn snapshot_counts_lamellae_of_scenario() {
-        use eutectica_core::regions::{build_scenario, Scenario};
         use eutectica_blockgrid::GridDims;
+        use eutectica_core::regions::{build_scenario, Scenario};
         let s = build_scenario(Scenario::Solid, GridDims::cube(24));
         let total: usize = (0..3)
             .map(|p| Snapshot::of_block(&s, p).lamella_count())

@@ -17,6 +17,9 @@
 //!   shown in Fig. 11,
 //! * [`front`] — solidification-front height map, roughness and velocity.
 
+// Index-based loops deliberately mirror the paper's stencil formulations;
+// iterator rewrites would obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
 #![deny(missing_docs)]
 
 pub mod ccl;

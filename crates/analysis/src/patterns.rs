@@ -78,7 +78,9 @@ pub fn classify_component(
     // Hole detection: label the complement (non-periodic); any complement
     // component that never touches the image border and is 4-adjacent to
     // this component is an enclosed hole.
-    let comp_mask: Vec<bool> = (0..nx * ny).map(|i| labels.labels[i] != component).collect();
+    let comp_mask: Vec<bool> = (0..nx * ny)
+        .map(|i| labels.labels[i] != component)
+        .collect();
     let holes = label_2d(&comp_mask, dims, [false, false]);
     let mut touches_border = vec![false; holes.count + 1];
     for y in 0..ny {
@@ -230,10 +232,7 @@ mod tests {
         }
         let l = labels_of(&mask, [n, n]);
         assert_eq!(l.count, 1);
-        assert_eq!(
-            classify_component(&l, [n, n], 1, 4),
-            Some(ShapeClass::Ring)
-        );
+        assert_eq!(classify_component(&l, [n, n], 1, 4), Some(ShapeClass::Ring));
     }
 
     #[test]
@@ -300,8 +299,8 @@ mod tests {
 
     #[test]
     fn volume_census_accumulates_slices() {
-        use eutectica_core::regions::{build_scenario, Scenario};
         use eutectica_blockgrid::GridDims;
+        use eutectica_core::regions::{build_scenario, Scenario};
         let s = build_scenario(Scenario::Solid, GridDims::cube(24));
         let g = s.dims.ghost;
         let single = census_slice(&s, 0, g + 12, 4);
@@ -312,8 +311,8 @@ mod tests {
 
     #[test]
     fn census_counts_lamellae_in_scenario_state() {
-        use eutectica_core::regions::{build_scenario, Scenario};
         use eutectica_blockgrid::GridDims;
+        use eutectica_core::regions::{build_scenario, Scenario};
         let s = build_scenario(Scenario::Solid, GridDims::cube(24));
         let mut total = 0;
         for phase in 0..3 {

@@ -181,17 +181,16 @@ mod tests {
         let pca = Pca::fit(&samples);
         let p0 = pca.project(&samples[0], 1)[0];
         let p1 = pca.project(&samples[99], 1)[0];
-        assert!((p0 - p1).abs() > 5.0, "clusters not separated: {p0} vs {p1}");
+        assert!(
+            (p0 - p1).abs() > 5.0,
+            "clusters not separated: {p0} vs {p1}"
+        );
     }
 
     #[test]
     fn eigenvalues_match_known_covariance() {
         // Deterministic 3-point set with known covariance eigenvalues.
-        let samples = vec![
-            vec![1.0, 0.0],
-            vec![-1.0, 0.0],
-            vec![0.0, 0.0],
-        ];
+        let samples = vec![vec![1.0, 0.0], vec![-1.0, 0.0], vec![0.0, 0.0]];
         let pca = Pca::fit(&samples);
         assert!((pca.eigenvalues[0] - 1.0).abs() < 1e-12);
         assert!(pca.eigenvalues[1].abs() < 1e-12);

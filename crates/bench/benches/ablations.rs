@@ -16,13 +16,33 @@ fn flag_ablations(c: &mut Criterion) {
     let base = OptLevel::SimdTzBufShortcuts.config();
     let cases = [
         ("full", base),
-        ("no_tz", KernelConfig { tz_precompute: false, ..base }),
-        ("no_staggered_buffer", KernelConfig { staggered_buffer: false, ..base }),
-        ("no_shortcuts", KernelConfig { shortcuts: false, ..base }),
+        (
+            "no_tz",
+            KernelConfig {
+                tz_precompute: false,
+                ..base
+            },
+        ),
+        (
+            "no_staggered_buffer",
+            KernelConfig {
+                staggered_buffer: false,
+                ..base
+            },
+        ),
+        (
+            "no_shortcuts",
+            KernelConfig {
+                shortcuts: false,
+                ..base
+            },
+        ),
     ];
     for (kernel, is_phi) in [("phi", true), ("mu", false)] {
         let mut group = c.benchmark_group(format!("ablation_{kernel}"));
-        group.throughput(criterion::Throughput::Elements(dims.interior_volume() as u64));
+        group.throughput(criterion::Throughput::Elements(
+            dims.interior_volume() as u64
+        ));
         for (name, cfg) in cases {
             let mut state = build_scenario(Scenario::Interface, dims);
             phi_sweep(&params, &mut state, 0.0, base);
@@ -48,7 +68,9 @@ fn split_mu_overhead(c: &mut Criterion) {
     let dims = GridDims::cube(32);
     let cfg = OptLevel::SimdTzBufShortcuts.config();
     let mut group = c.benchmark_group("mu_split");
-    group.throughput(criterion::Throughput::Elements(dims.interior_volume() as u64));
+    group.throughput(criterion::Throughput::Elements(
+        dims.interior_volume() as u64
+    ));
     let mut state = build_scenario(Scenario::Interface, dims);
     phi_sweep(&params, &mut state, 0.0, cfg);
     group.bench_function("unsplit", |b| {
@@ -69,7 +91,9 @@ fn anti_trapping_cost(c: &mut Criterion) {
     let dims = GridDims::cube(32);
     let cfg = OptLevel::SimdTzBuf.config();
     let mut group = c.benchmark_group("anti_trapping");
-    group.throughput(criterion::Throughput::Elements(dims.interior_volume() as u64));
+    group.throughput(criterion::Throughput::Elements(
+        dims.interior_volume() as u64
+    ));
     let mut state = build_scenario(Scenario::Interface, dims);
     phi_sweep(&params, &mut state, 0.0, cfg);
     group.bench_function("with_atc", |b| {
@@ -91,7 +115,9 @@ fn phi_layout(c: &mut Criterion) {
     let params = ModelParams::ag_al_cu();
     let dims = GridDims::cube(32);
     let mut group = c.benchmark_group("phi_layout");
-    group.throughput(criterion::Throughput::Elements(dims.interior_volume() as u64));
+    group.throughput(criterion::Throughput::Elements(
+        dims.interior_volume() as u64
+    ));
     let base = build_scenario(Scenario::Interface, dims);
     let mut soa_state = base.clone();
     group.bench_function("soa_cellwise", |b| {

@@ -13,7 +13,9 @@ fn bench_phi_variants(c: &mut Criterion) {
     let params = ModelParams::ag_al_cu();
     let dims = GridDims::cube(32);
     let mut group = c.benchmark_group("phi_kernel");
-    group.throughput(criterion::Throughput::Elements(dims.interior_volume() as u64));
+    group.throughput(criterion::Throughput::Elements(
+        dims.interior_volume() as u64
+    ));
     for (name, variant) in [
         ("reference", PhiVariant::Reference),
         ("scalar", PhiVariant::Scalar),
@@ -40,7 +42,9 @@ fn bench_mu_variants(c: &mut Criterion) {
     let params = ModelParams::ag_al_cu();
     let dims = GridDims::cube(32);
     let mut group = c.benchmark_group("mu_kernel");
-    group.throughput(criterion::Throughput::Elements(dims.interior_volume() as u64));
+    group.throughput(criterion::Throughput::Elements(
+        dims.interior_volume() as u64
+    ));
     for (name, variant) in [
         ("reference", MuVariant::Reference),
         ("scalar", MuVariant::Scalar),
@@ -67,7 +71,9 @@ fn bench_full_step_per_scenario(c: &mut Criterion) {
     let dims = GridDims::cube(32);
     let cfg = OptLevel::SimdTzBufShortcuts.config();
     let mut group = c.benchmark_group("full_step");
-    group.throughput(criterion::Throughput::Elements(dims.interior_volume() as u64));
+    group.throughput(criterion::Throughput::Elements(
+        dims.interior_volume() as u64
+    ));
     for sc in Scenario::ALL {
         let mut state = build_scenario(sc, dims);
         group.bench_function(sc.name(), |b| {

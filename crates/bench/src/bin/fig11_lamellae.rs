@@ -41,7 +41,9 @@ fn main() {
 
     let mut table = ResultTable::new(
         "fig11_lamellae",
-        &["steps", "phase", "lamellae", "splits", "merges", "born", "died"],
+        &[
+            "steps", "phase", "lamellae", "splits", "merges", "born", "died",
+        ],
     );
     let mut prev: Vec<Snapshot> = (0..3).map(|p| Snapshot::of_block(&sim.state, p)).collect();
     for round in 1..=rounds {

@@ -4,16 +4,19 @@
 //! interface, liquid and solid scenarios.
 
 use eutectica_bench::{f2, phi_mlups, ResultTable};
+use eutectica_blockgrid::GridDims;
 use eutectica_core::kernels::{KernelConfig, MuVariant, PhiVariant};
 use eutectica_core::params::ModelParams;
 use eutectica_core::regions::Scenario;
-use eutectica_blockgrid::GridDims;
 
 fn main() {
     let params = ModelParams::ag_al_cu();
     let dims = GridDims::cube(60);
     let reps = 5;
-    println!("Fig. 5 — phi-kernel vectorization strategies, block 60^3, SIMD backend: {}", eutectica_simd::BACKEND);
+    println!(
+        "Fig. 5 — phi-kernel vectorization strategies, block 60^3, SIMD backend: {}",
+        eutectica_simd::BACKEND
+    );
     println!();
 
     let variants: [(&str, PhiVariant, bool); 3] = [

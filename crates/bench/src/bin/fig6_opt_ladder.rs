@@ -4,10 +4,10 @@
 //! buffer → +shortcuts.
 
 use eutectica_bench::{f2, mu_mlups, phi_mlups, ResultTable};
+use eutectica_blockgrid::GridDims;
 use eutectica_core::kernels::OptLevel;
 use eutectica_core::params::ModelParams;
 use eutectica_core::regions::Scenario;
-use eutectica_blockgrid::GridDims;
 
 fn main() {
     let params = ModelParams::ag_al_cu();
@@ -18,10 +18,7 @@ fn main() {
     );
     println!();
 
-    for (kernel, f) in [
-        ("phi", true),
-        ("mu", false),
-    ] {
+    for (kernel, f) in [("phi", true), ("mu", false)] {
         let mut table = ResultTable::new(
             &format!("fig6_opt_ladder_{kernel}"),
             &["rung", "interface", "liquid", "solid"],

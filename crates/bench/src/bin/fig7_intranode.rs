@@ -8,12 +8,12 @@
 //! DESIGN.md substitution 1; this container has one physical core).
 
 use eutectica_bench::{f2, mu_mlups, ResultTable};
+use eutectica_blockgrid::GridDims;
 use eutectica_core::kernels::OptLevel;
 use eutectica_core::metrics::mu_bytes_per_cell;
 use eutectica_core::params::ModelParams;
 use eutectica_core::regions::Scenario;
 use eutectica_perfmodel::machines::{intranode_scaling, supermuc};
-use eutectica_blockgrid::GridDims;
 
 fn main() {
     let params = ModelParams::ag_al_cu();
@@ -21,10 +21,28 @@ fn main() {
     println!("Fig. 7 — intranode scaling of the mu-kernel (no shortcuts)");
     println!();
 
+    if let Some(dir) = eutectica_bench::trace_out_arg() {
+        println!("instrumented 2-rank run (20^3 blocks, 4 steps):");
+        eutectica_bench::run_traced(
+            &dir,
+            2,
+            [40, 20, 20],
+            [2, 1, 1],
+            4,
+            eutectica_core::timeloop::OverlapOptions::default(),
+        )
+        .expect("write trace artifacts");
+        println!();
+    }
+
     // Measured single-core rates.
     let m40 = mu_mlups(&params, Scenario::Interface, GridDims::cube(40), cfg, 5);
     let m20 = mu_mlups(&params, Scenario::Interface, GridDims::cube(20), cfg, 9);
-    println!("measured single-core: 40^3 block {} MLUP/s, 20^3 block {} MLUP/s", f2(m40), f2(m20));
+    println!(
+        "measured single-core: 40^3 block {} MLUP/s, 20^3 block {} MLUP/s",
+        f2(m40),
+        f2(m20)
+    );
     println!();
 
     // Node model: 40^3 streams from memory (the paper's cache model:
@@ -35,16 +53,9 @@ fn main() {
     let streaming = intranode_scaling(&machine, m40, mu_bytes_per_cell() as f64, &cores);
     let cached = intranode_scaling(&machine, m20, (mu_bytes_per_cell() / 10) as f64, &cores);
 
-    let mut table = ResultTable::new(
-        "fig7_intranode",
-        &["cores", "40^3 MLUP/s", "20^3 MLUP/s"],
-    );
+    let mut table = ResultTable::new("fig7_intranode", &["cores", "40^3 MLUP/s", "20^3 MLUP/s"]);
     for i in 0..cores.len() {
-        table.row(&[
-            cores[i].to_string(),
-            f2(streaming[i].1),
-            f2(cached[i].1),
-        ]);
+        table.row(&[cores[i].to_string(), f2(streaming[i].1), f2(cached[i].1)]);
     }
     table.finish();
     println!();

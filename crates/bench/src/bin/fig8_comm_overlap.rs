@@ -36,6 +36,25 @@ fn main() {
     println!("Fig. 8 — time in communication per timestep, blocksize 60^3");
     println!();
 
+    // --trace-out <dir>: run an instrumented 2-rank simulation and emit the
+    // Chrome trace / JSONL / reduced-timing-tree artifacts.
+    if let Some(dir) = eutectica_bench::trace_out_arg() {
+        println!("instrumented 2-rank run (mu-overlap, 32x16x16, 6 steps):");
+        eutectica_bench::run_traced(
+            &dir,
+            2,
+            [32, 16, 16],
+            [2, 1, 1],
+            6,
+            OverlapOptions {
+                hide_mu: true,
+                hide_phi: false,
+            },
+        )
+        .expect("write trace artifacts");
+        println!();
+    }
+
     // --- Live end-to-end check of the four overlap combinations (2 ranks).
     println!("live 2-rank run (16^3 blocks, 4 steps each; exercised code paths):");
     let params = ModelParams::ag_al_cu();

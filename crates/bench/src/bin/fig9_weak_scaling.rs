@@ -7,11 +7,11 @@
 //! calibrated machine models (DESIGN.md substitution 1).
 
 use eutectica_bench::{f3, time_median, ResultTable};
+use eutectica_blockgrid::GridDims;
 use eutectica_core::kernels::{mu_sweep, phi_sweep, KernelConfig, MuPart};
 use eutectica_core::params::ModelParams;
 use eutectica_core::regions::{build_scenario, Scenario};
 use eutectica_perfmodel::machines::{hornet, juqueen, supermuc, weak_scaling};
-use eutectica_blockgrid::GridDims;
 
 /// Full-step (φ + µ) MLUP/s on one core for a scenario.
 fn step_mlups(params: &ModelParams, sc: Scenario, dims: GridDims) -> f64 {
@@ -35,22 +35,40 @@ fn main() {
     println!("Fig. 9 — weak scaling, MLUP/s per core (block 60^3 per rank)");
     println!();
 
+    if let Some(dir) = eutectica_bench::trace_out_arg() {
+        println!("instrumented 4-rank run (weak-scaling layout 2x2x1, 4 steps):");
+        eutectica_bench::run_traced(
+            &dir,
+            4,
+            [32, 32, 16],
+            [2, 2, 1],
+            4,
+            eutectica_core::timeloop::OverlapOptions {
+                hide_mu: true,
+                hide_phi: false,
+            },
+        )
+        .expect("write trace artifacts");
+        println!();
+    }
+
     let rates: Vec<(Scenario, f64)> = [Scenario::Interface, Scenario::Liquid, Scenario::Solid]
         .iter()
         .map(|&sc| (sc, step_mlups(&params, sc, dims)))
         .collect();
     for (sc, r) in &rates {
-        println!("measured single-core step rate ({}): {:.2} MLUP/s", sc.name(), r);
+        println!(
+            "measured single-core step rate ({}): {:.2} MLUP/s",
+            sc.name(),
+            r
+        );
     }
     println!();
 
     // SuperMUC: all three scenarios, 2^0..2^15.
     let m = supermuc();
     let cores = powers(0, 15);
-    let mut table = ResultTable::new(
-        "fig9_supermuc",
-        &["cores", "interface", "liquid", "solid"],
-    );
+    let mut table = ResultTable::new("fig9_supermuc", &["cores", "interface", "liquid", "solid"]);
     let curves: Vec<Vec<f64>> = rates
         .iter()
         .map(|&(_, r)| {
@@ -81,7 +99,11 @@ fn main() {
             &["cores", "MLUP/s per core", "comm fraction"],
         );
         for p in &pts {
-            table.row(&[p.cores.to_string(), f3(p.mlups_per_core), f3(p.comm_fraction)]);
+            table.row(&[
+                p.cores.to_string(),
+                f3(p.mlups_per_core),
+                f3(p.comm_fraction),
+            ]);
         }
         println!("{} ({:?}):", m.name, m.topology);
         table.finish();

@@ -4,6 +4,7 @@
 //! MLUP/s and fraction of peak, and the IACA-style in-core ceiling.
 
 use eutectica_bench::{f2, mu_mlups, phi_mlups, ResultTable};
+use eutectica_blockgrid::GridDims;
 use eutectica_core::kernels::OptLevel;
 use eutectica_core::metrics::{
     mu_bytes_per_cell, mu_flops_per_cell, phi_bytes_per_cell, phi_flops_per_cell,
@@ -14,7 +15,6 @@ use eutectica_perfmodel::incore::{analyze as incore, CoreModel};
 use eutectica_perfmodel::roofline::{
     analyze, fraction_of_peak, measure_peak_flops, measure_stream_bandwidth, MachineRates,
 };
-use eutectica_blockgrid::GridDims;
 
 fn main() {
     let params = ModelParams::ag_al_cu();
@@ -24,8 +24,14 @@ fn main() {
     // Machine probes.
     let bw = measure_stream_bandwidth();
     let peak = measure_peak_flops();
-    println!("measured STREAM bandwidth : {:8.2} GiB/s   (paper: ~80 GiB/s/node)", bw / (1u64 << 30) as f64);
-    println!("measured peak FLOP rate   : {:8.2} GFLOP/s (paper: 21.6 GFLOP/s/core)", peak / 1e9);
+    println!(
+        "measured STREAM bandwidth : {:8.2} GiB/s   (paper: ~80 GiB/s/node)",
+        bw / (1u64 << 30) as f64
+    );
+    println!(
+        "measured peak FLOP rate   : {:8.2} GFLOP/s (paper: 21.6 GFLOP/s/core)",
+        peak / 1e9
+    );
     println!();
     let rates = MachineRates {
         bandwidth: bw,
@@ -51,7 +57,11 @@ fn main() {
     );
     println!(
         "phi-kernel: {} FLOP/cell (adds {}, muls {}, divs {}, sqrts {})",
-        phi_flops.total(), phi_flops.adds, phi_flops.muls, phi_flops.divs, phi_flops.sqrts
+        phi_flops.total(),
+        phi_flops.adds,
+        phi_flops.muls,
+        phi_flops.divs,
+        phi_flops.sqrts
     );
     println!(
         "memory traffic model (50% cache reuse): mu {} B/cell (paper: <=680), phi {} B/cell",

@@ -9,11 +9,11 @@
 use std::io::Write;
 use std::time::Instant;
 
+use eutectica_blockgrid::GridDims;
 use eutectica_core::kernels::{mu_sweep, phi_sweep, KernelConfig, MuPart};
 use eutectica_core::params::ModelParams;
 use eutectica_core::regions::{build_scenario, Scenario};
 use eutectica_core::state::BlockState;
-use eutectica_blockgrid::GridDims;
 
 /// Median-of-repetitions timing of `f`, in seconds per call.
 pub fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -31,18 +31,32 @@ pub fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
 }
 
 /// MLUP/s of the φ-kernel on a scenario block.
-pub fn phi_mlups(params: &ModelParams, scenario: Scenario, dims: GridDims, cfg: KernelConfig, reps: usize) -> f64 {
+pub fn phi_mlups(
+    params: &ModelParams,
+    scenario: Scenario,
+    dims: GridDims,
+    cfg: KernelConfig,
+    reps: usize,
+) -> f64 {
     let mut state = build_scenario(scenario, dims);
     let secs = time_median(reps, || phi_sweep(params, &mut state, 0.0, cfg));
     dims.interior_volume() as f64 / secs / 1e6
 }
 
 /// MLUP/s of the µ-kernel on a scenario block.
-pub fn mu_mlups(params: &ModelParams, scenario: Scenario, dims: GridDims, cfg: KernelConfig, reps: usize) -> f64 {
+pub fn mu_mlups(
+    params: &ModelParams,
+    scenario: Scenario,
+    dims: GridDims,
+    cfg: KernelConfig,
+    reps: usize,
+) -> f64 {
     let mut state = build_scenario(scenario, dims);
     // Realistic φ_dst (one φ step) so source terms are exercised.
     phi_sweep(params, &mut state, 0.0, cfg);
-    let secs = time_median(reps, || mu_sweep(params, &mut state, 0.0, cfg, MuPart::Full));
+    let secs = time_median(reps, || {
+        mu_sweep(params, &mut state, 0.0, cfg, MuPart::Full)
+    });
     dims.interior_volume() as f64 / secs / 1e6
 }
 
@@ -93,7 +107,10 @@ impl ResultTable {
                 .join("  ")
         };
         println!("{}", line(&self.header));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         for r in &self.rows {
             println!("{}", line(r));
         }
@@ -123,4 +140,83 @@ pub fn f2(v: f64) -> String {
 /// Round to 3 decimals for display.
 pub fn f3(v: f64) -> String {
     format!("{v:.3}")
+}
+
+/// Parse a `--trace-out <dir>` flag from the process arguments.
+pub fn trace_out_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return Some(args.next().expect("--trace-out needs a path").into());
+        }
+        if let Some(p) = a.strip_prefix("--trace-out=") {
+            return Some(p.into());
+        }
+    }
+    None
+}
+
+/// Run a fully instrumented distributed simulation and write observability
+/// artifacts into `out_dir`:
+///
+/// * `trace.json` — Chrome trace-event timeline, one lane per rank,
+/// * `steps.jsonl` — one [`eutectica_telemetry::StepRecord`] per rank per
+///   step,
+///
+/// and print the rank-reduced timing tree plus the Universe communication
+/// summary to stdout.
+pub fn run_traced(
+    out_dir: &std::path::Path,
+    n_ranks: usize,
+    domain: [usize; 3],
+    blocks: [usize; 3],
+    steps: usize,
+    overlap: eutectica_core::timeloop::OverlapOptions,
+) -> std::io::Result<()> {
+    use eutectica_core::timeloop::DistributedSim;
+    use eutectica_telemetry::Telemetry;
+
+    std::fs::create_dir_all(out_dir)?;
+    let params = ModelParams::ag_al_cu();
+    let decomp = eutectica_blockgrid::decomp::Decomposition::new(
+        eutectica_blockgrid::decomp::DomainSpec::directional(domain, blocks),
+    );
+    let (out, summary) = eutectica_comm::Universe::run_with_stats(n_ranks, move |rank| {
+        let mut sim = DistributedSim::new(
+            &rank,
+            params.clone(),
+            decomp.clone(),
+            KernelConfig::default(),
+            overlap,
+        );
+        let tel = Telemetry::new(rank.rank());
+        tel.enable_trace();
+        sim.set_telemetry(tel.clone());
+        sim.record_steps(true);
+        sim.init_blocks(|b| eutectica_core::init::init_planar_front(b, 0, 6));
+        sim.step_n(steps);
+        let reduced = rank.reduce_timing(&tel.tree_snapshot());
+        (tel.take_trace(), sim.take_step_records(), reduced)
+    });
+
+    let mut events = Vec::new();
+    let mut records = Vec::new();
+    let mut reduced = None;
+    for (ev, recs, red) in out {
+        events.push(ev);
+        records.extend(recs);
+        reduced = reduced.or(red);
+    }
+    let trace_path = out_dir.join("trace.json");
+    let jsonl_path = out_dir.join("steps.jsonl");
+    eutectica_telemetry::write_chrome_trace(&trace_path, &events)?;
+    eutectica_telemetry::write_jsonl(&jsonl_path, &records)?;
+    println!("{}", reduced.expect("rank 0 reduces").report());
+    println!("communication summary:\n{}", summary.report());
+    println!(
+        "trace artifacts: {} (chrome://tracing), {} (JSONL)",
+        trace_path.display(),
+        jsonl_path.display()
+    );
+    Ok(())
 }

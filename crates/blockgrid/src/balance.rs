@@ -72,8 +72,8 @@ pub fn assign_contiguous_weighted(weights: &[f64], n_ranks: usize) -> Vec<usize>
     for (i, &w) in weights.iter().enumerate() {
         let blocks_left = weights.len() - i; // including this one
         let ranks_left = n_ranks - rank; // including the current rank
-        // Start a new rank when the cap would overflow, or when every
-        // remaining rank needs one of the remaining blocks.
+                                         // Start a new rank when the cap would overflow, or when every
+                                         // remaining rank needs one of the remaining blocks.
         let overflow = acc > 0.0 && acc + w > cap + 1e-12;
         let reserve = acc > 0.0 && blocks_left == ranks_left;
         if (overflow || reserve) && rank + 1 < n_ranks {
@@ -118,7 +118,10 @@ mod tests {
         let w = vec![1.0; 8];
         for n in [1, 2, 4, 8] {
             let a = assign_contiguous_weighted(&w, n);
-            assert!((imbalance(&w, &a, n) - 1.0).abs() < 1e-9, "{n} ranks: {a:?}");
+            assert!(
+                (imbalance(&w, &a, n) - 1.0).abs() < 1e-9,
+                "{n} ranks: {a:?}"
+            );
             let a = assign_lpt(&w, n);
             assert!((imbalance(&w, &a, n) - 1.0).abs() < 1e-9);
         }
@@ -146,7 +149,7 @@ mod tests {
         let i_w = imbalance(&w, &weighted, 4);
         assert!(i_w <= i_u + 1e-9, "weighted {i_w} vs uniform {i_u}");
         assert!(i_w < 1.5, "weighted partition still skewed: {i_w}"); // optimum here is 5/3.5
-        // Contiguity: assignment is non-decreasing.
+                                                                      // Contiguity: assignment is non-decreasing.
         assert!(weighted.windows(2).all(|p| p[0] <= p[1]));
         // Every rank serves at least one block.
         for r in 0..4 {
@@ -170,7 +173,10 @@ mod tests {
         let uniform = assign_contiguous_uniform(8, 4);
         let weighted = assign_contiguous_weighted(&w, 4);
         let gain = imbalance(&w, &uniform, 4) - imbalance(&w, &weighted, 4);
-        assert!(gain < 0.05, "unexpected gain {gain} on near-uniform weights");
+        assert!(
+            gain < 0.05,
+            "unexpected gain {gain} on near-uniform weights"
+        );
     }
 
     #[test]

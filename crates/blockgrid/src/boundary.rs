@@ -168,7 +168,12 @@ fn copy_axis_layer<const NC: usize>(
 }
 
 /// Fill one full transverse layer along `axis` with constant `v`.
-fn fill_axis_layer<const NC: usize>(field: &mut SoaField<NC>, axis: usize, layer: usize, v: [f64; NC]) {
+fn fill_axis_layer<const NC: usize>(
+    field: &mut SoaField<NC>,
+    axis: usize,
+    layer: usize,
+    v: [f64; NC],
+) {
     let d = field.dims();
     let (tx, ty, tz) = (d.tx(), d.ty(), d.tz());
     for c in 0..NC {
@@ -240,8 +245,8 @@ mod tests {
     fn dirichlet_sets_ghost_values() {
         let d = GridDims::new(3, 3, 3, 1);
         let mut f = marked_field(d);
-        let spec = BoundarySpec::uniform(Bc::Comm)
-            .with_face(Face::ZLow, Bc::Dirichlet([7.0, -7.0]));
+        let spec =
+            BoundarySpec::uniform(Bc::Comm).with_face(Face::ZLow, Bc::Dirichlet([7.0, -7.0]));
         spec.apply(&mut f);
         assert_eq!(f.at(0, 2, 2, 0), 7.0);
         assert_eq!(f.at(1, 2, 2, 0), -7.0);

@@ -102,8 +102,8 @@ impl Decomposition {
                     let id = Self::id_of(nb, coords);
                     let mut neighbors = [None; 6];
                     for f in Face::ALL {
-                        neighbors[f as usize] = Self::neighbor_coords(&spec, coords, f)
-                            .map(|nc| Self::id_of(nb, nc));
+                        neighbors[f as usize] =
+                            Self::neighbor_coords(&spec, coords, f).map(|nc| Self::id_of(nb, nc));
                     }
                     blocks.push(BlockDesc {
                         id,
@@ -193,7 +193,7 @@ mod tests {
         let spec = DomainSpec::directional([8, 8, 8], [2, 2, 2]);
         let d = Decomposition::new(spec);
         let b = d.block(0); // coords (0,0,0)
-        // Periodic x: low neighbor wraps to coords (1,0,0) = id 1.
+                            // Periodic x: low neighbor wraps to coords (1,0,0) = id 1.
         assert_eq!(b.neighbors[Face::XLow as usize], Some(1));
         assert_eq!(b.neighbors[Face::XHigh as usize], Some(1));
         // Periodic y likewise.
@@ -225,7 +225,7 @@ mod tests {
         let spec = DomainSpec::directional([4, 4, 32], [1, 1, 8]);
         let d = Decomposition::new(spec);
         for n_ranks in 1..=8 {
-            let mut seen = vec![false; 8];
+            let mut seen = [false; 8];
             let mut total = 0;
             for r in 0..n_ranks {
                 let ids = d.blocks_of_rank(r, n_ranks);

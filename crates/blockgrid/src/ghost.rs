@@ -98,6 +98,17 @@ pub fn message_len(dims: GridDims, face: Face, nc: usize) -> usize {
     send_region(dims, face).volume() * nc
 }
 
+/// Wire size in bytes of a sequenced face message (f64 payload) — the
+/// analytic ground truth the telemetry byte counters are checked against.
+pub fn message_bytes(dims: GridDims, face: Face, nc: usize) -> u64 {
+    (message_len(dims, face, nc) * std::mem::size_of::<f64>()) as u64
+}
+
+/// Wire size in bytes of a "plain" (face-ghost-only) message (f64 payload).
+pub fn message_bytes_plain(dims: GridDims, face: Face, nc: usize) -> u64 {
+    (send_region_plain(dims, face).volume() * nc * std::mem::size_of::<f64>()) as u64
+}
+
 /// Send region with interior-only transverse extent on *all* axes.
 ///
 /// Unlike [`send_region`], these "plain" face messages are mutually

@@ -37,20 +37,26 @@
 //! assert_eq!(sums, vec![6.0; 4]); // 0+1+2+3
 //! ```
 
+// Index-based loops deliberately mirror the paper's stencil formulations;
+// iterator rewrites would obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
 #![deny(missing_docs)]
 
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use eutectica_telemetry::{Histogram, ReducedTree, TimingTreeSnapshot};
 use parking_lot::Mutex;
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Message tag. Tags with the top bit set are reserved for collectives.
 pub type Tag = u32;
 
-const COLLECTIVE_TAG: Tag = 1 << 31;
+/// Tag bit reserved for collectives; user tags must keep it clear. Exposed
+/// so traffic accounting can separate ghost exchange from collectives.
+pub const COLLECTIVE_TAG: Tag = 1 << 31;
 
 #[derive(Debug)]
 struct Message {
@@ -88,6 +94,20 @@ impl ReduceOp {
     }
 }
 
+/// Per-tag traffic breakdown (one entry per distinct message tag, so the
+/// solver can attribute traffic to fields — φ vs µ — and faces).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TagStats {
+    /// Bytes sent under this tag.
+    pub bytes_sent: u64,
+    /// Messages sent under this tag.
+    pub messages_sent: u64,
+    /// Bytes received under this tag.
+    pub bytes_received: u64,
+    /// Messages received under this tag.
+    pub messages_received: u64,
+}
+
 /// Cumulative per-rank communication statistics (drives the Fig. 8 analysis).
 #[derive(Clone, Debug, Default)]
 pub struct CommStats {
@@ -95,8 +115,82 @@ pub struct CommStats {
     pub bytes_sent: u64,
     /// Number of point-to-point messages sent.
     pub messages_sent: u64,
+    /// Total bytes pulled off the wire by this rank.
+    pub bytes_received: u64,
+    /// Number of point-to-point messages received.
+    pub messages_received: u64,
     /// Wall time spent blocked inside `recv`/`wait`.
     pub recv_wait_time: Duration,
+    /// Log2-bucket histogram of per-receive wait latency in nanoseconds
+    /// (bucket 0 counts receives satisfied from the pending store).
+    pub recv_wait_hist: Histogram,
+    /// Traffic broken down by message tag (collective tags included).
+    pub per_tag: BTreeMap<Tag, TagStats>,
+}
+
+impl CommStats {
+    /// Accumulate another rank's statistics into this one (for
+    /// Universe-level totals).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.bytes_sent += other.bytes_sent;
+        self.messages_sent += other.messages_sent;
+        self.bytes_received += other.bytes_received;
+        self.messages_received += other.messages_received;
+        self.recv_wait_time += other.recv_wait_time;
+        self.recv_wait_hist.merge(&other.recv_wait_hist);
+        for (tag, t) in &other.per_tag {
+            let e = self.per_tag.entry(*tag).or_default();
+            e.bytes_sent += t.bytes_sent;
+            e.messages_sent += t.messages_sent;
+            e.bytes_received += t.bytes_received;
+            e.messages_received += t.messages_received;
+        }
+    }
+}
+
+/// Per-rank and aggregated communication statistics for a whole
+/// [`Universe::run_with_stats`] execution.
+#[derive(Clone, Debug, Default)]
+pub struct CommSummary {
+    /// Final statistics of each rank, in rank order.
+    pub per_rank: Vec<CommStats>,
+    /// Element-wise sum over all ranks.
+    pub total: CommStats,
+}
+
+impl CommSummary {
+    /// Build the aggregate from per-rank snapshots.
+    pub fn from_per_rank(per_rank: Vec<CommStats>) -> Self {
+        let mut total = CommStats::default();
+        for s in &per_rank {
+            total.merge(s);
+        }
+        Self { per_rank, total }
+    }
+
+    /// Human-readable table: one line per rank plus the totals line.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "{:<8} {:>14} {:>10} {:>14} {:>10} {:>14}\n",
+            "rank", "sent B", "sent #", "recv B", "recv #", "recv wait s"
+        );
+        let line = |name: &str, s: &CommStats| {
+            format!(
+                "{:<8} {:>14} {:>10} {:>14} {:>10} {:>14.6}\n",
+                name,
+                s.bytes_sent,
+                s.messages_sent,
+                s.bytes_received,
+                s.messages_received,
+                s.recv_wait_time.as_secs_f64()
+            )
+        };
+        for (r, s) in self.per_rank.iter().enumerate() {
+            out.push_str(&line(&r.to_string(), s));
+        }
+        out.push_str(&line("total", &self.total));
+        out
+    }
 }
 
 /// One participant of a [`Universe`]; the analog of an MPI rank.
@@ -109,6 +203,17 @@ pub struct Rank {
     pending: RefCell<HashMap<(usize, Tag), VecDeque<Bytes>>>,
     barrier: Arc<std::sync::Barrier>,
     stats: RefCell<CommStats>,
+    /// Where to deposit the final stats when the rank thread finishes
+    /// (set by [`Universe::run_with_stats`]).
+    stats_sink: Option<Arc<Mutex<Vec<Option<CommStats>>>>>,
+}
+
+impl Drop for Rank {
+    fn drop(&mut self) {
+        if let Some(sink) = &self.stats_sink {
+            sink.lock()[self.rank] = Some(self.stats.borrow().clone());
+        }
+    }
 }
 
 impl Rank {
@@ -135,6 +240,9 @@ impl Rank {
         let mut stats = self.stats.borrow_mut();
         stats.bytes_sent += payload.len() as u64;
         stats.messages_sent += 1;
+        let t = stats.per_tag.entry(tag).or_default();
+        t.bytes_sent += payload.len() as u64;
+        t.messages_sent += 1;
         drop(stats);
         self.txs[dst]
             .send(Message {
@@ -169,18 +277,34 @@ impl Rank {
         self.recv_matched(src, tag)
     }
 
+    /// Account for one message pulled off the wire (on arrival, whether it
+    /// matches the current receive or goes to the pending store).
+    fn note_received(&self, tag: Tag, len: usize) {
+        let mut stats = self.stats.borrow_mut();
+        stats.bytes_received += len as u64;
+        stats.messages_received += 1;
+        let t = stats.per_tag.entry(tag).or_default();
+        t.bytes_received += len as u64;
+        t.messages_received += 1;
+    }
+
     fn recv_matched(&self, src: usize, tag: Tag) -> Bytes {
-        // Fast path: already in the pending store.
+        // Fast path: already in the pending store — zero wait.
         if let Some(q) = self.pending.borrow_mut().get_mut(&(src, tag)) {
             if let Some(b) = q.pop_front() {
+                self.stats.borrow_mut().recv_wait_hist.record(0);
                 return b;
             }
         }
         let start = Instant::now();
         loop {
             let msg = self.rx.recv().expect("universe shut down mid-recv");
+            self.note_received(msg.tag, msg.payload.len());
             if msg.src == src && msg.tag == tag {
-                self.stats.borrow_mut().recv_wait_time += start.elapsed();
+                let waited = start.elapsed();
+                let mut stats = self.stats.borrow_mut();
+                stats.recv_wait_time += waited;
+                stats.recv_wait_hist.record(waited.as_nanos() as u64);
                 return msg.payload;
             }
             self.pending
@@ -207,14 +331,25 @@ impl Rank {
             let mut acc = value;
             for src in 1..self.size {
                 let b = self.recv_matched(src, tag);
-                acc = op.apply(acc, f64::from_bits(u64::from_le_bytes(b[..8].try_into().unwrap())));
+                acc = op.apply(
+                    acc,
+                    f64::from_bits(u64::from_le_bytes(b[..8].try_into().unwrap())),
+                );
             }
             for dst in 1..self.size {
-                self.send_raw(dst, tag, Bytes::copy_from_slice(&acc.to_bits().to_le_bytes()));
+                self.send_raw(
+                    dst,
+                    tag,
+                    Bytes::copy_from_slice(&acc.to_bits().to_le_bytes()),
+                );
             }
             acc
         } else {
-            self.send_raw(0, tag, Bytes::copy_from_slice(&value.to_bits().to_le_bytes()));
+            self.send_raw(
+                0,
+                tag,
+                Bytes::copy_from_slice(&value.to_bits().to_le_bytes()),
+            );
             let b = self.recv_matched(0, tag);
             f64::from_bits(u64::from_le_bytes(b[..8].try_into().unwrap()))
         }
@@ -263,6 +398,16 @@ impl Rank {
     pub fn reset_stats(&self) {
         *self.stats.borrow_mut() = CommStats::default();
     }
+
+    /// Reduce a telemetry timing tree across all ranks (min/avg/max per
+    /// node, the waLBerla reduced-timing-pool pattern). Collective: every
+    /// rank must call it. Returns `Some` on rank 0, `None` elsewhere.
+    pub fn reduce_timing(&self, snap: &TimingTreeSnapshot) -> Option<ReducedTree> {
+        eutectica_telemetry::reduce_with(snap, |payload| {
+            self.gather(0, Bytes::from(payload))
+                .map(|bufs| bufs.iter().map(|b| b.to_vec()).collect())
+        })
+    }
 }
 
 /// A set of ranks executing the same function — the analog of
@@ -273,6 +418,37 @@ impl Universe {
     /// Spawn `n` ranks running `f` and collect their return values in rank
     /// order. Panics in any rank propagate.
     pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Rank) -> T + Send + Sync + 'static,
+    {
+        Self::run_inner(n, f, None)
+    }
+
+    /// Like [`Universe::run`], but additionally collects every rank's final
+    /// [`CommStats`] into an aggregated [`CommSummary`].
+    pub fn run_with_stats<T, F>(n: usize, f: F) -> (Vec<T>, CommSummary)
+    where
+        T: Send + 'static,
+        F: Fn(Rank) -> T + Send + Sync + 'static,
+    {
+        let sink: Arc<Mutex<Vec<Option<CommStats>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let out = Self::run_inner(n, f, Some(Arc::clone(&sink)));
+        let per_rank = Arc::try_unwrap(sink)
+            .unwrap_or_else(|_| panic!("stats sink still shared"))
+            .into_inner()
+            .into_iter()
+            .map(|s| s.expect("rank deposited no stats"))
+            .collect();
+        (out, CommSummary::from_per_rank(per_rank))
+    }
+
+    fn run_inner<T, F>(
+        n: usize,
+        f: F,
+        stats_sink: Option<Arc<Mutex<Vec<Option<CommStats>>>>>,
+    ) -> Vec<T>
     where
         T: Send + 'static,
         F: Fn(Rank) -> T + Send + Sync + 'static,
@@ -301,6 +477,7 @@ impl Universe {
                 pending: RefCell::new(HashMap::new()),
                 barrier: Arc::clone(&barrier),
                 stats: RefCell::new(CommStats::default()),
+                stats_sink: stats_sink.clone(),
             };
             let f = Arc::clone(&f);
             let results = Arc::clone(&results);
@@ -417,7 +594,10 @@ pub fn bytes_to_f64s(b: &Bytes) -> Vec<f64> {
 pub fn bytes_to_f64s_into(b: &Bytes, out: &mut Vec<f64>) {
     assert!(b.len() % 8 == 0, "payload not f64-aligned");
     out.clear();
-    out.extend(b.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())));
+    out.extend(
+        b.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap())),
+    );
 }
 
 #[cfg(test)]
@@ -548,10 +728,82 @@ mod tests {
             }
             r.barrier();
             let s = r.stats();
-            (s.bytes_sent, s.messages_sent)
+            (
+                s.bytes_sent,
+                s.messages_sent,
+                s.bytes_received,
+                s.messages_received,
+            )
         });
-        assert_eq!(got[0], (32, 2));
-        assert_eq!(got[1], (0, 0));
+        assert_eq!(got[0], (32, 2, 0, 0));
+        assert_eq!(got[1], (0, 0, 32, 2));
+    }
+
+    #[test]
+    fn per_tag_breakdown_tracks_both_directions() {
+        let got = Universe::run(2, |r| {
+            if r.rank() == 0 {
+                r.send(1, 1, f64s_to_bytes(&[1.0, 2.0, 3.0]));
+                r.send(1, 2, f64s_to_bytes(&[4.0]));
+            } else {
+                let _ = r.recv(0, 1);
+                let _ = r.recv(0, 2);
+            }
+            r.barrier();
+            r.stats()
+        });
+        assert_eq!(got[0].per_tag[&1].bytes_sent, 24);
+        assert_eq!(got[0].per_tag[&2].bytes_sent, 8);
+        assert_eq!(got[0].per_tag[&1].bytes_received, 0);
+        assert_eq!(got[1].per_tag[&1].bytes_received, 24);
+        assert_eq!(got[1].per_tag[&2].messages_received, 1);
+        // Every receive left a latency observation.
+        assert_eq!(got[1].recv_wait_hist.count(), 2);
+    }
+
+    #[test]
+    fn universe_summary_aggregates_ranks() {
+        let (_, summary) = Universe::run_with_stats(3, |r| {
+            let right = (r.rank() + 1) % r.size();
+            let left = (r.rank() + r.size() - 1) % r.size();
+            r.send(right, 4, f64s_to_bytes(&[0.0; 4]));
+            let _ = r.recv(left, 4);
+        });
+        assert_eq!(summary.per_rank.len(), 3);
+        assert_eq!(summary.total.bytes_sent, 3 * 32);
+        assert_eq!(summary.total.bytes_received, 3 * 32);
+        assert_eq!(summary.total.messages_sent, 3);
+        assert_eq!(summary.total.messages_received, 3);
+        assert_eq!(summary.total.per_tag[&4].bytes_sent, 96);
+        let rep = summary.report();
+        assert!(rep.contains("total"));
+        assert!(rep.lines().count() >= 5, "{rep}");
+    }
+
+    #[test]
+    fn timing_tree_reduces_across_ranks() {
+        use eutectica_telemetry::Telemetry;
+        let got = Universe::run(4, |r| {
+            let tel = Telemetry::new(r.rank());
+            {
+                let _step = tel.span("step");
+                let _inner = tel.span_cat("exchange", "comm");
+            }
+            let red = r.reduce_timing(&tel.tree_snapshot());
+            assert_eq!(red.is_some(), r.rank() == 0);
+            red.map(|t| {
+                (
+                    t.n_ranks,
+                    t.rows
+                        .iter()
+                        .map(|row| row.path.clone())
+                        .collect::<Vec<_>>(),
+                )
+            })
+        });
+        let (n, paths) = got[0].clone().unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(paths, ["step", "step/exchange"]);
     }
 
     #[test]
@@ -574,7 +826,7 @@ mod tests {
 
     #[test]
     fn f64_bytes_roundtrip() {
-        let vals = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 3.141592653589793];
+        let vals = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, std::f64::consts::PI];
         let b = f64s_to_bytes(&vals);
         assert_eq!(bytes_to_f64s(&b), vals);
         let mut out = Vec::new();

@@ -50,7 +50,9 @@ impl VoronoiSeeds {
             counts[pmax] -= 1;
             assigned -= 1;
         }
-        let mut phases: Vec<usize> = (0..3).flat_map(|q| std::iter::repeat_n(q, counts[q])).collect();
+        let mut phases: Vec<usize> = (0..3)
+            .flat_map(|q| std::iter::repeat_n(q, counts[q]))
+            .collect();
         // Fisher-Yates shuffle.
         for i in (1..phases.len()).rev() {
             let j = rng.random_range(0..=i);
@@ -111,8 +113,7 @@ pub fn init_directional_block(state: &mut BlockState, seeds: &VoronoiSeeds, fill
         for y in 0..dims.ny {
             for x in 0..dims.nx {
                 let phi = if gz < fill_height {
-                    let ph =
-                        seeds.phase_at((origin[0] + x) as f64, (origin[1] + y) as f64);
+                    let ph = seeds.phase_at((origin[0] + x) as f64, (origin[1] + y) as f64);
                     let mut v = [0.0; N_PHASES];
                     v[ph] = 1.0;
                     v

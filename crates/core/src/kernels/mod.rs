@@ -178,12 +178,22 @@ impl Default for KernelConfig {
 pub fn phi_sweep(params: &ModelParams, state: &mut BlockState, time: f64, cfg: KernelConfig) {
     match cfg.phi {
         PhiVariant::Reference => reference::phi_sweep_reference(params, state, time),
-        PhiVariant::Scalar => {
-            scalar_phi::phi_sweep_scalar(params, state, time, cfg.tz_precompute, cfg.staggered_buffer, cfg.shortcuts)
-        }
-        PhiVariant::SimdCellwise => {
-            simd_phi::phi_sweep_cellwise(params, state, time, cfg.tz_precompute, cfg.staggered_buffer, cfg.shortcuts)
-        }
+        PhiVariant::Scalar => scalar_phi::phi_sweep_scalar(
+            params,
+            state,
+            time,
+            cfg.tz_precompute,
+            cfg.staggered_buffer,
+            cfg.shortcuts,
+        ),
+        PhiVariant::SimdCellwise => simd_phi::phi_sweep_cellwise(
+            params,
+            state,
+            time,
+            cfg.tz_precompute,
+            cfg.staggered_buffer,
+            cfg.shortcuts,
+        ),
         PhiVariant::SimdFourCell => {
             simd_phi::phi_sweep_fourcell(params, state, time, cfg.tz_precompute, cfg.shortcuts)
         }

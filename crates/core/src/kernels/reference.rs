@@ -326,7 +326,11 @@ pub fn ref_phi_cell_faces<R: Real>(
         } else {
             (&stencil[0], &stencil[*lo + *hi])
         };
-        let sign = if f % 2 == 0 { R::from_f64(-1.0) } else { R::from_f64(1.0) };
+        let sign = if f % 2 == 0 {
+            R::from_f64(-1.0)
+        } else {
+            R::from_f64(1.0)
+        };
         for a in 0..n {
             let mut s1 = R::from_f64(0.0);
             let mut s2 = R::from_f64(0.0);
@@ -435,7 +439,9 @@ pub fn ref_mu_cell<R: Real>(
     t_zhigh: R,
     scratch: &mut Scratch<R>,
 ) -> Vec<R> {
-    ref_mu_cell_faces(model, p, phi19, phi_new7, mu7, t, t_zlow, t_zhigh, scratch, false)
+    ref_mu_cell_faces(
+        model, p, phi19, phi_new7, mu7, t, t_zlow, t_zhigh, scratch, false,
+    )
 }
 
 /// Like [`ref_mu_cell`], but with `buffered = true` only the three "high"
@@ -483,7 +489,11 @@ pub fn ref_mu_cell_faces<R: Real>(
             _ => t,
         };
         // Gradient flux: M(φF) ∂µ/∂n.
-        let sign = if high { R::from_f64(1.0) } else { R::from_f64(-1.0) };
+        let sign = if high {
+            R::from_f64(1.0)
+        } else {
+            R::from_f64(-1.0)
+        };
         for i in 0..k {
             let mut m = zero;
             for a in 0..n {
@@ -547,8 +557,7 @@ pub fn ref_mu_cell_faces<R: Real>(
                 let mu_f = (mu7[il][i] + mu7[ir][i]) * half;
                 let cdiff = (model.c_eq(p, LIQ, i, t_face) - model.c_eq(p, a, i, t_face))
                     + mu_f * (model.inv2k_at(LIQ, i, t_face) - model.inv2k_at(a, i, t_face));
-                let scale =
-                    ind_l * ind_a * pref * weight * dphidt * n_dot * g_axis * inv_na;
+                let scale = ind_l * ind_a * pref * weight * dphidt * n_dot * g_axis * inv_na;
                 // J_at enters the flux with a minus sign; fold into div.
                 div[i] = div[i] - sign * scale * cdiff * inv_dx;
             }
@@ -683,8 +692,15 @@ pub fn phi_sweep_reference(params: &ModelParams, state: &mut BlockState, time: f
         for y in g..g + dims.ny {
             for x in g..g + dims.nx {
                 let i = dims.idx(x, y, z);
-                let offs: [isize; 7] =
-                    [0, -1, 1, -(sy as isize), sy as isize, -(sz as isize), sz as isize];
+                let offs: [isize; 7] = [
+                    0,
+                    -1,
+                    1,
+                    -(sy as isize),
+                    sy as isize,
+                    -(sz as isize),
+                    sz as isize,
+                ];
                 for (s, o) in stencil.iter_mut().zip(offs) {
                     let j = (i as isize + o) as usize;
                     for a in 0..model.n {
@@ -743,8 +759,15 @@ pub fn mu_sweep_reference(params: &ModelParams, state: &mut BlockState, time: f6
             for x in g..g + dims.nx {
                 let i = dims.idx(x, y, z);
                 gather19(&ps, i, sy, sz, &mut phi19);
-                let offs: [isize; 7] =
-                    [0, -1, 1, -(sy as isize), sy as isize, -(sz as isize), sz as isize];
+                let offs: [isize; 7] = [
+                    0,
+                    -1,
+                    1,
+                    -(sy as isize),
+                    sy as isize,
+                    -(sz as isize),
+                    sz as isize,
+                ];
                 for (s, o) in phi_new7.iter_mut().zip(offs) {
                     let j = (i as isize + o) as usize;
                     for a in 0..model.n {
@@ -758,7 +781,15 @@ pub fn mu_sweep_reference(params: &ModelParams, state: &mut BlockState, time: f6
                     }
                 }
                 let out = ref_mu_cell(
-                    &model, params, &phi19, &phi_new7, &mu7, t, t_zl, t_zh, &mut scratch,
+                    &model,
+                    params,
+                    &phi19,
+                    &phi_new7,
+                    &mu7,
+                    t,
+                    t_zl,
+                    t_zh,
+                    &mut scratch,
                 );
                 for c in 0..model.k {
                     md[c][i] = out[c];

@@ -205,9 +205,8 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
             std::hint::black_box(params.temperature(gz, time))
         }
     };
-    let zface_ctx = |z: usize| -> SliceCtx {
-        SliceCtx::at(params, 0.5 * (temp_of(z) + temp_of(z + 1)))
-    };
+    let zface_ctx =
+        |z: usize| -> SliceCtx { SliceCtx::at(params, 0.5 * (temp_of(z) + temp_of(z + 1))) };
 
     let BlockState {
         phi_src,
@@ -245,10 +244,18 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
             (t.cell[z], t.zface[z - 1], t.zface[z])
         } else {
             // Recomputed per cell below; placeholders here.
-            (SliceCtx::at(params, 0.0), SliceCtx::at(params, 0.0), SliceCtx::at(params, 0.0))
+            (
+                SliceCtx::at(params, 0.0),
+                SliceCtx::at(params, 0.0),
+                SliceCtx::at(params, 0.0),
+            )
         };
         if STAG {
-            let ctx_yf = if TZ { ctx_z } else { SliceCtx::at(params, temp_of(z)) };
+            let ctx_yf = if TZ {
+                ctx_z
+            } else {
+                SliceCtx::at(params, temp_of(z))
+            };
             for x in 0..nx {
                 let i = dims.idx(x + g, g, z);
                 ybuf[x] = cx.face_flux::<SC>(&ps, &pd, &ms, &ctx_yf, i - sy, i, 1);
@@ -258,7 +265,11 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
             let mut xprev = [0.0f64; N_COMP];
             if STAG {
                 let i = dims.idx(g, y, z);
-                let ctx_xf = if TZ { ctx_z } else { SliceCtx::at(params, temp_of(z)) };
+                let ctx_xf = if TZ {
+                    ctx_z
+                } else {
+                    SliceCtx::at(params, temp_of(z))
+                };
                 xprev = cx.face_flux::<SC>(&ps, &pd, &ms, &ctx_xf, i - 1, i, 0);
             }
             for x in g..g + nx {
@@ -357,8 +368,12 @@ mod tests {
                         core::array::from_fn(|a| phi[a] + rng.random_range(-0.02..0.02));
                     s.phi_dst
                         .set_cell(x, y, z, crate::simplex::project_to_simplex(nudged));
-                    s.mu_src
-                        .set_cell(x, y, z, [rng.random_range(-0.2..0.2), rng.random_range(-0.2..0.2)]);
+                    s.mu_src.set_cell(
+                        x,
+                        y,
+                        z,
+                        [rng.random_range(-0.2..0.2), rng.random_range(-0.2..0.2)],
+                    );
                 }
             }
         }
@@ -418,7 +433,10 @@ mod tests {
         mu_sweep_scalar(&p, &mut s, 0.0, MuPart::Full, true, true, false);
         for (x, y, z) in dims.interior_iter() {
             let mu = s.mu_dst.cell(x, y, z);
-            assert!(mu[0].abs() < 1e-14 && mu[1].abs() < 1e-14, "µ drifted: {mu:?}");
+            assert!(
+                mu[0].abs() < 1e-14 && mu[1].abs() < 1e-14,
+                "µ drifted: {mu:?}"
+            );
         }
     }
 
@@ -434,7 +452,10 @@ mod tests {
         s.sync_dst_from_src();
         mu_sweep_scalar(&p, &mut s, 0.0, MuPart::Full, true, false, false);
         let mu = s.mu_dst.cell(2, 2, 2);
-        assert!(mu[0] > 0.0 && mu[1] > 0.0, "expected warming drift, got {mu:?}");
+        assert!(
+            mu[0] > 0.0 && mu[1] > 0.0,
+            "expected warming drift, got {mu:?}"
+        );
     }
 
     #[test]
@@ -449,7 +470,15 @@ mod tests {
         s.apply_bc_src();
         let var_before = mu_variance(&s);
         for step in 0..10 {
-            mu_sweep_scalar(&p, &mut s, step as f64 * p.dt, MuPart::Full, true, true, false);
+            mu_sweep_scalar(
+                &p,
+                &mut s,
+                step as f64 * p.dt,
+                MuPart::Full,
+                true,
+                true,
+                false,
+            );
             s.mu_src.swap(&mut s.mu_dst);
             s.bc_mu.apply(&mut s.mu_src);
         }

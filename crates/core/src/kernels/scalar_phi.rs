@@ -78,8 +78,9 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
     let ms = mu_src.comps();
     let pd = phi_dst.comps_mut();
 
-    let face =
-        |il: usize, ir: usize| -> [f64; 4] { phi_face_flux(gamma, get4(&ps, il), get4(&ps, ir), inv_dx) };
+    let face = |il: usize, ir: usize| -> [f64; 4] {
+        phi_face_flux(gamma, get4(&ps, il), get4(&ps, ir), inv_dx)
+    };
 
     // Staggered buffers (Fig. 3): z slab, y row, x register.
     let mut zbuf = vec![[0.0f64; 4]; if STAG { nx * ny } else { 0 }];
@@ -192,8 +193,12 @@ mod tests {
                     let raw: [f64; 4] = core::array::from_fn(|_| rng.random_range(0.0..1.0));
                     let phi = crate::simplex::project_to_simplex(raw);
                     s.phi_src.set_cell(x, y, z, phi);
-                    s.mu_src
-                        .set_cell(x, y, z, [rng.random_range(-0.2..0.2), rng.random_range(-0.2..0.2)]);
+                    s.mu_src.set_cell(
+                        x,
+                        y,
+                        z,
+                        [rng.random_range(-0.2..0.2), rng.random_range(-0.2..0.2)],
+                    );
                 }
             }
         }
@@ -266,7 +271,10 @@ mod tests {
             s.phi_src.set_cell(x, y, z, [ps, 0.0, 0.0, 1.0 - ps]);
         }
         s.apply_bc_src();
-        let solid_before: f64 = dims.interior_iter().map(|(x, y, z)| s.phi_src.at(0, x, y, z)).sum();
+        let solid_before: f64 = dims
+            .interior_iter()
+            .map(|(x, y, z)| s.phi_src.at(0, x, y, z))
+            .sum();
         let mut time = 0.0;
         for _ in 0..20 {
             phi_sweep_scalar(&p, &mut s, time, true, true, false);
@@ -274,7 +282,10 @@ mod tests {
             s.bc_phi.apply(&mut s.phi_src);
             time += p.dt;
         }
-        let solid_after: f64 = dims.interior_iter().map(|(x, y, z)| s.phi_src.at(0, x, y, z)).sum();
+        let solid_after: f64 = dims
+            .interior_iter()
+            .map(|(x, y, z)| s.phi_src.at(0, x, y, z))
+            .sum();
         assert!(
             solid_after > solid_before + 0.5,
             "front did not advance: {solid_before} -> {solid_after}"

@@ -125,13 +125,10 @@ impl VCtx<'_> {
             let pf: [F64x4; N_PHASES] = core::array::from_fn(|a| (phi_l[a] + phi_r[a]) * half);
             let mut s_f = zero;
             for p in &pf {
-                s_f = s_f + *p * *p;
+                s_f += *p * *p;
             }
             let h_l = pl * pl / s_f;
-            let mu_f = [
-                (mu_l[0] + mu_r[0]) * half,
-                (mu_l[1] + mu_r[1]) * half,
-            ];
+            let mu_f = [(mu_l[0] + mu_r[0]) * half, (mu_l[1] + mu_r[1]) * half];
             let pref = F64x4::splat(self.atc_pref);
             for a in 0..LIQ {
                 let pa = pf[a];
@@ -149,8 +146,7 @@ impl VCtx<'_> {
                 let base = ind.select(base, zero);
                 for i in 0..N_COMP {
                     let cdiff = F64x4::splat(ctx_face.c_eq[LIQ][i] - ctx_face.c_eq[a][i])
-                        + mu_f[i]
-                            * F64x4::splat(ctx_face.inv2k[LIQ][i] - ctx_face.inv2k[a][i]);
+                        + mu_f[i] * F64x4::splat(ctx_face.inv2k[LIQ][i] - ctx_face.inv2k[a][i]);
                     flux[i] -= base * cdiff;
                 }
             }
@@ -282,7 +278,11 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
             )
         };
         if STAG {
-            let ctx_yf = if TZ { ctx_z } else { SliceCtx::at(params, temp_of(z)) };
+            let ctx_yf = if TZ {
+                ctx_z
+            } else {
+                SliceCtx::at(params, temp_of(z))
+            };
             for gx in 0..ngx {
                 let i = dims.idx(4 * gx + g, g, z);
                 ybuf[gx] = cx.face_flux::<SC>(&ps, &pd, &ms, &ctx_yf, i - sy, i, 1);
@@ -293,7 +293,11 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
             // Row-start x carry: lane 0 of the explicit low-face evaluation.
             let mut carry = [0.0f64; N_COMP];
             if STAG && ngx > 0 {
-                let ctx_xf = if TZ { ctx_z } else { SliceCtx::at(params, temp_of(z)) };
+                let ctx_xf = if TZ {
+                    ctx_z
+                } else {
+                    SliceCtx::at(params, temp_of(z))
+                };
                 let lo = cx.face_flux::<SC>(&ps, &pd, &ms, &ctx_xf, row - 1, row, 0);
                 carry = [lo[0].extract(0), lo[1].extract(0)];
             }
@@ -340,8 +344,7 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
                     s_old = p.mul_add(*p, s_old);
                 }
                 let inv_s_old = F64x4::splat(1.0) / s_old;
-                let h_old: [F64x4; N_PHASES] =
-                    core::array::from_fn(|a| pc[a] * pc[a] * inv_s_old);
+                let h_old: [F64x4; N_PHASES] = core::array::from_fn(|a| pc[a] * pc[a] * inv_s_old);
                 let chi: [F64x4; N_COMP] = core::array::from_fn(|i| {
                     let mut c = F64x4::zero();
                     for a in 0..N_PHASES {
@@ -432,8 +435,7 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
                 let mu = get2(&ms, i);
                 let (source, drift) = if with_local_terms {
                     let phi_new = get4(&pd, i);
-                    let src =
-                        phase_change_source(&ctx, phi_old, phi_new, mu, 1.0 / params.dt);
+                    let src = phase_change_source(&ctx, phi_old, phi_new, mu, 1.0 / params.dt);
                     (src, temp_drift(&cx.dc_dt, phi_old, params.dtemp_dt()))
                 } else {
                     ([0.0; N_COMP], [0.0; N_COMP])

@@ -135,7 +135,13 @@ fn cellwise<const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
     let mut pd = phi_dst.comps_mut();
 
     let face = |il: usize, ir: usize| -> F64x4 {
-        face_flux_v::<UG>(&gcols, gu, gather_cell4(&ps, il), gather_cell4(&ps, ir), inv_dx)
+        face_flux_v::<UG>(
+            &gcols,
+            gu,
+            gather_cell4(&ps, il),
+            gather_cell4(&ps, ir),
+            inv_dx,
+        )
     };
 
     let mut zbuf = vec![F64x4::zero(); if STAG { nx * ny } else { 0 }];
@@ -497,8 +503,7 @@ fn fourcell<const TZ: bool, const SC: bool>(
                 let yp = crate::kernels::get4(&ps, i + sy);
                 let zm = crate::kernels::get4(&ps, i - sz);
                 let zp = crate::kernels::get4(&ps, i + sz);
-                let grads =
-                    crate::model::central_gradients(xm, xp, ym, yp, zm, zp, 0.5 * inv_dx_s);
+                let grads = crate::model::central_gradients(xm, xp, ym, yp, zm, zp, 0.5 * inv_dx_s);
                 let faces = [
                     crate::model::phi_face_flux(&params.gamma, xm, pc, inv_dx_s),
                     crate::model::phi_face_flux(&params.gamma, pc, xp, inv_dx_s),
@@ -558,9 +563,8 @@ pub fn phi_sweep_cellwise_aos(
     let gu = F64x4::splat(params.gamma[0][1]);
     let uniform = {
         let gv = params.gamma[0][1];
-        (0..N_PHASES).all(|a| {
-            (0..N_PHASES).all(|b| params.gamma[a][b] == if a == b { 0.0 } else { gv })
-        })
+        (0..N_PHASES)
+            .all(|a| (0..N_PHASES).all(|b| params.gamma[a][b] == if a == b { 0.0 } else { gv }))
     };
     let rate = F64x4::splat(params.dt / (params.tau * params.eps));
     let quarter = F64x4::splat(0.25);
@@ -651,8 +655,7 @@ pub fn phi_sweep_cellwise_aos(
                     + F64x4::splat(ctx.pref_obst) * obst
                     + drive;
                 let mean = vdf.hsum_splat() * quarter;
-                let out =
-                    crate::simplex::project_to_simplex((pc - rate * (vdf - mean)).to_array());
+                let out = crate::simplex::project_to_simplex((pc - rate * (vdf - mean)).to_array());
                 for c in 0..N_PHASES {
                     pd[c][i] = out[c];
                 }
@@ -664,8 +667,8 @@ pub fn phi_sweep_cellwise_aos(
 #[cfg(test)]
 mod aos_tests {
     use super::*;
-    use eutectica_blockgrid::GridDims;
     use crate::state::BlockState;
+    use eutectica_blockgrid::GridDims;
 
     #[test]
     fn aos_variant_matches_soa_cellwise() {
@@ -700,10 +703,7 @@ mod aos_tests {
             for (x, y, z) in dims.interior_iter() {
                 let a = soa.phi_dst.at(c, x, y, z);
                 let b = out.at(c, x, y, z);
-                assert!(
-                    (a - b).abs() < 1e-13,
-                    "phi[{c}]@({x},{y},{z}): {a} vs {b}"
-                );
+                assert!((a - b).abs() < 1e-13, "phi[{c}]@({x},{y},{z}): {a} vs {b}");
             }
         }
     }

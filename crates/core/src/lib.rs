@@ -41,6 +41,9 @@
 //! assert!(solid > 0.0);
 //! ```
 
+// Index-based loops deliberately mirror the paper's stencil formulations;
+// iterator rewrites would obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
 #![deny(missing_docs)]
 
 pub mod init;

@@ -13,14 +13,21 @@
 use core::cell::Cell;
 use core::ops::{Add, Div, Mul, Sub};
 
-use crate::kernels::reference::{gather19, ref_mu_cell_faces, ref_phi_cell_faces, GeneralModel, Scratch};
+use crate::kernels::reference::{
+    gather19, ref_mu_cell_faces, ref_phi_cell_faces, GeneralModel, Scratch,
+};
 use crate::params::ModelParams;
 use crate::{N_COMP, N_PHASES};
 
 /// Abstraction over f64 used by the reference kernel so the identical code
 /// path can run on [`Counting`] for FLOP measurement.
 pub trait Real:
-    Copy + PartialOrd + Add<Output = Self> + Sub<Output = Self> + Mul<Output = Self> + Div<Output = Self>
+    Copy
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
 {
     /// Lift a constant. Constants do not count as operations.
     fn from_f64(v: f64) -> Self;
@@ -126,6 +133,7 @@ impl Add for Counting {
 impl Sub for Counting {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // the `+` increments the op counter
     fn sub(self, o: Self) -> Self {
         ADDS.with(|c| c.set(c.get() + 1));
         Counting(self.0 - o.0)
@@ -135,6 +143,7 @@ impl Sub for Counting {
 impl Mul for Counting {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // the `+` increments the op counter
     fn mul(self, o: Self) -> Self {
         MULS.with(|c| c.set(c.get() + 1));
         Counting(self.0 * o.0)
@@ -144,6 +153,7 @@ impl Mul for Counting {
 impl Div for Counting {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // the `+` increments the op counter
     fn div(self, o: Self) -> Self {
         DIVS.with(|c| c.set(c.get() + 1));
         Counting(self.0 / o.0)
@@ -188,7 +198,15 @@ pub fn phi_flops_per_cell(params: &ModelParams) -> FlopCount {
     reset_counters();
     // `buffered = true`: staggered faces evaluated once per cell, exactly
     // like the optimized kernels whose rate the roofline compares against.
-    ref_phi_cell_faces(&model, params, &stencil, &mu, Counting(0.97), &mut scratch, true);
+    ref_phi_cell_faces(
+        &model,
+        params,
+        &stencil,
+        &mu,
+        Counting(0.97),
+        &mut scratch,
+        true,
+    );
     read_counters()
 }
 

@@ -119,7 +119,8 @@ pub fn da_dphi(
 ) -> [f64; N_PHASES] {
     let mut norm2 = [0.0; N_PHASES];
     for a in 0..N_PHASES {
-        norm2[a] = grads[a][0] * grads[a][0] + grads[a][1] * grads[a][1] + grads[a][2] * grads[a][2];
+        norm2[a] =
+            grads[a][0] * grads[a][0] + grads[a][1] * grads[a][1] + grads[a][2] * grads[a][2];
     }
     let mut out = [0.0; N_PHASES];
     for a in 0..N_PHASES {
@@ -127,9 +128,8 @@ pub fn da_dphi(
         let mut s_dot = 0.0; // Σ_β γ_αβ φ_β (∇φ_α·∇φ_β)
         for b in 0..N_PHASES {
             s_norm += gamma[a][b] * norm2[b];
-            let dot = grads[a][0] * grads[b][0]
-                + grads[a][1] * grads[b][1]
-                + grads[a][2] * grads[b][2];
+            let dot =
+                grads[a][0] * grads[b][0] + grads[a][1] * grads[b][1] + grads[a][2] * grads[b][2];
             s_dot += gamma[a][b] * phi[b] * dot;
         }
         out[a] = 2.0 * (phi[a] * s_norm - s_dot);
@@ -158,11 +158,7 @@ pub fn obstacle_deriv(
 /// Driving force ∂ψ/∂φ_α = Σ_β ψ_β ∂h_β/∂φ_α = (2φ_α/S)(ψ_α − Σ_β h_β ψ_β)
 /// with S = Σφ². Zero for pure cells (the φ-kernel "shortcut" in liquid).
 #[inline(always)]
-pub fn driving_force(
-    ctx: &SliceCtx,
-    phi: [f64; N_PHASES],
-    mu: [f64; N_COMP],
-) -> [f64; N_PHASES] {
+pub fn driving_force(ctx: &SliceCtx, phi: [f64; N_PHASES], mu: [f64; N_COMP]) -> [f64; N_PHASES] {
     let mut psi = [0.0; N_PHASES];
     for a in 0..N_PHASES {
         psi[a] = ctx.grand_potential(a, mu);
@@ -204,10 +200,7 @@ pub fn phi_cell_update(
     let mut vdf = [0.0; N_PHASES];
     let mut mean = 0.0;
     for a in 0..N_PHASES {
-        let div = (faces[1][a] - faces[0][a]
-            + faces[3][a]
-            - faces[2][a]
-            + faces[5][a]
+        let div = (faces[1][a] - faces[0][a] + faces[3][a] - faces[2][a] + faces[5][a]
             - faces[4][a])
             * inv_dx;
         vdf[a] = ctx.pref_grad * (da[a] - div) + ctx.pref_obst * obst[a] + drive[a];
@@ -240,7 +233,7 @@ pub fn is_bulk(phi: [f64; N_PHASES], neighbors: &[[f64; N_PHASES]; 6]) -> bool {
 /// True if the cell is pure in any phase (driving force is exactly zero).
 #[inline(always)]
 pub fn is_pure(phi: [f64; N_PHASES]) -> bool {
-    phi.iter().any(|&p| p == 1.0)
+    phi.contains(&1.0)
 }
 
 /// Gradient-flux part of the µ-equation at a staggered face: M(φF)·∇µ·ê_d
@@ -313,8 +306,7 @@ pub fn jat_face_flux(
         let weight = h_l * (pa.max(0.0) * inv_pl).sqrt();
         let n_dot = (ga[0] * gl[0] + ga[1] * gl[1] + ga[2] * gl[2]) * inv_na * inv_nl;
         let cdiff = ctx_face.c_liq_minus_c(a, mu_f);
-        let scale =
-            ind_l * ind_a * prefactor * weight * dphidt_f[a] * n_dot * ga[axis] * inv_na;
+        let scale = ind_l * ind_a * prefactor * weight * dphidt_f[a] * n_dot * ga[axis] * inv_na;
         out[0] += scale * cdiff[0];
         out[1] += scale * cdiff[1];
     }
@@ -455,7 +447,10 @@ mod tests {
                 direct += p.gamma[a][b] * pf[b] * (pf[a] * g[b] - pf[b] * g[a]);
             }
             direct *= -2.0;
-            assert!((f[a] - direct).abs() < 1e-14, "phase {a}: {f:?} vs {direct}");
+            assert!(
+                (f[a] - direct).abs() < 1e-14,
+                "phase {a}: {f:?} vs {direct}"
+            );
         }
     }
 
@@ -581,7 +576,15 @@ mod tests {
         let grad = [[0.1, 0.0, 0.0]; 4];
         let dphidt = [0.1, 0.0, 0.0, -0.1];
         // No liquid at the face.
-        let f = jat_face_flux(&ctx, pref, &[0.5, 0.5, 0.0, 0.0], &grad, &dphidt, [0.0; 2], 0);
+        let f = jat_face_flux(
+            &ctx,
+            pref,
+            &[0.5, 0.5, 0.0, 0.0],
+            &grad,
+            &dphidt,
+            [0.0; 2],
+            0,
+        );
         assert_eq!(f, [0.0; 2]);
         // Bulk liquid: zero liquid gradient.
         let mut g2 = grad;
@@ -598,15 +601,13 @@ mod tests {
         // Al solidifying upward: φ_Al decreasing with z at the front,
         // liquid increasing; front moving so ∂φ_Al/∂t > 0 locally.
         let phi_f = [0.5, 0.0, 0.0, 0.5];
-        let grad_f = [
-            [0.0, 0.0, -0.3],
-            [0.0; 3],
-            [0.0; 3],
-            [0.0, 0.0, 0.3],
-        ];
+        let grad_f = [[0.0, 0.0, -0.3], [0.0; 3], [0.0; 3], [0.0, 0.0, 0.3]];
         let dphidt = [0.2, 0.0, 0.0, -0.2];
         let f = jat_face_flux(&ctx, pref, &phi_f, &grad_f, &dphidt, [0.0; 2], 2);
-        assert!(f[0] != 0.0 || f[1] != 0.0, "expected nonzero J_at, got {f:?}");
+        assert!(
+            f[0] != 0.0 || f[1] != 0.0,
+            "expected nonzero J_at, got {f:?}"
+        );
         // Al rejects Ag and Cu (c_l > c_al): check sign pattern is consistent
         // with rejection *into* the liquid (flux along +z where liquid is).
         assert!(f[0].is_finite() && f[1].is_finite());

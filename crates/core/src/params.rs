@@ -149,7 +149,9 @@ mod tests {
 
     #[test]
     fn defaults_are_stable() {
-        ModelParams::ag_al_cu().validate().expect("default params valid");
+        ModelParams::ag_al_cu()
+            .validate()
+            .expect("default params valid");
     }
 
     #[test]

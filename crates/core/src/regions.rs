@@ -286,9 +286,18 @@ mod tests {
         // blocks get the largest weight.
         let rates = [30.0, 100.0, 45.0]; // interface, liquid, solid MLUP/s
         let dims = GridDims::cube(16);
-        let w_interface = block_weight(&classify_block(&build_scenario(Scenario::Interface, dims)), rates);
-        let w_liquid = block_weight(&classify_block(&build_scenario(Scenario::Liquid, dims)), rates);
-        let w_solid = block_weight(&classify_block(&build_scenario(Scenario::Solid, dims)), rates);
+        let w_interface = block_weight(
+            &classify_block(&build_scenario(Scenario::Interface, dims)),
+            rates,
+        );
+        let w_liquid = block_weight(
+            &classify_block(&build_scenario(Scenario::Liquid, dims)),
+            rates,
+        );
+        let w_solid = block_weight(
+            &classify_block(&build_scenario(Scenario::Solid, dims)),
+            rates,
+        );
         assert!(w_interface > w_solid, "{w_interface} vs {w_solid}");
         assert!(w_solid > w_liquid, "{w_solid} vs {w_liquid}");
     }
@@ -303,7 +312,8 @@ mod tests {
         };
         let rates = [30.0, 100.0, 45.0];
         let dims = GridDims::cube(12);
-        let weight_of = |sc: Scenario| block_weight(&classify_block(&build_scenario(sc, dims)), rates);
+        let weight_of =
+            |sc: Scenario| block_weight(&classify_block(&build_scenario(sc, dims)), rates);
         // Full-domain column: interface band at the bottom, liquid above
         // (the pre-moving-window situation where most blocks are cheap
         // liquid and a few are expensive interface).
@@ -322,7 +332,10 @@ mod tests {
         .collect();
         let gain_mixed = imbalance(&mixed, &assign_contiguous_uniform(8, 4), 4)
             - imbalance(&mixed, &assign_contiguous_weighted(&mixed, 4), 4);
-        assert!(gain_mixed > 0.05, "weighting should help mixed: {gain_mixed}");
+        assert!(
+            gain_mixed > 0.05,
+            "weighting should help mixed: {gain_mixed}"
+        );
         // Moving-window column: everything interface-like.
         let windowed = vec![weight_of(Scenario::Interface); 8];
         let gain_window = imbalance(&windowed, &assign_contiguous_uniform(8, 4), 4)

@@ -91,10 +91,7 @@ mod tests {
         ] {
             let p = project_to_simplex(phi);
             for i in 0..4 {
-                assert!(
-                    (p[i] - phi[i]).abs() < 1e-15,
-                    "{phi:?} moved to {p:?}"
-                );
+                assert!((p[i] - phi[i]).abs() < 1e-15, "{phi:?} moved to {p:?}");
             }
         }
     }
@@ -121,8 +118,7 @@ mod tests {
         // Against a brute-force search over a fine simplex grid.
         let phi = [0.6, 0.6, -0.1, 0.0];
         let p = project_to_simplex(phi);
-        let dist =
-            |a: [f64; 4]| -> f64 { (0..4).map(|i| (a[i] - phi[i]).powi(2)).sum::<f64>() };
+        let dist = |a: [f64; 4]| -> f64 { (0..4).map(|i| (a[i] - phi[i]).powi(2)).sum::<f64>() };
         let d_proj = dist(p);
         let n = 40;
         for i in 0..=n {

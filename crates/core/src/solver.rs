@@ -8,10 +8,13 @@
 
 use crate::init;
 use crate::kernels::{self, KernelConfig, MuPart};
+use crate::metrics;
 use crate::params::ModelParams;
 use crate::state::BlockState;
 use crate::{LIQ, N_COMP, N_PHASES};
 use eutectica_blockgrid::GridDims;
+use eutectica_telemetry::Telemetry;
+use std::time::Instant;
 
 /// Moving-window configuration.
 #[derive(Copy, Clone, Debug)]
@@ -32,6 +35,7 @@ pub struct Simulation {
     step: usize,
     window: Option<MovingWindow>,
     window_shifts: usize,
+    telemetry: Telemetry,
 }
 
 impl Simulation {
@@ -50,7 +54,30 @@ impl Simulation {
             step: 0,
             window: None,
             window_shifts: 0,
+            telemetry: Telemetry::new(0),
         })
+    }
+
+    /// The simulation's telemetry collector. Each step records a
+    /// `phi_sweep` / `mu_sweep` span and sets the `phi_sweep_mlups` /
+    /// `mu_sweep_mlups` gauges (million lattice-cell updates per second,
+    /// from [`crate::metrics::mlups`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Replace the telemetry collector (e.g. [`Telemetry::disabled`]).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.telemetry = tel;
+    }
+
+    /// MLUP/s of the most recent φ- and µ-sweeps, if telemetry is enabled.
+    pub fn last_sweep_mlups(&self) -> Option<(f64, f64)> {
+        let m = self.telemetry.metrics_snapshot();
+        Some((
+            *m.gauges.get("phi_sweep_mlups")?,
+            *m.gauges.get("mu_sweep_mlups")?,
+        ))
     }
 
     /// Initialize with Voronoi solid nuclei at the bottom (Fig. 2 setup).
@@ -74,22 +101,38 @@ impl Simulation {
     /// Enable the moving-window technique (Sec. 3.3).
     pub fn enable_moving_window(&mut self, trigger_fraction: f64) {
         assert!((0.0..1.0).contains(&trigger_fraction));
-        self.window = Some(MovingWindow {
-            trigger_fraction,
-        });
+        self.window = Some(MovingWindow { trigger_fraction });
     }
 
     /// Execute one time step (Algorithm 1).
     pub fn step(&mut self) {
-        kernels::phi_sweep(&self.params, &mut self.state, self.time, self.cfg);
+        let _step = self.telemetry.span("step");
+        let cells = self.state.dims.interior_volume();
+        {
+            let _g = self.telemetry.span_cat("phi_sweep", "compute");
+            let t = Instant::now();
+            kernels::phi_sweep(&self.params, &mut self.state, self.time, self.cfg);
+            self.telemetry.gauge_set(
+                "phi_sweep_mlups",
+                metrics::mlups(cells, 1, t.elapsed().as_secs_f64().max(1e-12)),
+            );
+        }
         self.state.bc_phi.apply(&mut self.state.phi_dst);
-        kernels::mu_sweep(
-            &self.params,
-            &mut self.state,
-            self.time,
-            self.cfg,
-            MuPart::Full,
-        );
+        {
+            let _g = self.telemetry.span_cat("mu_sweep", "compute");
+            let t = Instant::now();
+            kernels::mu_sweep(
+                &self.params,
+                &mut self.state,
+                self.time,
+                self.cfg,
+                MuPart::Full,
+            );
+            self.telemetry.gauge_set(
+                "mu_sweep_mlups",
+                metrics::mlups(cells, 1, t.elapsed().as_secs_f64().max(1e-12)),
+            );
+        }
         self.state.bc_mu.apply(&mut self.state.mu_dst);
         self.state.swap();
         self.time += self.params.dt;
@@ -202,7 +245,10 @@ mod tests {
         assert!((sim.time() - 5.0 * sim.params.dt).abs() < 1e-12);
         // Still a valid simplex field everywhere.
         for (x, y, z) in sim.state.dims.interior_iter() {
-            assert!(crate::simplex::on_simplex(sim.state.phi_src.cell(x, y, z), 1e-9));
+            assert!(crate::simplex::on_simplex(
+                sim.state.phi_src.cell(x, y, z),
+                1e-9
+            ));
         }
     }
 
@@ -265,6 +311,24 @@ mod tests {
         sim.step_n(20);
         let f = sim.phase_fractions();
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{f:?}");
+    }
+
+    #[test]
+    fn telemetry_reports_sweep_mlups() {
+        let mut sim = Simulation::new(ModelParams::ag_al_cu(), [8, 8, 8]).unwrap();
+        sim.init_directional(3);
+        sim.step_n(2);
+        let (phi, mu) = sim.last_sweep_mlups().unwrap();
+        assert!(phi > 0.0 && mu > 0.0, "mlups gauges not set: {phi} {mu}");
+        // The sweeps accrued as spans nested under "step".
+        assert!(sim.telemetry().node_secs("step/phi_sweep").unwrap() > 0.0);
+        assert!(sim.telemetry().node_secs("step/mu_sweep").unwrap() > 0.0);
+        // A disabled collector reports nothing.
+        let mut quiet = Simulation::new(ModelParams::ag_al_cu(), [8, 8, 8]).unwrap();
+        quiet.set_telemetry(Telemetry::disabled());
+        quiet.init_directional(3);
+        quiet.step_n(1);
+        assert!(quiet.last_sweep_mlups().is_none());
     }
 
     #[test]

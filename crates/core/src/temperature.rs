@@ -101,7 +101,13 @@ pub struct SliceTable {
 impl SliceTable {
     /// Build for `tz` total slices whose first slice has global z
     /// `origin_z − ghost` at simulation time `time`.
-    pub fn build(params: &ModelParams, origin_z: isize, tz: usize, ghost: usize, time: f64) -> Self {
+    pub fn build(
+        params: &ModelParams,
+        origin_z: isize,
+        tz: usize,
+        ghost: usize,
+        time: f64,
+    ) -> Self {
         let temp = |z_total: usize| -> f64 {
             let gz = origin_z as f64 + z_total as f64 - ghost as f64;
             params.temperature(gz, time)

@@ -18,6 +18,7 @@
 //!   split µ-kernel, whose per-slice temperature values are computed twice —
 //!   the overhead that makes φ-hiding a net loss in the paper's Fig. 8.
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -25,9 +26,13 @@ use eutectica_blockgrid::boundary::{Bc, BoundarySpec};
 use eutectica_blockgrid::decomp::Decomposition;
 use eutectica_blockgrid::ghost;
 use eutectica_blockgrid::Face;
-use eutectica_comm::{bytes_to_f64s_into, f64s_to_bytes, Rank, RecvRequest};
+use eutectica_comm::{
+    bytes_to_f64s_into, f64s_to_bytes, CommStats, Rank, RecvRequest, TagStats, COLLECTIVE_TAG,
+};
+use eutectica_telemetry::{StepRecord, Telemetry};
 
 use crate::kernels::{self, KernelConfig, MuPart};
+use crate::metrics;
 use crate::params::ModelParams;
 use crate::state::{BlockState, PHI_LIQUID};
 use crate::{LIQ, N_COMP, N_PHASES};
@@ -44,14 +49,31 @@ pub struct OverlapOptions {
 impl OverlapOptions {
     /// All four combinations measured in Fig. 8.
     pub const ALL: [OverlapOptions; 4] = [
-        OverlapOptions { hide_mu: false, hide_phi: false },
-        OverlapOptions { hide_mu: true, hide_phi: false },
-        OverlapOptions { hide_mu: false, hide_phi: true },
-        OverlapOptions { hide_mu: true, hide_phi: true },
+        OverlapOptions {
+            hide_mu: false,
+            hide_phi: false,
+        },
+        OverlapOptions {
+            hide_mu: true,
+            hide_phi: false,
+        },
+        OverlapOptions {
+            hide_mu: false,
+            hide_phi: true,
+        },
+        OverlapOptions {
+            hide_mu: true,
+            hide_phi: true,
+        },
     ];
 }
 
 /// Exposed (non-hidden) time per communication routine, plus compute time.
+///
+/// This is a *derived view* over the rank's telemetry timing tree: the
+/// spans opened inside [`DistributedSim::step`] accrue into the tree, and
+/// the tree is folded back into these fields after every step. With
+/// telemetry disabled the durations stay zero (only `steps` counts).
 #[derive(Copy, Clone, Debug, Default)]
 pub struct StepTimings {
     /// Time in the φ ghost-exchange routines.
@@ -60,8 +82,26 @@ pub struct StepTimings {
     pub mu_comm: Duration,
     /// Time in compute sweeps.
     pub compute: Duration,
+    /// Time applying boundary conditions.
+    pub bc: Duration,
+    /// Time in [`DistributedSim::refresh_src_ghosts`] (init and
+    /// moving-window refreshes).
+    pub ghost_refresh: Duration,
     /// Steps accumulated.
     pub steps: usize,
+}
+
+impl StepTimings {
+    fn saturating_sub(self, base: StepTimings) -> StepTimings {
+        StepTimings {
+            phi_comm: self.phi_comm.saturating_sub(base.phi_comm),
+            mu_comm: self.mu_comm.saturating_sub(base.mu_comm),
+            compute: self.compute.saturating_sub(base.compute),
+            bc: self.bc.saturating_sub(base.bc),
+            ghost_refresh: self.ghost_refresh.saturating_sub(base.ghost_refresh),
+            steps: self.steps.saturating_sub(base.steps),
+        }
+    }
 }
 
 /// Which field a ghost exchange operates on.
@@ -108,11 +148,22 @@ pub struct DistributedSim<'r> {
     pub blocks: Vec<BlockState>,
     time: f64,
     step: usize,
-    /// Accumulated timings.
+    /// Accumulated timings (derived from the telemetry timing tree).
     pub timings: StepTimings,
     scratch: Vec<f64>,
     window: Option<f64>,
     window_shifts: usize,
+    telemetry: Telemetry,
+    /// Tree totals at the last `reset_timings`, subtracted from the derived
+    /// view so `timings` restarts from zero.
+    timings_base: StepTimings,
+    steps_base: usize,
+    /// Comm-stats snapshot at the end of the previous step (per-step deltas).
+    prev_stats: CommStats,
+    prev_window_shifts: usize,
+    /// Interior cells over all local blocks (one sweep pair updates each once).
+    interior_cells: u64,
+    step_records: Option<Vec<StepRecord>>,
 }
 
 impl<'r> DistributedSim<'r> {
@@ -126,7 +177,7 @@ impl<'r> DistributedSim<'r> {
     ) -> Self {
         let n_ranks = rank.size();
         let local_ids = decomp.blocks_of_rank(rank.rank(), n_ranks);
-        let blocks = local_ids
+        let blocks: Vec<BlockState> = local_ids
             .iter()
             .map(|&id| {
                 let desc = decomp.block(id);
@@ -136,10 +187,15 @@ impl<'r> DistributedSim<'r> {
                 st
             })
             .collect();
+        let interior_cells = blocks
+            .iter()
+            .map(|b| (b.dims.nx * b.dims.ny * b.dims.nz) as u64)
+            .sum();
         Self {
             params,
             cfg,
             overlap,
+            telemetry: Telemetry::new(rank.rank()),
             rank,
             decomp,
             n_ranks,
@@ -151,7 +207,39 @@ impl<'r> DistributedSim<'r> {
             scratch: Vec::new(),
             window: None,
             window_shifts: 0,
+            timings_base: StepTimings::default(),
+            steps_base: 0,
+            prev_stats: CommStats::default(),
+            prev_window_shifts: 0,
+            interior_cells,
+            step_records: None,
         }
+    }
+
+    /// This rank's telemetry collector (enabled by default; spans inside
+    /// [`DistributedSim::step`] accrue here).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Replace the telemetry collector — pass [`Telemetry::disabled`] to
+    /// make every span a no-op, or a trace-enabled collector to buffer
+    /// Chrome trace events.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.telemetry = tel;
+    }
+
+    /// Start (or stop) recording one [`StepRecord`] per step.
+    pub fn record_steps(&mut self, on: bool) {
+        self.step_records = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Take the step records accumulated so far.
+    pub fn take_step_records(&mut self) -> Vec<StepRecord> {
+        self.step_records
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Enable the moving-window technique (Sec. 3.3) for distributed runs.
@@ -204,13 +292,16 @@ impl<'r> DistributedSim<'r> {
         let front = self
             .rank
             .allreduce_f64(self.local_front(), eutectica_comm::ReduceOp::Max);
-        let Some(b0) = self.blocks.first() else { return };
+        let Some(b0) = self.blocks.first() else {
+            return;
+        };
         let local_trigger = b0.dims.nz as f64 * frac;
         let over = front - b0.origin[2] as f64 - local_trigger;
         if over <= 0.0 {
             return;
         }
         let shifts = over.ceil() as usize;
+        let _g = self.telemetry.span_cat("window_shift", "window");
         for _ in 0..shifts {
             for b in &mut self.blocks {
                 b.shift_window_up();
@@ -231,6 +322,7 @@ impl<'r> DistributedSim<'r> {
     /// Exchange + boundary-handle the source fields (after init or window
     /// shifts).
     pub fn refresh_src_ghosts(&mut self) {
+        let _g = self.telemetry.span_cat("refresh_src_ghosts", "comm");
         self.exchange_sequenced(FieldSel::PhiSrc);
         self.exchange_sequenced(FieldSel::MuSrc);
         for b in &mut self.blocks {
@@ -244,31 +336,41 @@ impl<'r> DistributedSim<'r> {
 
     /// Execute one time step.
     pub fn step(&mut self) {
+        let wall = Instant::now();
+        {
+            let _step = self.telemetry.span("step");
+            self.step_inner();
+        }
+        self.finish_step_accounting(wall.elapsed());
+    }
+
+    fn step_inner(&mut self) {
         let ov = self.overlap;
 
         // --- φ-sweep, optionally hiding the µ_src exchange behind it.
         let mu_pending = if ov.hide_mu {
-            let t = Instant::now();
-            let p = Some(self.post_plain(FieldSel::MuSrc));
-            self.timings.mu_comm += t.elapsed();
-            p
+            let _g = self.telemetry.span_cat("mu_comm", "comm");
+            Some(self.post_plain(FieldSel::MuSrc))
         } else {
             None
         };
 
-        let t = Instant::now();
-        for b in &mut self.blocks {
-            kernels::phi_sweep(&self.params, b, self.time, self.cfg);
+        {
+            let _g = self.telemetry.span_cat("phi_sweep", "compute");
+            for b in &mut self.blocks {
+                kernels::phi_sweep(&self.params, b, self.time, self.cfg);
+            }
         }
-        self.timings.compute += t.elapsed();
 
         if let Some(p) = mu_pending {
-            let t = Instant::now();
-            self.finish_plain(p);
+            {
+                let _g = self.telemetry.span_cat("mu_comm", "comm");
+                self.finish_plain(p);
+            }
+            let _g = self.telemetry.span_cat("bc", "bc");
             for b in &mut self.blocks {
                 b.bc_mu.apply(&mut b.mu_src);
             }
-            self.timings.mu_comm += t.elapsed();
         }
 
         // --- φ_dst exchange then boundary handling (the BC fill reads
@@ -277,54 +379,64 @@ impl<'r> DistributedSim<'r> {
         if ov.hide_phi {
             // Post the x-phase, run the local µ-sweep, then finish x and do
             // the dependent y/z phases synchronously.
-            let t = Instant::now();
-            let p = self.post_axis(FieldSel::PhiDst, 0);
-            self.timings.phi_comm += t.elapsed();
+            let p = {
+                let _g = self.telemetry.span_cat("phi_comm", "comm");
+                self.post_axis(FieldSel::PhiDst, 0)
+            };
 
-            let t = Instant::now();
-            for b in &mut self.blocks {
-                kernels::mu_sweep(&self.params, b, self.time, self.cfg, MuPart::LocalOnly);
-            }
-            self.timings.compute += t.elapsed();
-
-            let t = Instant::now();
-            self.finish_plain(p);
-            self.exchange_axis(FieldSel::PhiDst, 1);
-            self.exchange_axis(FieldSel::PhiDst, 2);
-            self.timings.phi_comm += t.elapsed();
-            for b in &mut self.blocks {
-                b.bc_phi.apply(&mut b.phi_dst);
+            {
+                let _g = self.telemetry.span_cat("mu_sweep_local", "compute");
+                for b in &mut self.blocks {
+                    kernels::mu_sweep(&self.params, b, self.time, self.cfg, MuPart::LocalOnly);
+                }
             }
 
-            let t = Instant::now();
+            {
+                let _g = self.telemetry.span_cat("phi_comm", "comm");
+                self.finish_plain(p);
+                self.exchange_axis(FieldSel::PhiDst, 1);
+                self.exchange_axis(FieldSel::PhiDst, 2);
+            }
+            {
+                let _g = self.telemetry.span_cat("bc", "bc");
+                for b in &mut self.blocks {
+                    b.bc_phi.apply(&mut b.phi_dst);
+                }
+            }
+
+            let _g = self.telemetry.span_cat("mu_sweep_neighbor", "compute");
             for b in &mut self.blocks {
                 kernels::mu_sweep(&self.params, b, self.time, self.cfg, MuPart::NeighborOnly);
             }
-            self.timings.compute += t.elapsed();
         } else {
-            let t = Instant::now();
-            self.exchange_sequenced(FieldSel::PhiDst);
-            self.timings.phi_comm += t.elapsed();
-            for b in &mut self.blocks {
-                b.bc_phi.apply(&mut b.phi_dst);
+            {
+                let _g = self.telemetry.span_cat("phi_comm", "comm");
+                self.exchange_sequenced(FieldSel::PhiDst);
+            }
+            {
+                let _g = self.telemetry.span_cat("bc", "bc");
+                for b in &mut self.blocks {
+                    b.bc_phi.apply(&mut b.phi_dst);
+                }
             }
 
-            let t = Instant::now();
+            let _g = self.telemetry.span_cat("mu_sweep", "compute");
             for b in &mut self.blocks {
                 kernels::mu_sweep(&self.params, b, self.time, self.cfg, MuPart::Full);
             }
-            self.timings.compute += t.elapsed();
         }
 
         // --- µ_dst exchange then boundary handling, unless deferred to the
         // next step's hidden µ_src exchange (which reapplies the BCs).
         if !ov.hide_mu {
-            let t = Instant::now();
+            let _g = self.telemetry.span_cat("mu_comm", "comm");
             self.exchange_sequenced(FieldSel::MuDst);
-            self.timings.mu_comm += t.elapsed();
         }
-        for b in &mut self.blocks {
-            b.bc_mu.apply(&mut b.mu_dst);
+        {
+            let _g = self.telemetry.span_cat("bc", "bc");
+            for b in &mut self.blocks {
+                b.bc_mu.apply(&mut b.mu_dst);
+            }
         }
 
         for b in &mut self.blocks {
@@ -332,8 +444,163 @@ impl<'r> DistributedSim<'r> {
         }
         self.time += self.params.dt;
         self.step += 1;
-        self.timings.steps += 1;
         self.maybe_shift_window();
+    }
+
+    /// Fold the telemetry tree back into the legacy [`StepTimings`] view,
+    /// bridge per-step comm-stats deltas into the metrics registry, and
+    /// append a [`StepRecord`] when recording is on.
+    fn finish_step_accounting(&mut self, wall: Duration) {
+        let mut t = self.derive_timings().saturating_sub(self.timings_base);
+        t.steps = self.step - self.steps_base;
+        let prev = std::mem::replace(&mut self.timings, t);
+
+        if !self.telemetry.is_enabled() && self.step_records.is_none() {
+            return;
+        }
+        let d = t.saturating_sub(prev);
+        let mlups = metrics::mlups(
+            self.interior_cells as usize,
+            1,
+            wall.as_secs_f64().max(1e-12),
+        );
+        self.telemetry
+            .counter_add("cells_updated", self.interior_cells);
+        self.telemetry.gauge_set("step_mlups", mlups);
+
+        let stats = self.rank.stats();
+        self.telemetry.counter_add(
+            "comm/bytes_sent",
+            stats.bytes_sent - self.prev_stats.bytes_sent,
+        );
+        self.telemetry.counter_add(
+            "comm/bytes_received",
+            stats.bytes_received - self.prev_stats.bytes_received,
+        );
+        self.telemetry.counter_add(
+            "comm/messages_sent",
+            stats.messages_sent - self.prev_stats.messages_sent,
+        );
+        self.telemetry.counter_add(
+            "comm/messages_received",
+            stats.messages_received - self.prev_stats.messages_received,
+        );
+        let wait_delta = stats
+            .recv_wait_hist
+            .delta_since(&self.prev_stats.recv_wait_hist);
+        self.telemetry.hist_merge("comm/recv_wait_ns", &wait_delta);
+
+        let (mut ghost_sent, mut ghost_recv) = (0u64, 0u64);
+        for (field, ts) in self.field_traffic_delta(&stats) {
+            ghost_sent += ts.bytes_sent;
+            ghost_recv += ts.bytes_received;
+            self.telemetry
+                .counter_add(&format!("comm/{field}/bytes_sent"), ts.bytes_sent);
+            self.telemetry
+                .counter_add(&format!("comm/{field}/bytes_received"), ts.bytes_received);
+        }
+
+        if self.step_records.is_some() {
+            let rec = StepRecord {
+                rank: self.rank.rank(),
+                step: self.step - 1,
+                wall_ms: wall.as_secs_f64() * 1e3,
+                mlups,
+                cells_updated: self.interior_cells,
+                compute_ms: d.compute.as_secs_f64() * 1e3,
+                phi_comm_ms: d.phi_comm.as_secs_f64() * 1e3,
+                mu_comm_ms: d.mu_comm.as_secs_f64() * 1e3,
+                bc_ms: d.bc.as_secs_f64() * 1e3,
+                ghost_bytes_sent: ghost_sent,
+                ghost_bytes_received: ghost_recv,
+                recv_wait_ms: stats
+                    .recv_wait_time
+                    .saturating_sub(self.prev_stats.recv_wait_time)
+                    .as_secs_f64()
+                    * 1e3,
+                recv_wait_hist: wait_delta,
+                window_shifts: (self.window_shifts - self.prev_window_shifts) as u64,
+            };
+            if let Some(recs) = &mut self.step_records {
+                recs.push(rec);
+            }
+        }
+        self.prev_stats = stats;
+        self.prev_window_shifts = self.window_shifts;
+    }
+
+    /// Fold the timing tree into [`StepTimings`] buckets by leaf span name
+    /// (cumulative since construction; `steps` is filled by the caller).
+    fn derive_timings(&self) -> StepTimings {
+        let snap = self.telemetry.tree_snapshot();
+        let mut t = StepTimings::default();
+        for r in &snap.rows {
+            let leaf = r.path.rsplit('/').next().unwrap_or(&r.path);
+            let d = Duration::from_secs_f64(r.total_secs);
+            match leaf {
+                "phi_comm" => t.phi_comm += d,
+                "mu_comm" => t.mu_comm += d,
+                "phi_sweep" | "mu_sweep" | "mu_sweep_local" | "mu_sweep_neighbor" => t.compute += d,
+                "bc" => t.bc += d,
+                "refresh_src_ghosts" => t.ghost_refresh += d,
+                _ => {}
+            }
+        }
+        t
+    }
+
+    /// Per-field ghost traffic deltas since the previous step, keyed by
+    /// field name (collective tags excluded).
+    fn field_traffic_delta(&self, cur: &CommStats) -> BTreeMap<&'static str, TagStats> {
+        let mut map: BTreeMap<&'static str, TagStats> = BTreeMap::new();
+        for (tag, ts) in &cur.per_tag {
+            let Some(field) = self.field_of_tag(*tag) else {
+                continue;
+            };
+            let p = self
+                .prev_stats
+                .per_tag
+                .get(tag)
+                .copied()
+                .unwrap_or_default();
+            let e = map.entry(field).or_default();
+            e.bytes_sent += ts.bytes_sent - p.bytes_sent;
+            e.messages_sent += ts.messages_sent - p.messages_sent;
+            e.bytes_received += ts.bytes_received - p.bytes_received;
+            e.messages_received += ts.messages_received - p.messages_received;
+        }
+        map
+    }
+
+    /// Cumulative per-field ghost traffic of this rank (decoded from the
+    /// per-tag breakdown in [`CommStats`]).
+    pub fn comm_field_traffic(&self) -> BTreeMap<&'static str, TagStats> {
+        let mut map: BTreeMap<&'static str, TagStats> = BTreeMap::new();
+        for (tag, ts) in &self.rank.stats().per_tag {
+            let Some(field) = self.field_of_tag(*tag) else {
+                continue;
+            };
+            let e = map.entry(field).or_default();
+            e.bytes_sent += ts.bytes_sent;
+            e.messages_sent += ts.messages_sent;
+            e.bytes_received += ts.bytes_received;
+            e.messages_received += ts.messages_received;
+        }
+        map
+    }
+
+    fn field_of_tag(&self, tag: u32) -> Option<&'static str> {
+        if tag & COLLECTIVE_TAG != 0 {
+            return None;
+        }
+        let nb = self.decomp.blocks().len() as u32;
+        match tag / (nb * 6) {
+            0 => Some("phi_src"),
+            1 => Some("phi_dst"),
+            2 => Some("mu_src"),
+            3 => Some("mu_dst"),
+            _ => None,
+        }
     }
 
     /// Run `n` steps.
@@ -343,8 +610,11 @@ impl<'r> DistributedSim<'r> {
         }
     }
 
-    /// Reset accumulated timings (e.g. after warmup).
+    /// Reset accumulated timings (e.g. after warmup). The telemetry tree
+    /// keeps accruing; only the derived [`StepTimings`] view restarts.
     pub fn reset_timings(&mut self) {
+        self.timings_base = self.derive_timings();
+        self.steps_base = self.step;
         self.timings = StepTimings::default();
     }
 
@@ -363,8 +633,12 @@ impl<'r> DistributedSim<'r> {
                 cells += 1.0;
             }
         }
-        let sum = self.rank.allreduce_f64(local, eutectica_comm::ReduceOp::Sum);
-        let n = self.rank.allreduce_f64(cells, eutectica_comm::ReduceOp::Sum);
+        let sum = self
+            .rank
+            .allreduce_f64(local, eutectica_comm::ReduceOp::Sum);
+        let n = self
+            .rank
+            .allreduce_f64(cells, eutectica_comm::ReduceOp::Sum);
         sum / n
     }
 
@@ -447,8 +721,7 @@ impl<'r> DistributedSim<'r> {
                     self.unpack_face(nli, field, face.opposite(), plain, &vals);
                     self.scratch = vals;
                 } else {
-                    self.rank
-                        .isend(nb_rank, self.tag(field, id, face), payload);
+                    self.rank.isend(nb_rank, self.tag(field, id, face), payload);
                 }
             }
         }
@@ -538,13 +811,8 @@ where
     let decomp = std::sync::Arc::new(decomp);
     let init = std::sync::Arc::new(init);
     eutectica_comm::Universe::run(n_ranks, move |rank| {
-        let mut sim = DistributedSim::new(
-            &rank,
-            (*params).clone(),
-            (*decomp).clone(),
-            cfg,
-            overlap,
-        );
+        let mut sim =
+            DistributedSim::new(&rank, (*params).clone(), (*decomp).clone(), cfg, overlap);
         sim.init_blocks(|b| init(b));
         sim.step_n(steps);
         (std::mem::take(&mut sim.blocks), sim.timings)

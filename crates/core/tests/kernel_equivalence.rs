@@ -8,12 +8,12 @@
 //! ↔ scalar ↔ SIMD), FMA contraction and summation order differ, so
 //! equivalence holds to tight floating-point tolerance.
 
+use eutectica_blockgrid::GridDims;
 use eutectica_core::kernels::{mu_sweep, phi_sweep, KernelConfig, MuPart, MuVariant, PhiVariant};
 use eutectica_core::params::ModelParams;
 use eutectica_core::regions::{build_scenario, Scenario};
 use eutectica_core::simplex::project_to_simplex;
 use eutectica_core::state::BlockState;
-use eutectica_blockgrid::GridDims;
 use rand::{Rng, SeedableRng};
 
 fn random_state(seed: u64, dims: GridDims) -> BlockState {
@@ -169,7 +169,13 @@ fn simd_cellwise_flags_are_bit_exact() {
             &params,
             &mut oracle,
             0.7,
-            cfg(PhiVariant::SimdCellwise, MuVariant::Scalar, false, false, false),
+            cfg(
+                PhiVariant::SimdCellwise,
+                MuVariant::Scalar,
+                false,
+                false,
+                false,
+            ),
         );
         for tz in [false, true] {
             for stag in [false, true] {
@@ -202,7 +208,13 @@ fn simd_mu_flags_are_bit_exact() {
             &params,
             &mut oracle,
             0.7,
-            cfg(PhiVariant::Scalar, MuVariant::SimdFourCell, false, false, false),
+            cfg(
+                PhiVariant::Scalar,
+                MuVariant::SimdFourCell,
+                false,
+                false,
+                false,
+            ),
             MuPart::Full,
         );
         for tz in [false, true] {

@@ -1,12 +1,12 @@
 //! Property-based tests (proptest) on the solver's core invariants.
 
+use eutectica_blockgrid::GridDims;
 use eutectica_core::kernels::{mu_sweep, phi_sweep, KernelConfig, MuPart, MuVariant, PhiVariant};
 use eutectica_core::model::{interp_h, mixture_concentration, phi_face_flux};
 use eutectica_core::params::ModelParams;
 use eutectica_core::simplex::{on_simplex, project_to_simplex};
 use eutectica_core::state::BlockState;
 use eutectica_core::temperature::SliceCtx;
-use eutectica_blockgrid::GridDims;
 use proptest::prelude::*;
 
 fn arb_phi() -> impl Strategy<Value = [f64; 4]> {

@@ -31,12 +31,7 @@ const TETS: [[usize; 4]; 6] = [
 /// global coordinates of the first *interior* cell center. Cubes anchored at
 /// every interior cell are triangulated (the +side cube uses ghost values,
 /// so each interface cube is owned by exactly one block).
-pub fn extract_isosurface(
-    comp: &[f64],
-    dims: GridDims,
-    origin: [f64; 3],
-    iso: f64,
-) -> TriMesh {
+pub fn extract_isosurface(comp: &[f64], dims: GridDims, origin: [f64; 3], iso: f64) -> TriMesh {
     assert_eq!(comp.len(), dims.volume());
     let g = dims.ghost;
     let mut mesh = TriMesh::new();
@@ -177,7 +172,10 @@ mod tests {
                         y as f64 - g as f64,
                         z as f64 - g as f64,
                     ];
-                    let d = (0..3).map(|i| (p[i] - center[i]).powi(2)).sum::<f64>().sqrt();
+                    let d = (0..3)
+                        .map(|i| (p[i] - center[i]).powi(2))
+                        .sum::<f64>()
+                        .sqrt();
                     // Smooth indicator: 1 inside, 0 outside.
                     f.set(0, x, y, z, 0.5 - 0.5 * ((d - radius) / 1.5).tanh());
                 }
@@ -233,14 +231,10 @@ mod tests {
                 for y in 0..dims.ty() {
                     for x in 0..dims.tx() {
                         // Global cell = local + offset (ghost-aware).
-                        let p = [
-                            x as f64 - 1.0,
-                            y as f64 - 1.0,
-                            (z + z_off) as f64 - 1.0,
-                        ];
-                        let d = ((p[0] - 12.0).powi(2) + (p[1] - 12.0).powi(2)
-                            + (p[2] - 12.0).powi(2))
-                        .sqrt();
+                        let p = [x as f64 - 1.0, y as f64 - 1.0, (z + z_off) as f64 - 1.0];
+                        let d =
+                            ((p[0] - 12.0).powi(2) + (p[1] - 12.0).powi(2) + (p[2] - 12.0).powi(2))
+                                .sqrt();
                         f.set(0, x, y, z, 0.5 - 0.5 * ((d - r) / 1.5).tanh());
                     }
                 }
@@ -264,8 +258,14 @@ mod tests {
         let dims = GridDims::cube(8);
         let f0 = SoaField::<1>::new(dims, [0.0]);
         let f1 = SoaField::<1>::new(dims, [1.0]);
-        assert_eq!(extract_isosurface(f0.comp(0), dims, [0.0; 3], 0.5).num_triangles(), 0);
-        assert_eq!(extract_isosurface(f1.comp(0), dims, [0.0; 3], 0.5).num_triangles(), 0);
+        assert_eq!(
+            extract_isosurface(f0.comp(0), dims, [0.0; 3], 0.5).num_triangles(),
+            0
+        );
+        assert_eq!(
+            extract_isosurface(f1.comp(0), dims, [0.0; 3], 0.5).num_triangles(),
+            0
+        );
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`TriMesh`] — indexed triangle mesh with welding, watertightness
 //!   checks, area/volume measures, and binary STL / OBJ writers.
 
+// Index-based loops deliberately mirror the paper's stencil formulations;
+// iterator rewrites would obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
 #![deny(missing_docs)]
 
 pub mod extract;
@@ -59,8 +62,12 @@ impl TriMesh {
     pub fn append(&mut self, other: &TriMesh) {
         let off = self.vertices.len() as u32;
         self.vertices.extend_from_slice(&other.vertices);
-        self.triangles
-            .extend(other.triangles.iter().map(|t| [t[0] + off, t[1] + off, t[2] + off]));
+        self.triangles.extend(
+            other
+                .triangles
+                .iter()
+                .map(|t| [t[0] + off, t[1] + off, t[2] + off]),
+        );
     }
 
     /// Total surface area.
@@ -69,7 +76,11 @@ impl TriMesh {
             .iter()
             .map(|t| {
                 let [a, b, c] = self.tri_points(*t);
-                0.5 * cross(sub(b, a), sub(c, a)).map(|x| x * x).iter().sum::<f64>().sqrt()
+                0.5 * cross(sub(b, a), sub(c, a))
+                    .map(|x| x * x)
+                    .iter()
+                    .sum::<f64>()
+                    .sqrt()
             })
             .sum()
     }
@@ -117,7 +128,13 @@ impl TriMesh {
         self.triangles = self
             .triangles
             .iter()
-            .map(|t| [remap[t[0] as usize], remap[t[1] as usize], remap[t[2] as usize]])
+            .map(|t| {
+                [
+                    remap[t[0] as usize],
+                    remap[t[1] as usize],
+                    remap[t[2] as usize],
+                ]
+            })
             .filter(|t| t[0] != t[1] && t[1] != t[2] && t[0] != t[2])
             .collect();
     }
@@ -193,8 +210,7 @@ impl TriMesh {
     /// Serialize to a byte payload (for the gather step of the hierarchical
     /// reduction over ranks).
     pub fn to_bytes(&self) -> bytes::Bytes {
-        let mut out =
-            Vec::with_capacity(16 + self.vertices.len() * 24 + self.triangles.len() * 12);
+        let mut out = Vec::with_capacity(16 + self.vertices.len() * 24 + self.triangles.len() * 12);
         out.extend_from_slice(&(self.vertices.len() as u64).to_le_bytes());
         out.extend_from_slice(&(self.triangles.len() as u64).to_le_bytes());
         for v in &self.vertices {
@@ -236,7 +252,10 @@ impl TriMesh {
             }
             triangles.push(t);
         }
-        Self { vertices, triangles }
+        Self {
+            vertices,
+            triangles,
+        }
     }
 }
 

@@ -130,11 +130,7 @@ mod tests {
                 for z in 0..dims.tz() {
                     for y in 0..dims.ty() {
                         for x in 0..dims.tx() {
-                            let p = [
-                                x as f64 - 1.0,
-                                y as f64 - 1.0,
-                                (z + k * bz) as f64 - 1.0,
-                            ];
+                            let p = [x as f64 - 1.0, y as f64 - 1.0, (z + k * bz) as f64 - 1.0];
                             let c = n as f64 / 2.0;
                             let d = ((p[0] - c).powi(2) + (p[1] - c).powi(2) + (p[2] - c).powi(2))
                                 .sqrt();
@@ -202,8 +198,12 @@ mod tests {
     fn single_rank_reduction_is_identity_pipeline() {
         let out = Universe::run(1, |rank| {
             let meshes = slab_meshes(1, 6.0);
-            reduce_over_ranks(&rank, meshes.into_iter().next().unwrap(), &ReduceOptions::default())
-                .map(|m| m.open_edge_count())
+            reduce_over_ranks(
+                &rank,
+                meshes.into_iter().next().unwrap(),
+                &ReduceOptions::default(),
+            )
+            .map(|m| m.open_edge_count())
         });
         assert_eq!(out[0], Some(0));
     }

@@ -64,11 +64,7 @@ impl Quadric {
     fn optimal_point(&self) -> Option<[f64; 3]> {
         let q = &self.0;
         // A = upper-left 3×3, b = -q[0..3][3].
-        let a = [
-            [q[0], q[1], q[2]],
-            [q[1], q[4], q[5]],
-            [q[2], q[5], q[7]],
-        ];
+        let a = [[q[0], q[1], q[2]], [q[1], q[4], q[5]], [q[2], q[5], q[7]]];
         let b = [-q[3], -q[6], -q[8]];
         let det = a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1])
             - a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0])
@@ -216,12 +212,12 @@ pub fn simplify(
     let mut stamps = vec![0u64; nv];
     let mut heap = BinaryHeap::new();
     let push_edge = |heap: &mut BinaryHeap<Candidate>,
-                         quadrics: &[Quadric],
-                         stamps: &[u64],
-                         vertices: &[[f64; 3]],
-                         protected: &[bool],
-                         a: u32,
-                         b: u32| {
+                     quadrics: &[Quadric],
+                     stamps: &[u64],
+                     vertices: &[[f64; 3]],
+                     protected: &[bool],
+                     a: u32,
+                     b: u32| {
         if a == b || protected[a as usize] || protected[b as usize] {
             return;
         }
@@ -259,7 +255,13 @@ pub fn simplify(
                 let key = (a.min(b), a.max(b));
                 if seen.insert(key) {
                     push_edge(
-                        &mut heap, &quadrics, &stamps, &mesh.vertices, &protected, key.0, key.1,
+                        &mut heap,
+                        &quadrics,
+                        &stamps,
+                        &mesh.vertices,
+                        &protected,
+                        key.0,
+                        key.1,
                     );
                 }
             }
@@ -324,8 +326,13 @@ pub fn simplify(
                 continue; // will degenerate and be removed
             }
             let old_p: [[f64; 3]; 3] = rt.map(|v| mesh.vertices[v as usize]);
-            let new_p: [[f64; 3]; 3] =
-                rt.map(|v| if v == a || v == b { c.target } else { mesh.vertices[v as usize] });
+            let new_p: [[f64; 3]; 3] = rt.map(|v| {
+                if v == a || v == b {
+                    c.target
+                } else {
+                    mesh.vertices[v as usize]
+                }
+            });
             let n_old = cross(sub(old_p[1], old_p[0]), sub(old_p[2], old_p[0]));
             let n_new = cross(sub(new_p[1], new_p[0]), sub(new_p[2], new_p[0]));
             if dot(n_old, n_new) <= 0.0 {
@@ -388,7 +395,15 @@ pub fn simplify(
             }
         }
         for n in nbrs {
-            push_edge(&mut heap, &quadrics, &stamps, &mesh.vertices, &protected, a, n);
+            push_edge(
+                &mut heap,
+                &quadrics,
+                &stamps,
+                &mesh.vertices,
+                &protected,
+                a,
+                n,
+            );
         }
     }
 
@@ -499,12 +514,8 @@ mod tests {
     fn protected_vertices_survive() {
         let mut m = sphere_mesh(20, 6.0);
         // Protect the x < 10 hemisphere.
-        let protected_before: Vec<[f64; 3]> = m
-            .vertices
-            .iter()
-            .copied()
-            .filter(|v| v[0] < 10.0)
-            .collect();
+        let protected_before: Vec<[f64; 3]> =
+            m.vertices.iter().copied().filter(|v| v[0] < 10.0).collect();
         simplify(
             &mut m,
             SimplifyOptions {
@@ -547,9 +558,7 @@ mod tests {
         let rim_before: HashSet<[u64; 2]> = m
             .vertices
             .iter()
-            .filter(|v| {
-                v[0] == 0.0 || v[1] == 0.0 || v[0] == n as f64 || v[1] == n as f64
-            })
+            .filter(|v| v[0] == 0.0 || v[1] == 0.0 || v[0] == n as f64 || v[1] == n as f64)
             .map(|v| [v[0].to_bits(), v[1].to_bits()])
             .collect();
         simplify(&mut m, SimplifyOptions::default(), |_| false);
@@ -558,9 +567,7 @@ mod tests {
         let rim_after: HashSet<[u64; 2]> = m
             .vertices
             .iter()
-            .filter(|v| {
-                v[0] == 0.0 || v[1] == 0.0 || v[0] == n as f64 || v[1] == n as f64
-            })
+            .filter(|v| v[0] == 0.0 || v[1] == 0.0 || v[0] == n as f64 || v[1] == n as f64)
             .map(|v| [v[0].to_bits(), v[1].to_bits()])
             .collect();
         assert_eq!(rim_before, rim_after);

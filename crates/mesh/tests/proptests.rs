@@ -59,7 +59,7 @@ proptest! {
             if count == 1 {
                 for v in [a, b] {
                     let p = mesh.vertices[v as usize];
-                    let on_bnd = p.iter().any(|&c| c < 1e-9 || c > 12.0 - 1.0 - 1e-9 + 1.0);
+                    let on_bnd = p.iter().any(|&c| !(1e-9..=12.0 - 1e-9).contains(&c));
                     prop_assert!(on_bnd, "interior open edge at {p:?}");
                 }
             } else {

@@ -152,12 +152,15 @@ mod tests {
         assert!(r2.cycles_per_cell <= r.cycles_per_cell);
         // Under the paper's Sandy Bridge port model the same mix is capped
         // much harder (no FMA, slow divider) — the IACA-style statement.
-        let snb = analyze(CoreModel::sandy_bridge(), FlopCount {
-            adds: 800,
-            muls: 400,
-            divs: 24,
-            sqrts: 6,
-        });
+        let snb = analyze(
+            CoreModel::sandy_bridge(),
+            FlopCount {
+                adds: 800,
+                muls: 400,
+                divs: 24,
+                sqrts: 6,
+            },
+        );
         assert!(snb.max_fraction_of_peak < r.max_fraction_of_peak);
     }
 

@@ -56,7 +56,9 @@ pub fn hornet() -> MachineProfile {
         name: "Hornet",
         cores_per_node: 24,
         node_bandwidth: 110.0 * (1u64 << 30) as f64,
-        topology: Topology::Dragonfly { group_ranks: 384 * 24 },
+        topology: Topology::Dragonfly {
+            group_ranks: 384 * 24,
+        },
         link: LinkParams {
             latency: 1.5e-6,
             bandwidth: 10.0e9,
@@ -146,8 +148,7 @@ pub fn weak_scaling(
                     break;
                 }
                 if grid[axis] > 1 {
-                    let per_msg =
-                        message_time(profile.link, profile.topology, face_bytes[axis], p);
+                    let per_msg = message_time(profile.link, profile.topology, face_bytes[axis], p);
                     comm += 2.0 * per_msg;
                     remaining -= 2;
                 }
@@ -196,7 +197,10 @@ mod tests {
     use super::*;
 
     fn powers(max: usize) -> Vec<usize> {
-        (0..).map(|k| 1usize << k).take_while(|&p| p <= max).collect()
+        (0..)
+            .map(|k| 1usize << k)
+            .take_while(|&p| p <= max)
+            .collect()
     }
 
     #[test]
@@ -215,7 +219,11 @@ mod tests {
             );
             // Per-core rate never increases with rank count.
             for w in pts.windows(2) {
-                assert!(w[1].mlups_per_core <= w[0].mlups_per_core + 1e-9, "{}", m.name);
+                assert!(
+                    w[1].mlups_per_core <= w[0].mlups_per_core + 1e-9,
+                    "{}",
+                    m.name
+                );
             }
         }
     }

@@ -125,7 +125,11 @@ mod tests {
         };
         let r = analyze(rates, flops, 680);
         assert_eq!(r.flops_per_cell, 1384);
-        assert!((r.bandwidth_mlups - 126.3).abs() < 0.5, "{}", r.bandwidth_mlups);
+        assert!(
+            (r.bandwidth_mlups - 126.3).abs() < 0.5,
+            "{}",
+            r.bandwidth_mlups
+        );
         // 21.6 GFLOP/s / 1384 = 15.6 MLUP/s — compute bound, as in the paper.
         assert!(r.compute_bound);
         assert!((r.intensity - 2.035).abs() < 0.01);

@@ -25,11 +25,7 @@ const MAGIC: &[u8; 8] = b"EUTECKP1";
 /// cells of the four φ components and two µ components as little-endian
 /// f32, component-major. Ghost layers are *not* stored — they are
 /// reconstructed by communication + boundary handling after restart.
-pub fn write_checkpoint(
-    w: &mut impl Write,
-    state: &BlockState,
-    time: f64,
-) -> std::io::Result<()> {
+pub fn write_checkpoint(w: &mut impl Write, state: &BlockState, time: f64) -> std::io::Result<()> {
     let d = state.dims;
     w.write_all(MAGIC)?;
     for v in [d.nx as u64, d.ny as u64, d.nz as u64, d.ghost as u64] {
@@ -216,7 +212,9 @@ pub fn write_vtk(w: &mut impl Write, state: &BlockState, title: &str) -> std::io
     writeln!(w, "LOOKUP_TABLE default")?;
     for (x, y, z) in d.interior_iter() {
         let phi = state.phi_src.cell(x, y, z);
-        let id = (0..N_PHASES).max_by(|&a, &b| phi[a].total_cmp(&phi[b])).unwrap();
+        let id = (0..N_PHASES)
+            .max_by(|&a, &b| phi[a].total_cmp(&phi[b]))
+            .unwrap();
         writeln!(w, "{id}")?;
     }
     for c in 0..N_COMP {
@@ -242,8 +240,12 @@ mod tests {
             let raw: [f64; 4] = core::array::from_fn(|_| rng.random_range(0.0..1.0));
             s.phi_src
                 .set_cell(x, y, z, eutectica_core::simplex::project_to_simplex(raw));
-            s.mu_src
-                .set_cell(x, y, z, [rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)]);
+            s.mu_src.set_cell(
+                x,
+                y,
+                z,
+                [rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)],
+            );
         }
         s
     }
@@ -322,15 +324,15 @@ mod tests {
         write_vtk(&mut out, &s, "test").unwrap();
         let text = String::from_utf8(out).unwrap();
         for field in ["phi0", "phi1", "phi2", "phi3", "phase_id", "mu0", "mu1"] {
-            assert!(text.contains(&format!("SCALARS {field} float 1")), "{field}");
+            assert!(
+                text.contains(&format!("SCALARS {field} float 1")),
+                "{field}"
+            );
         }
         assert!(text.contains("DIMENSIONS 6 5 7"));
         assert!(text.contains("ORIGIN 3 1 9"));
         // One value per interior cell per field.
-        let values = text
-            .lines()
-            .filter(|l| l.parse::<f32>().is_ok())
-            .count();
+        let values = text.lines().filter(|l| l.parse::<f32>().is_ok()).count();
         assert_eq!(values, 6 * 5 * 7 * 7);
     }
 }

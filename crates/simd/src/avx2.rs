@@ -397,7 +397,10 @@ mod tests {
             assert_eq!((-va).to_array(), (-sa).to_array());
             assert_eq!(va.hsum(), sa.hsum());
             assert_eq!(va.hsum_splat().to_array(), sa.hsum_splat().to_array());
-            assert_eq!(va.rotate_lanes_left().to_array(), sa.rotate_lanes_left().to_array());
+            assert_eq!(
+                va.rotate_lanes_left().to_array(),
+                sa.rotate_lanes_left().to_array()
+            );
             assert_eq!(
                 va.broadcast_lane::<2>().to_array(),
                 sa.broadcast_lane::<2>().to_array()
@@ -434,10 +437,7 @@ mod tests {
             assert_eq!(va.ge(vb).bitmask(), sa.ge(sb).bitmask());
             let m = va.lt(vb);
             let sm = sa.lt(sb);
-            assert_eq!(
-                m.select(va, vb).to_array(),
-                sm.select(sa, sb).to_array()
-            );
+            assert_eq!(m.select(va, vb).to_array(), sm.select(sa, sb).to_array());
             assert_eq!(m.any(), sm.any());
             assert_eq!(m.all(), sm.all());
         }

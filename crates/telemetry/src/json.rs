@@ -1,0 +1,104 @@
+//! Minimal hand-rolled JSON emission (the workspace has no serde_json);
+//! enough for trace-event files and JSONL records.
+
+/// Escape a string for inclusion inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental JSON object builder.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(name));
+        self.buf.push_str("\":");
+    }
+
+    /// Add a string field.
+    pub fn str_field(mut self, name: &str, value: &str) -> Self {
+        self.key(name);
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Add an integer field.
+    pub fn int_field(mut self, name: &str, value: u64) -> Self {
+        self.key(name);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Add a float field (non-finite values are emitted as 0 — JSON has no
+    /// NaN/Inf literals).
+    pub fn num_field(mut self, name: &str, value: f64) -> Self {
+        self.key(name);
+        if value.is_finite() {
+            self.buf.push_str(&format!("{value}"));
+        } else {
+            self.buf.push('0');
+        }
+        self
+    }
+
+    /// Add a field whose value is already-serialized JSON.
+    pub fn raw_field(mut self, name: &str, raw: &str) -> Self {
+        self.key(name);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_escaped_json() {
+        let s = JsonObject::new()
+            .str_field("name", "a\"b\\c\n")
+            .int_field("n", 42)
+            .num_field("x", 1.5)
+            .num_field("bad", f64::NAN)
+            .raw_field("arr", "[1,2]")
+            .finish();
+        assert_eq!(
+            s,
+            r#"{"name":"a\"b\\c\n","n":42,"x":1.5,"bad":0,"arr":[1,2]}"#
+        );
+    }
+}

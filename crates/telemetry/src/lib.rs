@@ -1,0 +1,508 @@
+//! Observability substrate for the eutectica solver stack.
+//!
+//! The design mirrors waLBerla's hierarchical timing pools (Bauer et al.,
+//! SC'15): every rank builds a *timing tree* out of cheap RAII spans while
+//! it runs, a *metrics registry* accumulates counters / gauges / log2-bucket
+//! histograms next to it, and at the end of a run the per-rank trees are
+//! *reduced* across ranks into a min/avg/max report. Three sinks turn the
+//! collected data into artifacts:
+//!
+//! - a human-readable tree report ([`ReducedTree::report`]),
+//! - JSON-lines per-step snapshots ([`StepRecord`]),
+//! - Chrome trace-event JSON ([`write_chrome_trace`]) loadable in
+//!   `chrome://tracing` / Perfetto.
+//!
+//! The crate is dependency-free; cross-rank reduction is closure-based
+//! ([`reduce_with`]) so the communication layer can depend on telemetry
+//! (for histograms in its statistics) without a cycle.
+//!
+//! # Cost model
+//!
+//! A [`Telemetry`] handle is an `Rc` and clones for pennies. A disabled
+//! handle ([`Telemetry::disabled`]) makes [`Telemetry::span`] and every
+//! metric update a branch-and-return — no clock read, no allocation — so
+//! instrumented code paths stay numerically and (near) temporally identical
+//! to uninstrumented ones. Building with the `off` feature compiles all of
+//! it out entirely.
+
+mod json;
+mod metrics;
+mod reduce;
+mod trace;
+
+pub use json::JsonObject;
+pub use metrics::{Histogram, MetricsSnapshot, HIST_BUCKETS};
+pub use reduce::{reduce_snapshots, reduce_with, ReducedRow, ReducedTree};
+pub use trace::{epoch, write_chrome_trace, write_jsonl, StepRecord, TraceEvent};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// One node of the in-construction timing tree.
+#[derive(Debug)]
+struct Node {
+    name: &'static str,
+    cat: &'static str,
+    children: Vec<usize>,
+    total: Duration,
+    count: u64,
+}
+
+/// Arena-backed timing tree plus the stack of currently open spans.
+#[derive(Debug)]
+struct TreeState {
+    nodes: Vec<Node>,
+    stack: Vec<usize>,
+}
+
+impl TreeState {
+    fn new() -> Self {
+        let root = Node {
+            name: "",
+            cat: "",
+            children: Vec::new(),
+            total: Duration::ZERO,
+            count: 0,
+        };
+        Self {
+            nodes: vec![root],
+            stack: vec![0],
+        }
+    }
+
+    /// Child of `parent` named `name`, created on first use.
+    fn child(&mut self, parent: usize, name: &'static str, cat: &'static str) -> usize {
+        if let Some(&c) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c].name == name)
+        {
+            return c;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            name,
+            cat,
+            children: Vec::new(),
+            total: Duration::ZERO,
+            count: 0,
+        });
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+}
+
+struct Inner {
+    enabled: bool,
+    rank: usize,
+    tree: RefCell<TreeState>,
+    metrics: RefCell<MetricsSnapshot>,
+    trace: RefCell<Option<Vec<TraceEvent>>>,
+}
+
+/// Handle to one rank's telemetry state (timing tree + metrics registry +
+/// optional trace buffer). Clones share the same state; keep one per rank.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Rc<Inner>,
+}
+
+impl Telemetry {
+    /// An enabled collector for the given rank. Also pins the process-wide
+    /// trace epoch so span timestamps from all rank threads share a
+    /// timeline.
+    pub fn new(rank: usize) -> Self {
+        let _ = epoch();
+        Self::build(rank, true)
+    }
+
+    /// A collector whose spans and metric updates are no-ops. Use this as
+    /// the default so instrumentation costs nothing unless asked for.
+    pub fn disabled() -> Self {
+        Self::build(0, false)
+    }
+
+    fn build(rank: usize, enabled: bool) -> Self {
+        Self {
+            inner: Rc::new(Inner {
+                enabled,
+                rank,
+                tree: RefCell::new(TreeState::new()),
+                metrics: RefCell::new(MetricsSnapshot::default()),
+                trace: RefCell::new(None),
+            }),
+        }
+    }
+
+    /// Whether this handle records anything at all.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        !cfg!(feature = "off") && self.inner.enabled
+    }
+
+    /// Rank this collector was created for.
+    pub fn rank(&self) -> usize {
+        self.inner.rank
+    }
+
+    /// Start buffering per-span trace events for Chrome trace export.
+    pub fn enable_trace(&self) {
+        if self.is_enabled() {
+            *self.inner.trace.borrow_mut() = Some(Vec::new());
+        }
+    }
+
+    /// Open a span nested under the innermost open span. Dropping the
+    /// returned guard closes it and accrues its wall time into the tree.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        self.span_cat(name, "default")
+    }
+
+    /// Like [`Telemetry::span`] with an explicit trace category
+    /// (e.g. `"compute"`, `"comm"`).
+    #[inline]
+    pub fn span_cat(&self, name: &'static str, cat: &'static str) -> Span {
+        if !self.is_enabled() {
+            return Span {
+                tel: None,
+                node: 0,
+                start: None,
+            };
+        }
+        let node = {
+            let mut st = self.inner.tree.borrow_mut();
+            let parent = *st.stack.last().expect("span stack never empty");
+            let node = st.child(parent, name, cat);
+            st.stack.push(node);
+            node
+        };
+        Span {
+            tel: Some(self.clone()),
+            node,
+            start: Some(Instant::now()),
+        }
+    }
+
+    fn finish_span(&self, node: usize, start: Instant) {
+        let elapsed = start.elapsed();
+        let mut st = self.inner.tree.borrow_mut();
+        debug_assert_eq!(st.stack.last(), Some(&node), "spans closed out of order");
+        st.stack.pop();
+        st.nodes[node].total += elapsed;
+        st.nodes[node].count += 1;
+        if let Some(buf) = self.inner.trace.borrow_mut().as_mut() {
+            let ep = epoch();
+            buf.push(TraceEvent {
+                name: st.nodes[node].name.to_string(),
+                cat: st.nodes[node].cat.to_string(),
+                ts_us: start.saturating_duration_since(ep).as_secs_f64() * 1e6,
+                dur_us: elapsed.as_secs_f64() * 1e6,
+                tid: self.inner.rank as u32,
+            });
+        }
+    }
+
+    /// Add `delta` to the named counter.
+    #[inline]
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if self.is_enabled() && delta > 0 {
+            *self
+                .inner
+                .metrics
+                .borrow_mut()
+                .counters
+                .entry(name.to_string())
+                .or_insert(0) += delta;
+        }
+    }
+
+    /// Set the named gauge to `value` (last write wins).
+    #[inline]
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if self.is_enabled() {
+            self.inner
+                .metrics
+                .borrow_mut()
+                .gauges
+                .insert(name.to_string(), value);
+        }
+    }
+
+    /// Record one observation into the named log2-bucket histogram.
+    #[inline]
+    pub fn hist_record(&self, name: &str, value: u64) {
+        if self.is_enabled() {
+            self.inner
+                .metrics
+                .borrow_mut()
+                .histograms
+                .entry(name.to_string())
+                .or_default()
+                .record(value);
+        }
+    }
+
+    /// Merge a whole externally built histogram into the named one.
+    pub fn hist_merge(&self, name: &str, hist: &Histogram) {
+        if self.is_enabled() {
+            self.inner
+                .metrics
+                .borrow_mut()
+                .histograms
+                .entry(name.to_string())
+                .or_default()
+                .merge(hist);
+        }
+    }
+
+    /// Copy of the accumulated metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.metrics.borrow().clone()
+    }
+
+    /// Flatten the timing tree into rows (depth-first, insertion order).
+    pub fn tree_snapshot(&self) -> TimingTreeSnapshot {
+        let st = self.inner.tree.borrow();
+        let mut rows = Vec::new();
+        fn walk(
+            st: &TreeState,
+            node: usize,
+            prefix: &str,
+            depth: usize,
+            rows: &mut Vec<TimingRow>,
+        ) {
+            for &c in &st.nodes[node].children {
+                let n = &st.nodes[c];
+                let path = if prefix.is_empty() {
+                    n.name.to_string()
+                } else {
+                    format!("{prefix}/{}", n.name)
+                };
+                rows.push(TimingRow {
+                    path: path.clone(),
+                    depth,
+                    cat: n.cat.to_string(),
+                    total_secs: n.total.as_secs_f64(),
+                    count: n.count,
+                });
+                walk(st, c, &path, depth + 1, rows);
+            }
+        }
+        walk(&st, 0, "", 0, &mut rows);
+        TimingTreeSnapshot { rows }
+    }
+
+    /// Total accrued time of the tree node at `path` ("a/b/c"), if present.
+    pub fn node_secs(&self, path: &str) -> Option<f64> {
+        self.tree_snapshot()
+            .rows
+            .iter()
+            .find(|r| r.path == path)
+            .map(|r| r.total_secs)
+    }
+
+    /// Take the buffered trace events (empties the buffer).
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        self.inner
+            .trace
+            .borrow_mut()
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .field("rank", &self.inner.rank)
+            .finish()
+    }
+}
+
+/// RAII guard returned by [`Telemetry::span`]; closes the span on drop.
+#[must_use = "a span measures the scope it lives in — bind it to a variable"]
+pub struct Span {
+    tel: Option<Telemetry>,
+    node: usize,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let (Some(tel), Some(start)) = (self.tel.take(), self.start.take()) {
+            tel.finish_span(self.node, start);
+        }
+    }
+}
+
+/// Open a span for the rest of the enclosing scope:
+/// `span!(tel, "phi_sweep")` or `span!(tel, "pack", "comm")`.
+#[macro_export]
+macro_rules! span {
+    ($tel:expr, $name:expr) => {
+        let _span_guard = $tel.span($name);
+    };
+    ($tel:expr, $name:expr, $cat:expr) => {
+        let _span_guard = $tel.span_cat($name, $cat);
+    };
+}
+
+/// One flattened timing-tree node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingRow {
+    /// Slash-joined path from the root, e.g. `"step/phi_sweep"`.
+    pub path: String,
+    /// Nesting depth (root children are 0).
+    pub depth: usize,
+    /// Trace category of the node.
+    pub cat: String,
+    /// Total accrued wall time in seconds.
+    pub total_secs: f64,
+    /// Number of times the span was closed.
+    pub count: u64,
+}
+
+/// Depth-first flattening of one rank's timing tree.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimingTreeSnapshot {
+    /// Rows in depth-first order, parents before children.
+    pub rows: Vec<TimingRow>,
+}
+
+impl TimingTreeSnapshot {
+    /// Compact wire form for cross-rank gathers (exact f64 round-trip).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = String::new();
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{}\x1f{}\x1f{}\x1f{:016x}\x1f{}\n",
+                r.depth,
+                r.path,
+                r.cat,
+                r.total_secs.to_bits(),
+                r.count
+            ));
+        }
+        out.into_bytes()
+    }
+
+    /// Inverse of [`TimingTreeSnapshot::serialize`].
+    pub fn deserialize(bytes: &[u8]) -> Self {
+        let text = String::from_utf8_lossy(bytes);
+        let rows = text
+            .lines()
+            .filter_map(|line| {
+                let mut it = line.split('\x1f');
+                Some(TimingRow {
+                    depth: it.next()?.parse().ok()?,
+                    path: it.next()?.to_string(),
+                    cat: it.next()?.to_string(),
+                    total_secs: f64::from_bits(u64::from_str_radix(it.next()?, 16).ok()?),
+                    count: it.next()?.parse().ok()?,
+                })
+            })
+            .collect();
+        Self { rows }
+    }
+
+    /// Single-rank human-readable report.
+    pub fn report(&self) -> String {
+        let mut out = String::from("timing tree (single rank)\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:indent$}{:<w$} {:>8} calls  {:>12.6} s\n",
+                "",
+                r.path.rsplit('/').next().unwrap_or(&r.path),
+                r.count,
+                r.total_secs,
+                indent = 2 * r.depth,
+                w = 28usize.saturating_sub(2 * r.depth),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Asserts enabled-mode collection; meaningless when spans are compiled
+    // out with the `off` feature.
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn spans_nest_and_accumulate() {
+        let tel = Telemetry::new(0);
+        for _ in 0..3 {
+            let _outer = tel.span("step");
+            {
+                span!(tel, "phi_sweep", "compute");
+                std::hint::black_box(0u64);
+            }
+            span!(tel, "mu_sweep", "compute");
+        }
+        let snap = tel.tree_snapshot();
+        let paths: Vec<&str> = snap.rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, ["step", "step/phi_sweep", "step/mu_sweep"]);
+        assert!(snap.rows.iter().all(|r| r.count == 3));
+        // Children are nested: parent total covers child totals.
+        assert!(snap.rows[0].total_secs >= snap.rows[1].total_secs + snap.rows[2].total_secs);
+    }
+
+    #[test]
+    fn snapshot_serialization_round_trips_exactly() {
+        let tel = Telemetry::new(2);
+        {
+            let _a = tel.span("a");
+            span!(tel, "b");
+        }
+        let snap = tel.tree_snapshot();
+        assert_eq!(TimingTreeSnapshot::deserialize(&snap.serialize()), snap);
+    }
+
+    #[test]
+    fn disabled_spans_are_cheap() {
+        // The acceptance bar for the compile-out/disable path: a disabled
+        // span must cost a branch, not a syscall. 1M spans in well under a
+        // second leaves two orders of magnitude of slack even on a loaded
+        // CI box (the real cost is single-digit ns per span).
+        let tel = Telemetry::disabled();
+        let n = 1_000_000u64;
+        let start = Instant::now();
+        for i in 0..n {
+            let _g = tel.span("hot");
+            tel.counter_add("c", std::hint::black_box(i) & 1);
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "1M disabled spans took {elapsed:?}"
+        );
+        assert!(tel.tree_snapshot().rows.is_empty());
+        assert!(tel.metrics_snapshot().counters.is_empty());
+    }
+
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn metrics_registry_accumulates() {
+        let tel = Telemetry::new(0);
+        tel.counter_add("bytes", 10);
+        tel.counter_add("bytes", 5);
+        tel.gauge_set("mlups", 1.5);
+        tel.gauge_set("mlups", 2.5);
+        tel.hist_record("wait_ns", 0);
+        tel.hist_record("wait_ns", 1);
+        tel.hist_record("wait_ns", 1000);
+        let m = tel.metrics_snapshot();
+        assert_eq!(m.counters["bytes"], 15);
+        assert_eq!(m.gauges["mlups"], 2.5);
+        let h = &m.histograms["wait_ns"];
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1001);
+    }
+}

@@ -191,7 +191,10 @@ impl TernarySystem {
         let p = &self.phases[alpha];
         let c_eq = p.c_eq(t, self.t_eu);
         let k = p.curvature_at(t, self.t_eu);
-        [c_eq[0] + mu[0] / (2.0 * k[0]), c_eq[1] + mu[1] / (2.0 * k[1])]
+        [
+            c_eq[0] + mu[0] / (2.0 * k[0]),
+            c_eq[1] + mu[1] / (2.0 * k[1]),
+        ]
     }
 
     /// Chemical potential µ = ∂f_α/∂c for a given phase concentration.
@@ -331,7 +334,14 @@ impl SliceThermo {
                 mob[a][i] = ph.diffusivity * inv2k[a][i];
             }
         }
-        Self { t, c_eq, offset, inv4k, inv2k, mob }
+        Self {
+            t,
+            c_eq,
+            offset,
+            inv4k,
+            inv2k,
+            mob,
+        }
     }
 
     /// Grand potential of phase `alpha` at chemical potential `mu` using the
@@ -488,7 +498,8 @@ mod tests {
         // dψ_s/dT − dψ_ℓ/dT at µ=0 should equal L_s/T_eu − (c-slope terms).
         // Verify numerically that the undercooling response is linear.
         let s = sys();
-        let d = |t: f64| s.grand_potential(0, [0.0, 0.0], t) - s.grand_potential(LIQUID, [0.0, 0.0], t);
+        let d =
+            |t: f64| s.grand_potential(0, [0.0, 0.0], t) - s.grand_potential(LIQUID, [0.0, 0.0], t);
         let d1 = d(0.99);
         let d2 = d(0.98);
         // Linear: doubling the undercooling doubles the driving force.

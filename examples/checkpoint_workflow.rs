@@ -49,9 +49,7 @@ fn main() {
 
     // A VTK snapshot for visual inspection.
     {
-        let mut f = std::io::BufWriter::new(
-            std::fs::File::create("results/snapshot.vtk").unwrap(),
-        );
+        let mut f = std::io::BufWriter::new(std::fs::File::create("results/snapshot.vtk").unwrap());
         write_vtk(&mut f, &sim.state, "eutectica snapshot").unwrap();
     }
     println!("wrote results/snapshot.vtk (phi0..3, phase_id, mu0..1)");

@@ -34,7 +34,10 @@ fn main() {
     std::fs::create_dir_all("results").ok();
     let rounds = 6;
     let steps_per_round = 250;
-    println!("directional solidification: {nx}x{ny}x{nz}, moving window, {} steps", rounds * steps_per_round);
+    println!(
+        "directional solidification: {nx}x{ny}x{nz}, moving window, {} steps",
+        rounds * steps_per_round
+    );
     println!();
 
     let mut front_maps: Vec<(f64, Vec<f64>)> = Vec::new();
@@ -120,7 +123,9 @@ fn main() {
         println!(
             "  S2 radial ({}): {:?}",
             Phase::ALL[phase].name(),
-            rad.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+            rad.iter()
+                .map(|v| (v * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
         );
         features.push(rad);
     }

@@ -13,7 +13,9 @@ fn main() {
     // with a frozen temperature gradient moving at velocity v (Fig. 2).
     let mut params = ModelParams::ag_al_cu();
     params.t0 = 0.95; // undercooling at the bottom of the domain
-    params.validate().expect("parameters satisfy the CFL limits");
+    params
+        .validate()
+        .expect("parameters satisfy the CFL limits");
 
     // A 32×32×64-cell domain, liquid-filled, with Voronoi-tessellated solid
     // nuclei at the bottom (Sec. 2.1).
@@ -45,11 +47,7 @@ fn main() {
     println!("  solid fraction : {:.3}", sim.solid_fraction());
     println!("  front position : z = {:.0}", sim.front_position());
     for p in Phase::ALL {
-        println!(
-            "  {:8}: {:.3}",
-            p.name(),
-            sim.phase_fractions()[p as usize]
-        );
+        println!("  {:8}: {:.3}", p.name(), sim.phase_fractions()[p as usize]);
     }
     println!("  mean chemical potentials: {:?}", sim.mean_mu());
 }

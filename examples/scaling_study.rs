@@ -30,7 +30,10 @@ fn main() {
             ranks,
             20,
             KernelConfig::default(),
-            OverlapOptions { hide_mu: true, hide_phi: false },
+            OverlapOptions {
+                hide_mu: true,
+                hide_phi: false,
+            },
             |b| {
                 let seeds = eutectica_core::init::VoronoiSeeds::generate(
                     [32, 32],

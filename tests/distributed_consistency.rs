@@ -27,8 +27,7 @@ fn assemble(
             for z in 0..d.nz {
                 for y in 0..d.ny {
                     for x in 0..d.nx {
-                        let (gx, gy, gz) =
-                            (b.origin[0] + x, b.origin[1] + y, b.origin[2] + z);
+                        let (gx, gy, gz) = (b.origin[0] + x, b.origin[1] + y, b.origin[2] + z);
                         let gi = (gz * cells[1] + gy) * cells[0] + gx;
                         for c in 0..N_PHASES {
                             phi[c * cells[0] * cells[1] * cells[2] + gi] =
@@ -203,8 +202,7 @@ fn distributed_moving_window_is_rank_invariant() {
         let shifts = out[0].0;
         // Global checksum per block id order.
         let mut sums = Vec::new();
-        let mut blocks: Vec<&BlockState> =
-            out.iter().flat_map(|(_, bs)| bs.iter()).collect();
+        let mut blocks: Vec<&BlockState> = out.iter().flat_map(|(_, bs)| bs.iter()).collect();
         blocks.sort_by_key(|b| b.origin);
         for b in blocks {
             sums.push(b.phi_src.comp(0).iter().sum::<f64>());

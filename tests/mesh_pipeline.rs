@@ -27,7 +27,10 @@ fn distributed_solidification_yields_stitched_front_mesh() {
             (*params).clone(),
             (*decomp).clone(),
             KernelConfig::default(),
-            OverlapOptions { hide_mu: true, hide_phi: false },
+            OverlapOptions {
+                hide_mu: true,
+                hide_phi: false,
+            },
         );
         sim.init_blocks(|b| eutectica_core::init::init_planar_front(b, 0, 10));
         sim.step_n(10);
@@ -38,11 +41,7 @@ fn distributed_solidification_yields_stitched_front_mesh() {
         let mesh = extract_isosurface(
             b.phi_src.comp(LIQ),
             b.dims,
-            [
-                b.origin[0] as f64,
-                b.origin[1] as f64,
-                b.origin[2] as f64,
-            ],
+            [b.origin[0] as f64, b.origin[1] as f64, b.origin[2] as f64],
             0.5,
         );
         reduce_over_ranks(&rank, mesh, &ReduceOptions::default())
@@ -55,7 +54,12 @@ fn distributed_solidification_yields_stitched_front_mesh() {
     // the domain side walls) are allowed, but there must be no interior
     // cracks: every open edge lies on the domain boundary.
     let (lo, hi) = mesh.bounding_box();
-    assert!(lo[2] > 5.0 && hi[2] < 20.0, "front at z∈[{},{}]", lo[2], hi[2]);
+    assert!(
+        lo[2] > 5.0 && hi[2] < 20.0,
+        "front at z∈[{},{}]",
+        lo[2],
+        hi[2]
+    );
     // All triangles near z ≈ 10 (a planar front stays planar-ish).
     let mean_z: f64 = mesh.vertices.iter().map(|v| v[2]).sum::<f64>() / mesh.num_vertices() as f64;
     assert!((mean_z - 10.0).abs() < 3.0, "front drifted to z = {mean_z}");
@@ -69,12 +73,7 @@ fn per_phase_meshes_cover_all_solids() {
     sim.init_directional(5);
     sim.step_n(20);
     for phase in 0..3 {
-        let mesh = extract_isosurface(
-            sim.state.phi_src.comp(phase),
-            sim.state.dims,
-            [0.0; 3],
-            0.5,
-        );
+        let mesh = extract_isosurface(sim.state.phi_src.comp(phase), sim.state.dims, [0.0; 3], 0.5);
         assert!(
             mesh.num_triangles() > 0,
             "phase {phase} has no interface mesh"

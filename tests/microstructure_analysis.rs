@@ -4,9 +4,7 @@
 //! the paper's announced "quantitative comparison using Principal Component
 //! Analysis on two-point correlation" (Sec. 5.2).
 
-use eutectica_analysis::correlation::{
-    correlation_length, radial_average, two_point_correlation,
-};
+use eutectica_analysis::correlation::{correlation_length, radial_average, two_point_correlation};
 use eutectica_analysis::lamellae::Snapshot;
 use eutectica_analysis::patterns::census_slice;
 use eutectica_analysis::pca::Pca;
@@ -54,7 +52,10 @@ fn pca_separates_fine_from_coarse_lamellae() {
                     .map(|i| ((((i % n) + shift * hp) / hp) % 2 == 0) as u8 as f64)
                     .collect();
                 let corr = two_point_correlation(&mask, [n, n, n]);
-                samples.push(radial_average(&corr, [n, n, n], 12));
+                // Radii ≤ n/4 carry the spacing signal; larger bins only add
+                // phase-shift variance that rotates PC1 away from the
+                // fine/coarse axis.
+                samples.push(radial_average(&corr, [n, n, n], 8));
                 labels.push(class);
             }
         }
@@ -98,9 +99,7 @@ fn census_and_snapshot_agree_on_constructed_lamellae() {
         for y in 0..24usize {
             for x in 0..24usize {
                 // Lamellae of phase 0 at x ∈ [2,5), [10,13), [18,21).
-                let in_lamella = [2..5usize, 10..13, 18..21]
-                    .iter()
-                    .any(|r| r.contains(&x));
+                let in_lamella = [2..5usize, 10..13, 18..21].iter().any(|r| r.contains(&x));
                 let phi = if in_lamella {
                     [1.0, 0.0, 0.0, 0.0]
                 } else {

@@ -1,11 +1,11 @@
 //! Integration: physical behaviour of the full coupled model.
 
+use eutectica_blockgrid::boundary::{Bc, BoundarySpec};
 use eutectica_core::model::mixture_concentration;
 use eutectica_core::params::ModelParams;
 use eutectica_core::prelude::*;
 use eutectica_core::regions::{classify_block, RegionCounts};
 use eutectica_core::temperature::SliceCtx;
-use eutectica_blockgrid::boundary::{Bc, BoundarySpec};
 
 #[test]
 fn undercooled_planar_front_grows_superheated_melts() {
@@ -19,9 +19,15 @@ fn undercooled_planar_front_grows_superheated_melts() {
         sim.step_n(150);
         let after = sim.solid_fraction();
         if grows {
-            assert!(after > before + 0.005, "T={t0}: no growth {before}->{after}");
+            assert!(
+                after > before + 0.005,
+                "T={t0}: no growth {before}->{after}"
+            );
         } else {
-            assert!(after < before - 0.005, "T={t0}: no melting {before}->{after}");
+            assert!(
+                after < before - 0.005,
+                "T={t0}: no melting {before}->{after}"
+            );
         }
     }
 }

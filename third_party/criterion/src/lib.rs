@@ -1,0 +1,246 @@
+//! Offline shim for `criterion`: runs each benchmark for a configurable
+//! measurement time, reports the median iteration time (and throughput when
+//! set) to stdout. No statistical analysis, plots, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least 2 samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            _name: name,
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        let time = self.measurement_time;
+        run_one(&id.into(), None, sample_size, time, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    _name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "need at least 2 samples");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark of the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            &id.into(),
+            self.throughput,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Close the group (printing is already done incrementally).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(
+    id: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    budget: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibrate the iteration count for ~budget/samples per sample.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let per_sample = budget / samples as u32;
+    let iters = (per_sample.as_secs_f64() / per_iter.as_secs_f64()).clamp(1.0, 1e9) as u64;
+
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    let median = times[times.len() / 2];
+    let (lo, hi) = (times[0], times[times.len() - 1]);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:10.2} Melem/s", n as f64 / median / 1e6),
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:10.2} MiB/s", n as f64 / median / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!(
+        "  {id:<28} median {} (min {}, max {}, {samples}x{iters} iters){rate}",
+        fmt_time(median),
+        fmt_time(lo),
+        fmt_time(hi),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:8.3} s ")
+    } else if secs >= 1e-3 {
+        format!("{:8.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:8.3} µs", secs * 1e6)
+    } else {
+        format!("{:8.1} ns", secs * 1e9)
+    }
+}
+
+/// Define a benchmark harness entry: either
+/// `criterion_group!(name, target1, target2)` or the
+/// `name = …; config = …; targets = …` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_something(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_selftest");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("spin", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = selftest;
+        config = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(30));
+        targets = bench_something
+    }
+
+    #[test]
+    fn harness_runs() {
+        selftest();
+    }
+}

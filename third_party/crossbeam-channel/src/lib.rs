@@ -1,0 +1,84 @@
+//! Offline shim for `crossbeam-channel`: unbounded channels backed by
+//! `std::sync::mpsc`. Covers the API surface used by this workspace
+//! (`unbounded`, `Sender::send`, `Receiver::recv`, `Receiver::try_recv`).
+
+use std::sync::mpsc;
+
+/// Error returned when sending on a channel whose receiver hung up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned when receiving on a channel whose senders all hung up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty.
+    Empty,
+    /// All senders disconnected.
+    Disconnected,
+}
+
+/// Sending half of an unbounded channel.
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send a message; fails only if the receiver was dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.inner.send(msg).map_err(|e| SendError(e.0))
+    }
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(41).unwrap());
+        tx.send(1).unwrap();
+        let sum: i32 = (0..2).map(|_| rx.recv().unwrap()).sum();
+        assert_eq!(sum, 42);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`: marker traits with blanket implementations and
+//! no-op derive macros. Nothing in this workspace performs actual serde
+//! serialization (checkpoint I/O is a hand-rolled binary format in
+//! `eutectica-pfio`); the `#[derive(Serialize, Deserialize)]` attributes on
+//! parameter and grid types are kept so the real `serde` can be dropped back
+//! in when network access is available.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`: the derive macros expand to nothing.
+//! The `serde` shim's `Serialize`/`Deserialize` marker traits are blanket
+//! implemented, so an empty expansion keeps every derive site valid.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

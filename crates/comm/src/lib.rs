@@ -21,6 +21,21 @@
 //! * byte-level payloads ([`bytes::Bytes`]) with f64 slice helpers, so ghost
 //!   layers are genuinely packed and unpacked.
 //!
+//! # Fault tolerance
+//!
+//! Production runs at the paper's scale must expect rank failures, so the
+//! substrate provides *failure detection* rather than silent deadlock:
+//!
+//! * every blocking operation has a `_checked` variant returning
+//!   [`CommError`] instead of hanging when a peer dies or a timeout expires
+//!   (the plain variants panic with the same diagnostic);
+//! * a rank that panics is reaped by the universe: surviving ranks observe
+//!   [`CommError::RankDead`] within the failure-detection poll interval,
+//!   and [`Universe::run_checked`] reports *which* ranks died;
+//! * a deterministic, seed-driven [`FaultPlan`] can kill ranks at chosen
+//!   steps and drop / duplicate / corrupt / delay messages by tag, so
+//!   fault-handling paths are testable and failures reproduce exactly.
+//!
 //! # Example
 //!
 //! ```
@@ -43,12 +58,13 @@
 #![deny(missing_docs)]
 
 use bytes::Bytes;
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use eutectica_telemetry::{Histogram, ReducedTree, TimingTreeSnapshot};
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 /// Message tag. Tags with the top bit set are reserved for collectives.
@@ -57,6 +73,13 @@ pub type Tag = u32;
 /// Tag bit reserved for collectives; user tags must keep it clear. Exposed
 /// so traffic accounting can separate ghost exchange from collectives.
 pub const COLLECTIVE_TAG: Tag = 1 << 31;
+
+/// Tag of the internal poison message a dying rank broadcasts to wake
+/// blocked receivers immediately (never surfaced to user code).
+const POISON_TAG: Tag = !0;
+
+/// Panic payload captured from a dead rank thread.
+type PanicPayload = Box<dyn std::any::Any + Send>;
 
 #[derive(Debug)]
 struct Message {
@@ -94,6 +117,415 @@ impl ReduceOp {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Failure of a blocking communication operation.
+///
+/// Returned by the `_checked` operation variants; the plain variants panic
+/// with the same diagnostic. Either way no operation blocks forever: a dead
+/// peer or an expired timeout surfaces within the configured
+/// [`UniverseCfg::timeout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer rank this operation depends on has terminated (panicked).
+    RankDead {
+        /// The dead rank.
+        rank: usize,
+        /// The operation that observed the failure.
+        op: &'static str,
+    },
+    /// The operation did not complete within the configured timeout.
+    Timeout {
+        /// The operation that timed out.
+        op: &'static str,
+        /// Source rank awaited, if the operation targets one.
+        src: Option<usize>,
+        /// How long the operation waited.
+        waited: Duration,
+    },
+    /// The universe is shutting down: the mailbox was disconnected while a
+    /// receive was still blocked (all peer ranks terminated).
+    Shutdown {
+        /// The operation that was aborted.
+        op: &'static str,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::RankDead { rank, op } => {
+                write!(f, "{op} failed: rank {rank} died")
+            }
+            CommError::Timeout { op, src, waited } => match src {
+                Some(s) => write!(f, "{op} from rank {s} timed out after {waited:?}"),
+                None => write!(f, "{op} timed out after {waited:?}"),
+            },
+            CommError::Shutdown { op } => {
+                write!(f, "{op} aborted: universe shut down mid-operation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Outcome of [`Universe::run_checked`] when at least one rank died.
+#[derive(Debug, Clone)]
+pub struct UniverseError {
+    /// `(rank, panic message)` of every dead rank, in order of death.
+    pub dead: Vec<(usize, String)>,
+}
+
+impl std::fmt::Display for UniverseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} rank(s) died:", self.dead.len())?;
+        for (r, msg) in &self.dead {
+            write!(f, " [rank {r}: {msg}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UniverseError {}
+
+// ---------------------------------------------------------------------------
+// Failure detection
+// ---------------------------------------------------------------------------
+
+/// Shared record of which ranks have terminated abnormally.
+#[derive(Debug)]
+struct FailureState {
+    any: AtomicBool,
+    seq: AtomicU64,
+    /// Per rank: `Some((death order, panic message))` once dead.
+    dead: Mutex<Vec<Option<(u64, String)>>>,
+}
+
+impl FailureState {
+    fn new(n: usize) -> Self {
+        Self {
+            any: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            dead: Mutex::new(vec![None; n]),
+        }
+    }
+
+    fn mark_dead(&self, rank: usize, msg: String) {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.dead.lock()[rank] = Some((seq, msg));
+        self.any.store(true, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn any(&self) -> bool {
+        self.any.load(Ordering::SeqCst)
+    }
+
+    fn is_dead(&self, rank: usize) -> bool {
+        self.any() && self.dead.lock()[rank].is_some()
+    }
+
+    /// Earliest-dying rank, if any.
+    fn first_dead(&self) -> Option<usize> {
+        if !self.any() {
+            return None;
+        }
+        self.dead
+            .lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(r, d)| d.as_ref().map(|(seq, _)| (*seq, r)))
+            .min()
+            .map(|(_, r)| r)
+    }
+
+    /// All dead ranks with their panic messages, in order of death.
+    fn dead_ranks(&self) -> Vec<(usize, String)> {
+        let mut v: Vec<(u64, usize, String)> = self
+            .dead
+            .lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(r, d)| d.as_ref().map(|(seq, msg)| (*seq, r, msg.clone())))
+            .collect();
+        v.sort();
+        v.into_iter().map(|(_, r, m)| (r, m)).collect()
+    }
+}
+
+/// Which peer deaths abort a blocked receive: a point-to-point receive only
+/// depends on its source; a collective depends on every rank.
+#[derive(Copy, Clone, Debug)]
+enum DeathScope {
+    Rank(usize),
+    Any,
+}
+
+impl DeathScope {
+    fn dead_rank(self, failure: &FailureState) -> Option<usize> {
+        if !failure.any() {
+            return None;
+        }
+        match self {
+            DeathScope::Rank(r) => failure.is_dead(r).then_some(r),
+            DeathScope::Any => failure.first_dead(),
+        }
+    }
+}
+
+/// Generation barrier that notices dead ranks and timeouts instead of
+/// blocking forever (replacement for `std::sync::Barrier`).
+#[derive(Debug)]
+struct FaultBarrier {
+    n: usize,
+    state: StdMutex<(usize, u64)>, // (arrived, generation)
+    cvar: Condvar,
+}
+
+impl FaultBarrier {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            state: StdMutex::new((0, 0)),
+            cvar: Condvar::new(),
+        }
+    }
+
+    fn wait_checked(
+        &self,
+        failure: &FailureState,
+        timeout: Duration,
+        poll: Duration,
+    ) -> Result<(), CommError> {
+        if let Some(rank) = failure.first_dead() {
+            return Err(CommError::RankDead {
+                rank,
+                op: "barrier",
+            });
+        }
+        let start = Instant::now();
+        let deadline = start.checked_add(timeout);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let gen = st.1;
+        st.0 += 1;
+        if st.0 == self.n {
+            st.0 = 0;
+            st.1 += 1;
+            self.cvar.notify_all();
+            return Ok(());
+        }
+        while st.1 == gen {
+            let (guard, _) = self
+                .cvar
+                .wait_timeout(st, poll)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if st.1 != gen {
+                break;
+            }
+            if let Some(rank) = failure.first_dead() {
+                return Err(CommError::RankDead {
+                    rank,
+                    op: "barrier",
+                });
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(CommError::Timeout {
+                    op: "barrier",
+                    src: None,
+                    waited: start.elapsed(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// splitmix64 — the deterministic per-message hash behind [`FaultPlan`].
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Uniform value in `[0, 1)` from a hash.
+fn u01(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One message-fault rule: probabilities of dropping, duplicating,
+/// corrupting (single deterministic bit flip) or delaying messages whose tag
+/// matches.
+#[derive(Clone, Copy, Debug)]
+struct MsgRule {
+    /// `None` matches every tag, collectives included.
+    tag: Option<Tag>,
+    drop: f64,
+    duplicate: f64,
+    corrupt: f64,
+    delay_prob: f64,
+    delay: Duration,
+}
+
+/// Deterministic, seed-driven fault-injection plan.
+///
+/// Two classes of faults are supported:
+///
+/// * **rank kills** — [`FaultPlan::kill`] terminates a rank (by panic) when
+///   the application announces the given step via [`Rank::fault_step`],
+///   exercising the full failure-detection and restart path;
+/// * **message faults** — per-tag probabilities of dropping, duplicating,
+///   corrupting (one bit flip) or delaying each sent message.
+///
+/// Every per-message decision is a pure function of
+/// `(seed, src, dst, tag, per-pair message index)`, so a given plan produces
+/// the *same* faults on every run regardless of thread scheduling — failures
+/// found in CI reproduce locally from the seed alone.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed mixed into every per-message fault decision.
+    pub seed: u64,
+    kills: Vec<(usize, u64)>,
+    rules: Vec<MsgRule>,
+}
+
+/// Sender-side decision for one message.
+#[derive(Clone, Copy, Debug, Default)]
+struct MsgDecision {
+    drop: bool,
+    duplicate: bool,
+    corrupt: bool,
+    delay: Option<Duration>,
+    /// Hash used to pick the flipped bit when corrupting.
+    corrupt_hash: u64,
+}
+
+impl FaultPlan {
+    /// New empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Kill `rank` when it announces `step` via [`Rank::fault_step`].
+    pub fn kill(mut self, rank: usize, step: u64) -> Self {
+        self.kills.push((rank, step));
+        self
+    }
+
+    /// Drop messages with `tag` (`None` = any tag) with probability `prob`.
+    pub fn drop_messages(mut self, tag: Option<Tag>, prob: f64) -> Self {
+        self.rules.push(MsgRule {
+            tag,
+            drop: prob,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            delay_prob: 0.0,
+            delay: Duration::ZERO,
+        });
+        self
+    }
+
+    /// Duplicate messages with `tag` (`None` = any tag) with probability
+    /// `prob`.
+    pub fn duplicate_messages(mut self, tag: Option<Tag>, prob: f64) -> Self {
+        self.rules.push(MsgRule {
+            tag,
+            drop: 0.0,
+            duplicate: prob,
+            corrupt: 0.0,
+            delay_prob: 0.0,
+            delay: Duration::ZERO,
+        });
+        self
+    }
+
+    /// Flip one deterministic payload bit of messages with `tag` (`None` =
+    /// any tag) with probability `prob`.
+    pub fn corrupt_messages(mut self, tag: Option<Tag>, prob: f64) -> Self {
+        self.rules.push(MsgRule {
+            tag,
+            drop: 0.0,
+            duplicate: 0.0,
+            corrupt: prob,
+            delay_prob: 0.0,
+            delay: Duration::ZERO,
+        });
+        self
+    }
+
+    /// Delay messages with `tag` (`None` = any tag) by `delay` with
+    /// probability `prob` (sender-side, bounded).
+    pub fn delay_messages(mut self, tag: Option<Tag>, prob: f64, delay: Duration) -> Self {
+        self.rules.push(MsgRule {
+            tag,
+            drop: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            delay_prob: prob,
+            delay,
+        });
+        self
+    }
+
+    /// Does the plan kill `rank` at `step`?
+    pub fn kills_at(&self, rank: usize, step: u64) -> bool {
+        self.kills.iter().any(|&(r, s)| r == rank && s == step)
+    }
+
+    /// True if the plan contains any message-fault rules.
+    pub fn has_message_faults(&self) -> bool {
+        !self.rules.is_empty()
+    }
+
+    fn decide(&self, src: usize, dst: usize, tag: Tag, index: u64) -> MsgDecision {
+        let mut d = MsgDecision::default();
+        if self.rules.is_empty() {
+            return d;
+        }
+        let base = splitmix64(
+            self.seed
+                ^ splitmix64((src as u64) << 42 ^ (dst as u64) << 21 ^ tag as u64)
+                ^ splitmix64(index.wrapping_mul(0xd1b54a32d192ed03)),
+        );
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.tag.is_some_and(|t| t != tag) {
+                continue;
+            }
+            // Independent hash per (rule, category).
+            let h = |cat: u64| splitmix64(base ^ splitmix64((i as u64) << 8 | cat));
+            if rule.drop > 0.0 && u01(h(1)) < rule.drop {
+                d.drop = true;
+            }
+            if rule.duplicate > 0.0 && u01(h(2)) < rule.duplicate {
+                d.duplicate = true;
+            }
+            if rule.corrupt > 0.0 && u01(h(3)) < rule.corrupt {
+                d.corrupt = true;
+                d.corrupt_hash = h(4);
+            }
+            if rule.delay_prob > 0.0 && u01(h(5)) < rule.delay_prob {
+                d.delay = Some(rule.delay);
+            }
+        }
+        d
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
 /// Per-tag traffic breakdown (one entry per distinct message tag, so the
 /// solver can attribute traffic to fields — φ vs µ — and faces).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -124,6 +556,12 @@ pub struct CommStats {
     /// Log2-bucket histogram of per-receive wait latency in nanoseconds
     /// (bucket 0 counts receives satisfied from the pending store).
     pub recv_wait_hist: Histogram,
+    /// Receives aborted by failure detection (peer death, timeout, or
+    /// universe shutdown) instead of completing.
+    pub aborted_receives: u64,
+    /// Sends whose destination rank had already terminated (the message is
+    /// lost, as with MPI to a failed process).
+    pub sends_to_dead: u64,
     /// Traffic broken down by message tag (collective tags included).
     pub per_tag: BTreeMap<Tag, TagStats>,
 }
@@ -138,6 +576,8 @@ impl CommStats {
         self.messages_received += other.messages_received;
         self.recv_wait_time += other.recv_wait_time;
         self.recv_wait_hist.merge(&other.recv_wait_hist);
+        self.aborted_receives += other.aborted_receives;
+        self.sends_to_dead += other.sends_to_dead;
         for (tag, t) in &other.per_tag {
             let e = self.per_tag.entry(*tag).or_default();
             e.bytes_sent += t.bytes_sent;
@@ -193,6 +633,10 @@ impl CommSummary {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rank
+// ---------------------------------------------------------------------------
+
 /// One participant of a [`Universe`]; the analog of an MPI rank.
 pub struct Rank {
     rank: usize,
@@ -201,7 +645,14 @@ pub struct Rank {
     rx: Receiver<Message>,
     /// Messages received but not yet matched by a recv, keyed by (src, tag).
     pending: RefCell<HashMap<(usize, Tag), VecDeque<Bytes>>>,
-    barrier: Arc<std::sync::Barrier>,
+    barrier: Arc<FaultBarrier>,
+    failure: Arc<FailureState>,
+    timeout: Duration,
+    poll: Duration,
+    faults: Option<Arc<FaultPlan>>,
+    /// Per-(dst, tag) sent-message counters driving deterministic fault
+    /// decisions.
+    fault_counters: RefCell<HashMap<(usize, Tag), u64>>,
     stats: RefCell<CommStats>,
     /// Where to deposit the final stats when the rank thread finishes
     /// (set by [`Universe::run_with_stats`]).
@@ -229,6 +680,26 @@ impl Rank {
         self.size
     }
 
+    /// The configured per-operation timeout of this universe.
+    #[inline]
+    pub fn op_timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Announce the application step to the fault-injection layer: if the
+    /// universe's [`FaultPlan`] kills this rank at `step`, this call panics
+    /// (simulating a crash) and the universe reaps the rank.
+    pub fn fault_step(&self, step: u64) {
+        if let Some(plan) = &self.faults {
+            if plan.kills_at(self.rank, step) {
+                panic!(
+                    "fault injection: rank {} killed at step {} (seed {})",
+                    self.rank, step, plan.seed
+                );
+            }
+        }
+    }
+
     /// Send `payload` to rank `dst` with `tag` (buffered; returns
     /// immediately, like MPI standard mode with a buffered payload).
     pub fn send(&self, dst: usize, tag: Tag, payload: Bytes) {
@@ -244,13 +715,51 @@ impl Rank {
         t.bytes_sent += payload.len() as u64;
         t.messages_sent += 1;
         drop(stats);
-        self.txs[dst]
-            .send(Message {
+
+        // Fault injection: per-message deterministic decision.
+        let mut duplicate = false;
+        let mut payload = payload;
+        if let Some(plan) = &self.faults {
+            if plan.has_message_faults() {
+                let index = {
+                    let mut c = self.fault_counters.borrow_mut();
+                    let e = c.entry((dst, tag)).or_insert(0);
+                    let v = *e;
+                    *e += 1;
+                    v
+                };
+                let d = plan.decide(self.rank, dst, tag, index);
+                if let Some(delay) = d.delay {
+                    std::thread::sleep(delay);
+                }
+                if d.drop {
+                    return;
+                }
+                if d.corrupt && !payload.is_empty() {
+                    let mut bytes = payload.to_vec();
+                    let bit = (d.corrupt_hash % (bytes.len() as u64 * 8)) as usize;
+                    bytes[bit / 8] ^= 1 << (bit % 8);
+                    payload = Bytes::from(bytes);
+                }
+                duplicate = d.duplicate;
+            }
+        }
+
+        let n_copies = if duplicate { 2 } else { 1 };
+        for _ in 0..n_copies {
+            let msg = Message {
                 src: self.rank,
                 tag,
-                payload,
-            })
-            .expect("peer rank hung up");
+                payload: payload.clone(),
+            };
+            if self.txs[dst].send(msg).is_err() {
+                // Peer already terminated: the message is lost, like an MPI
+                // send to a failed process. The failure itself is surfaced
+                // by the next blocking operation.
+                self.stats.borrow_mut().sends_to_dead += 1;
+                return;
+            }
+        }
     }
 
     /// Nonblocking send. With thread-backed buffered channels the transfer
@@ -267,14 +776,40 @@ impl Rank {
     }
 
     /// Complete a posted receive, blocking until the message arrives.
+    ///
+    /// # Panics
+    /// Panics with the [`CommError`] diagnostic if the source rank dies or
+    /// the timeout expires; use [`Rank::wait_checked`] to handle failures.
     pub fn wait(&self, req: RecvRequest) -> Bytes {
-        self.recv_matched(req.src, req.tag)
+        self.unwrap_comm(self.wait_checked(req))
+    }
+
+    /// Complete a posted receive, returning [`CommError`] instead of
+    /// blocking forever if the source rank dies or the timeout expires.
+    pub fn wait_checked(&self, req: RecvRequest) -> Result<Bytes, CommError> {
+        self.recv_matched(req.src, req.tag, DeathScope::Rank(req.src), "wait")
     }
 
     /// Blocking receive of a message from `src` with `tag`.
+    ///
+    /// # Panics
+    /// Panics with the [`CommError`] diagnostic if the source rank dies or
+    /// the timeout expires; use [`Rank::recv_checked`] to handle failures.
     pub fn recv(&self, src: usize, tag: Tag) -> Bytes {
         assert!(tag & COLLECTIVE_TAG == 0, "tag reserved for collectives");
-        self.recv_matched(src, tag)
+        self.unwrap_comm(self.recv_matched(src, tag, DeathScope::Rank(src), "recv"))
+    }
+
+    /// Blocking receive that returns [`CommError`] instead of hanging when
+    /// the source rank dies or the timeout expires.
+    pub fn recv_checked(&self, src: usize, tag: Tag) -> Result<Bytes, CommError> {
+        assert!(tag & COLLECTIVE_TAG == 0, "tag reserved for collectives");
+        self.recv_matched(src, tag, DeathScope::Rank(src), "recv")
+    }
+
+    #[track_caller]
+    fn unwrap_comm<T>(&self, r: Result<T, CommError>) -> T {
+        r.unwrap_or_else(|e| panic!("rank {}: {e}", self.rank))
     }
 
     /// Account for one message pulled off the wire (on arrival, whether it
@@ -288,36 +823,114 @@ impl Rank {
         t.messages_received += 1;
     }
 
-    fn recv_matched(&self, src: usize, tag: Tag) -> Bytes {
+    /// Deliver one incoming message: true if it matches `(src, tag)`, else
+    /// it is stashed in the pending store (poison wake-ups are discarded).
+    fn stash_or_match(&self, msg: Message, src: usize, tag: Tag) -> Option<Bytes> {
+        if msg.tag == POISON_TAG {
+            return None; // wake-up only; failure state is checked by caller
+        }
+        self.note_received(msg.tag, msg.payload.len());
+        if msg.src == src && msg.tag == tag {
+            return Some(msg.payload);
+        }
+        self.pending
+            .borrow_mut()
+            .entry((msg.src, msg.tag))
+            .or_default()
+            .push_back(msg.payload);
+        None
+    }
+
+    fn abort_receive(&self, err: CommError) -> Result<Bytes, CommError> {
+        self.stats.borrow_mut().aborted_receives += 1;
+        Err(err)
+    }
+
+    /// Source-and-tag-matched receive with failure detection: completes, or
+    /// returns a [`CommError`] within the configured timeout if a rank in
+    /// `scope` dies, the universe shuts down, or no message arrives.
+    fn recv_matched(
+        &self,
+        src: usize,
+        tag: Tag,
+        scope: DeathScope,
+        op: &'static str,
+    ) -> Result<Bytes, CommError> {
         // Fast path: already in the pending store — zero wait.
         if let Some(q) = self.pending.borrow_mut().get_mut(&(src, tag)) {
             if let Some(b) = q.pop_front() {
                 self.stats.borrow_mut().recv_wait_hist.record(0);
-                return b;
+                return Ok(b);
             }
         }
         let start = Instant::now();
+        let deadline = start.checked_add(self.timeout);
+        let finish = |b: Bytes| {
+            let waited = start.elapsed();
+            let mut stats = self.stats.borrow_mut();
+            stats.recv_wait_time += waited;
+            stats.recv_wait_hist.record(waited.as_nanos() as u64);
+            Ok(b)
+        };
         loop {
-            let msg = self.rx.recv().expect("universe shut down mid-recv");
-            self.note_received(msg.tag, msg.payload.len());
-            if msg.src == src && msg.tag == tag {
-                let waited = start.elapsed();
-                let mut stats = self.stats.borrow_mut();
-                stats.recv_wait_time += waited;
-                stats.recv_wait_hist.record(waited.as_nanos() as u64);
-                return msg.payload;
+            // Drain everything already queued before consulting the failure
+            // state, so messages sent just before a peer died are not lost.
+            loop {
+                match self.rx.try_recv() {
+                    Ok(msg) => {
+                        if let Some(b) = self.stash_or_match(msg, src, tag) {
+                            return finish(b);
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        return self.abort_receive(CommError::Shutdown { op });
+                    }
+                }
             }
-            self.pending
-                .borrow_mut()
-                .entry((msg.src, msg.tag))
-                .or_default()
-                .push_back(msg.payload);
+            if let Some(rank) = scope.dead_rank(&self.failure) {
+                return self.abort_receive(CommError::RankDead { rank, op });
+            }
+            let now = Instant::now();
+            if deadline.is_some_and(|d| now >= d) {
+                return self.abort_receive(CommError::Timeout {
+                    op,
+                    src: Some(src),
+                    waited: now - start,
+                });
+            }
+            let wait = match deadline {
+                Some(d) => self.poll.min(d - now),
+                None => self.poll,
+            };
+            match self.rx.recv_timeout(wait) {
+                Ok(msg) => {
+                    if let Some(b) = self.stash_or_match(msg, src, tag) {
+                        return finish(b);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return self.abort_receive(CommError::Shutdown { op });
+                }
+            }
         }
     }
 
     /// Synchronize all ranks.
+    ///
+    /// # Panics
+    /// Panics with the [`CommError`] diagnostic if a rank dies or the
+    /// timeout expires; use [`Rank::barrier_checked`] to handle failures.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        self.unwrap_comm(self.barrier_checked());
+    }
+
+    /// Synchronize all ranks, returning [`CommError`] instead of blocking
+    /// forever if any rank dies or the timeout expires.
+    pub fn barrier_checked(&self) -> Result<(), CommError> {
+        self.barrier
+            .wait_checked(&self.failure, self.timeout, self.poll)
     }
 
     /// All-reduce a single f64 over all ranks.
@@ -325,12 +938,22 @@ impl Rank {
     /// Implemented as gather-to-0 + broadcast over point-to-point messages
     /// (log-depth trees are unnecessary at thread scale; the *semantics*
     /// match MPI_Allreduce).
+    ///
+    /// # Panics
+    /// Panics with the [`CommError`] diagnostic on failure; use
+    /// [`Rank::allreduce_f64_checked`] to handle failures.
     pub fn allreduce_f64(&self, value: f64, op: ReduceOp) -> f64 {
+        self.unwrap_comm(self.allreduce_f64_checked(value, op))
+    }
+
+    /// Fallible [`Rank::allreduce_f64`]: returns [`CommError`] instead of
+    /// hanging when any participating rank dies or the timeout expires.
+    pub fn allreduce_f64_checked(&self, value: f64, op: ReduceOp) -> Result<f64, CommError> {
         let tag = COLLECTIVE_TAG | 1;
         if self.rank == 0 {
             let mut acc = value;
             for src in 1..self.size {
-                let b = self.recv_matched(src, tag);
+                let b = self.recv_matched(src, tag, DeathScope::Any, "allreduce")?;
                 acc = op.apply(
                     acc,
                     f64::from_bits(u64::from_le_bytes(b[..8].try_into().unwrap())),
@@ -343,39 +966,65 @@ impl Rank {
                     Bytes::copy_from_slice(&acc.to_bits().to_le_bytes()),
                 );
             }
-            acc
+            Ok(acc)
         } else {
             self.send_raw(
                 0,
                 tag,
                 Bytes::copy_from_slice(&value.to_bits().to_le_bytes()),
             );
-            let b = self.recv_matched(0, tag);
-            f64::from_bits(u64::from_le_bytes(b[..8].try_into().unwrap()))
+            let b = self.recv_matched(0, tag, DeathScope::Any, "allreduce")?;
+            Ok(f64::from_bits(u64::from_le_bytes(
+                b[..8].try_into().unwrap(),
+            )))
         }
     }
 
     /// Gather byte payloads on `root`; returns `Some(per-rank payloads)` on
     /// the root, `None` elsewhere.
+    ///
+    /// # Panics
+    /// Panics with the [`CommError`] diagnostic on failure; use
+    /// [`Rank::gather_checked`] to handle failures.
     pub fn gather(&self, root: usize, payload: Bytes) -> Option<Vec<Bytes>> {
+        self.unwrap_comm(self.gather_checked(root, payload))
+    }
+
+    /// Fallible [`Rank::gather`]: returns [`CommError`] instead of hanging
+    /// when any participating rank dies or the timeout expires.
+    pub fn gather_checked(
+        &self,
+        root: usize,
+        payload: Bytes,
+    ) -> Result<Option<Vec<Bytes>>, CommError> {
         let tag = COLLECTIVE_TAG | 2;
         if self.rank == root {
             let mut out = vec![Bytes::new(); self.size];
             out[root] = payload;
             for src in 0..self.size {
                 if src != root {
-                    out[src] = self.recv_matched(src, tag);
+                    out[src] = self.recv_matched(src, tag, DeathScope::Any, "gather")?;
                 }
             }
-            Some(out)
+            Ok(Some(out))
         } else {
             self.send_raw(root, tag, payload);
-            None
+            Ok(None)
         }
     }
 
     /// Broadcast `payload` (significant on `root`) to all ranks.
+    ///
+    /// # Panics
+    /// Panics with the [`CommError`] diagnostic on failure; use
+    /// [`Rank::broadcast_checked`] to handle failures.
     pub fn broadcast(&self, root: usize, payload: Bytes) -> Bytes {
+        self.unwrap_comm(self.broadcast_checked(root, payload))
+    }
+
+    /// Fallible [`Rank::broadcast`]: returns [`CommError`] instead of
+    /// hanging when the root dies or the timeout expires.
+    pub fn broadcast_checked(&self, root: usize, payload: Bytes) -> Result<Bytes, CommError> {
         let tag = COLLECTIVE_TAG | 3;
         if self.rank == root {
             for dst in 0..self.size {
@@ -383,9 +1032,9 @@ impl Rank {
                     self.send_raw(dst, tag, payload.clone());
                 }
             }
-            payload
+            Ok(payload)
         } else {
-            self.recv_matched(root, tag)
+            self.recv_matched(root, tag, DeathScope::Any, "broadcast")
         }
     }
 
@@ -410,19 +1059,74 @@ impl Rank {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Universe
+// ---------------------------------------------------------------------------
+
+/// Execution parameters of a [`Universe`]: failure-detection timeouts and an
+/// optional fault-injection plan.
+#[derive(Clone, Debug)]
+pub struct UniverseCfg {
+    /// Upper bound on any single blocking communication operation. Blocking
+    /// calls fail with [`CommError::Timeout`] instead of waiting longer.
+    pub timeout: Duration,
+    /// Poll interval at which blocked operations re-check the failure
+    /// state; bounds the detection latency of a peer death.
+    pub poll: Duration,
+    /// Deterministic fault-injection plan, if any.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for UniverseCfg {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(300),
+            poll: Duration::from_millis(2),
+            faults: None,
+        }
+    }
+}
+
+impl UniverseCfg {
+    /// Config with a custom operation timeout.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self {
+            timeout,
+            ..Self::default()
+        }
+    }
+
+    /// Attach a fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
+
 /// A set of ranks executing the same function — the analog of
 /// `mpirun -np N`.
 pub struct Universe;
 
+/// Everything `run_inner` learns about one execution.
+struct RunOutcome<T> {
+    results: Vec<Option<T>>,
+    /// `(rank, seq, message, panic payload)` of dead ranks.
+    dead: Vec<(usize, String)>,
+    payloads: Vec<Option<PanicPayload>>,
+    first_dead: Option<usize>,
+}
+
 impl Universe {
     /// Spawn `n` ranks running `f` and collect their return values in rank
-    /// order. Panics in any rank propagate.
+    /// order. Panics in any rank propagate (the earliest-dying rank's
+    /// payload is re-raised); surviving ranks observe the death as
+    /// [`CommError`]s instead of deadlocking.
     pub fn run<T, F>(n: usize, f: F) -> Vec<T>
     where
         T: Send + 'static,
         F: Fn(Rank) -> T + Send + Sync + 'static,
     {
-        Self::run_inner(n, f, None)
+        Self::finish_infallible(Self::run_inner(n, f, None, UniverseCfg::default()))
     }
 
     /// Like [`Universe::run`], but additionally collects every rank's final
@@ -434,7 +1138,12 @@ impl Universe {
     {
         let sink: Arc<Mutex<Vec<Option<CommStats>>>> =
             Arc::new(Mutex::new((0..n).map(|_| None).collect()));
-        let out = Self::run_inner(n, f, Some(Arc::clone(&sink)));
+        let out = Self::finish_infallible(Self::run_inner(
+            n,
+            f,
+            Some(Arc::clone(&sink)),
+            UniverseCfg::default(),
+        ));
         let per_rank = Arc::try_unwrap(sink)
             .unwrap_or_else(|_| panic!("stats sink still shared"))
             .into_inner()
@@ -444,11 +1153,48 @@ impl Universe {
         (out, CommSummary::from_per_rank(per_rank))
     }
 
+    /// Run `n` ranks under `cfg` (timeouts + optional fault plan) and
+    /// *report* failures instead of panicking: if any rank dies — by its own
+    /// panic or an injected kill — the returned [`UniverseError`] names every
+    /// dead rank with its panic message, in order of death. Surviving ranks
+    /// are unwound via [`CommError`]s; nothing deadlocks.
+    pub fn run_checked<T, F>(n: usize, cfg: UniverseCfg, f: F) -> Result<Vec<T>, UniverseError>
+    where
+        T: Send + 'static,
+        F: Fn(Rank) -> T + Send + Sync + 'static,
+    {
+        let out = Self::run_inner(n, f, None, cfg);
+        if out.dead.is_empty() {
+            Ok(out
+                .results
+                .into_iter()
+                .map(|o| o.expect("rank produced no result"))
+                .collect())
+        } else {
+            Err(UniverseError { dead: out.dead })
+        }
+    }
+
+    fn finish_infallible<T>(out: RunOutcome<T>) -> Vec<T> {
+        if let Some(first) = out.first_dead {
+            let mut payloads = out.payloads;
+            if let Some(p) = payloads[first].take() {
+                std::panic::resume_unwind(p);
+            }
+            panic!("rank {first} died: {}", out.dead[0].1);
+        }
+        out.results
+            .into_iter()
+            .map(|o| o.expect("rank produced no result"))
+            .collect()
+    }
+
     fn run_inner<T, F>(
         n: usize,
         f: F,
         stats_sink: Option<Arc<Mutex<Vec<Option<CommStats>>>>>,
-    ) -> Vec<T>
+        cfg: UniverseCfg,
+    ) -> RunOutcome<T>
     where
         T: Send + 'static,
         F: Fn(Rank) -> T + Send + Sync + 'static,
@@ -462,9 +1208,13 @@ impl Universe {
             rxs.push(rx);
         }
         let txs = Arc::new(txs);
-        let barrier = Arc::new(std::sync::Barrier::new(n));
+        let barrier = Arc::new(FaultBarrier::new(n));
+        let failure = Arc::new(FailureState::new(n));
+        let faults = cfg.faults.map(Arc::new);
         let f = Arc::new(f);
         let results: Arc<Mutex<Vec<Option<T>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let payloads: Arc<Mutex<Vec<Option<PanicPayload>>>> =
             Arc::new(Mutex::new((0..n).map(|_| None).collect()));
 
         let mut handles = Vec::with_capacity(n);
@@ -476,33 +1226,75 @@ impl Universe {
                 rx,
                 pending: RefCell::new(HashMap::new()),
                 barrier: Arc::clone(&barrier),
+                failure: Arc::clone(&failure),
+                timeout: cfg.timeout,
+                poll: cfg.poll,
+                faults: faults.clone(),
+                fault_counters: RefCell::new(HashMap::new()),
                 stats: RefCell::new(CommStats::default()),
                 stats_sink: stats_sink.clone(),
             };
             let f = Arc::clone(&f);
             let results = Arc::clone(&results);
+            let payloads = Arc::clone(&payloads);
+            let failure = Arc::clone(&failure);
+            let txs = Arc::clone(&txs);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("rank-{rank_id}"))
                     .stack_size(8 << 20)
                     .spawn(move || {
-                        let out = f(rank);
-                        results.lock()[rank_id] = Some(out);
+                        let out =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(rank)));
+                        match out {
+                            Ok(v) => results.lock()[rank_id] = Some(v),
+                            Err(payload) => {
+                                // Reap: record the death, then poison every
+                                // mailbox so blocked receivers wake at once
+                                // instead of waiting out a poll interval.
+                                failure.mark_dead(rank_id, panic_message(payload.as_ref()));
+                                payloads.lock()[rank_id] = Some(payload);
+                                for tx in txs.iter() {
+                                    let _ = tx.send(Message {
+                                        src: rank_id,
+                                        tag: POISON_TAG,
+                                        payload: Bytes::new(),
+                                    });
+                                }
+                            }
+                        }
                     })
                     .expect("spawn rank thread"),
             );
         }
         for h in handles {
-            if let Err(e) = h.join() {
-                std::panic::resume_unwind(e);
-            }
+            // Rank panics are caught inside the thread; a join error would
+            // mean the reporting harness itself failed.
+            h.join().expect("rank thread infrastructure panicked");
         }
-        Arc::try_unwrap(results)
-            .unwrap_or_else(|_| panic!("results still shared"))
-            .into_inner()
-            .into_iter()
-            .map(|o| o.expect("rank produced no result"))
-            .collect()
+        let dead = failure.dead_ranks();
+        let first_dead = failure.first_dead();
+        RunOutcome {
+            results: Arc::try_unwrap(results)
+                .unwrap_or_else(|_| panic!("results still shared"))
+                .into_inner(),
+            dead,
+            payloads: Arc::try_unwrap(payloads)
+                .unwrap_or_else(|_| panic!("payloads still shared"))
+                .into_inner(),
+            first_dead,
+        }
+    }
+}
+
+/// Best-effort string form of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -832,5 +1624,135 @@ mod tests {
         let mut out = Vec::new();
         bytes_to_f64s_into(&b, &mut out);
         assert_eq!(out, vals);
+    }
+
+    // ----- fault tolerance -----
+
+    #[test]
+    fn fault_plan_decisions_are_deterministic() {
+        let plan = FaultPlan::new(42)
+            .drop_messages(Some(7), 0.5)
+            .duplicate_messages(None, 0.3)
+            .corrupt_messages(Some(9), 0.2);
+        for _ in 0..3 {
+            let a: Vec<_> = (0..64)
+                .map(|i| {
+                    let d = plan.decide(0, 1, 7, i);
+                    (d.drop, d.duplicate, d.corrupt)
+                })
+                .collect();
+            let b: Vec<_> = (0..64)
+                .map(|i| {
+                    let d = plan.decide(0, 1, 7, i);
+                    (d.drop, d.duplicate, d.corrupt)
+                })
+                .collect();
+            assert_eq!(a, b);
+        }
+        // Roughly the configured rates over many samples.
+        let drops = (0..10_000)
+            .filter(|&i| plan.decide(0, 1, 7, i).drop)
+            .count();
+        assert!((3_500..6_500).contains(&drops), "drop rate off: {drops}");
+    }
+
+    #[test]
+    fn dead_rank_is_detected_not_deadlocked() {
+        let cfg = UniverseCfg::with_timeout(Duration::from_secs(10));
+        let err = Universe::run_checked(3, cfg, |r| {
+            if r.rank() == 1 {
+                panic!("injected death");
+            }
+            // Ranks 0 and 2 wait on rank 1 — must error, not hang.
+            r.recv_checked(1, 5).map(|_| ()).unwrap_err()
+        })
+        .unwrap_err();
+        assert_eq!(err.dead.len(), 1);
+        assert_eq!(err.dead[0].0, 1);
+        assert!(err.dead[0].1.contains("injected death"));
+    }
+
+    #[test]
+    fn recv_times_out_with_error() {
+        let cfg = UniverseCfg::with_timeout(Duration::from_millis(50));
+        let got = Universe::run_checked(2, cfg, |r| {
+            if r.rank() == 0 {
+                // Never sends.
+                Ok(())
+            } else {
+                r.recv_checked(0, 3).map(|_| ())
+            }
+        })
+        .unwrap();
+        match &got[1] {
+            Err(CommError::Timeout { op, src, .. }) => {
+                assert_eq!(*op, "recv");
+                assert_eq!(*src, Some(0));
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_detects_dead_rank() {
+        let cfg = UniverseCfg::with_timeout(Duration::from_secs(10));
+        let err = Universe::run_checked(3, cfg, |r| {
+            if r.rank() == 2 {
+                panic!("dies before barrier");
+            }
+            r.barrier_checked()
+        })
+        .unwrap_err();
+        assert_eq!(err.dead[0].0, 2);
+    }
+
+    #[test]
+    fn aborted_receives_are_counted() {
+        let cfg = UniverseCfg::with_timeout(Duration::from_millis(40));
+        let got = Universe::run_checked(2, cfg, |r| {
+            if r.rank() == 1 {
+                let _ = r.recv_checked(0, 1);
+                r.stats().aborted_receives
+            } else {
+                0
+            }
+        })
+        .unwrap();
+        assert_eq!(got[1], 1);
+    }
+
+    #[test]
+    fn injected_kill_fires_at_step() {
+        let plan = FaultPlan::new(1).kill(1, 3);
+        let cfg = UniverseCfg::with_timeout(Duration::from_secs(5)).with_faults(plan);
+        let err = Universe::run_checked(2, cfg, |r| {
+            for step in 0..10u64 {
+                r.fault_step(step);
+                let _ = r.barrier_checked();
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.dead[0].0, 1);
+        assert!(
+            err.dead[0].1.contains("killed at step 3"),
+            "{}",
+            err.dead[0].1
+        );
+    }
+
+    #[test]
+    fn message_send_after_peer_death_is_lost_not_fatal() {
+        let cfg = UniverseCfg::with_timeout(Duration::from_secs(5));
+        let got = Universe::run_checked(2, cfg, |r| {
+            if r.rank() == 0 {
+                panic!("gone");
+            }
+            // Wait until rank 0 is reaped, then send into the void.
+            while r.recv_checked(0, 1).is_ok() {}
+            r.send(0, 2, f64s_to_bytes(&[1.0]));
+            r.stats().sends_to_dead
+        })
+        .unwrap_err();
+        assert_eq!(got.dead[0].0, 0);
     }
 }

@@ -623,6 +623,39 @@ impl<'r> DistributedSim<'r> {
         self.time
     }
 
+    /// Number of completed time steps.
+    pub fn step_index(&self) -> usize {
+        self.step
+    }
+
+    /// The communicator rank this simulation runs on.
+    pub fn comm_rank(&self) -> &Rank {
+        self.rank
+    }
+
+    /// The domain decomposition this simulation was built from.
+    pub fn decomp(&self) -> &Decomposition {
+        &self.decomp
+    }
+
+    /// Global ids of this rank's blocks, aligned with
+    /// [`DistributedSim::blocks`].
+    pub fn local_block_ids(&self) -> &[usize] {
+        &self.local_ids
+    }
+
+    /// Overwrite the progress counters when resuming from a checkpoint:
+    /// simulation time, completed step count, and moving-window shift count.
+    /// Field contents and block origins must be restored separately (see
+    /// `eutectica-pfio`'s checkpoint sets).
+    pub fn set_progress(&mut self, time: f64, step: usize, window_shifts: usize) {
+        self.time = time;
+        self.step = step;
+        self.steps_base = self.steps_base.min(step);
+        self.window_shifts = window_shifts;
+        self.prev_window_shifts = window_shifts;
+    }
+
     /// Global solid fraction (allreduce over ranks).
     pub fn solid_fraction_global(&self) -> f64 {
         let mut local = 0.0;

@@ -6,8 +6,17 @@
 //! only single precision to save disk space and I/O bandwidth." This crate
 //! implements exactly that checkpoint format, plus a legacy-VTK writer for
 //! visual inspection of fields.
+//!
+//! Fault tolerance lives in two submodules: [`ckpt`] defines multi-block
+//! *checkpoint sets* (per-block files + CRC-verified manifest, atomic
+//! writes, OOM-hardened readers) and [`resilient`] wires them into
+//! `DistributedSim` with an auto-cadence scheduler and the
+//! [`resilient::run_resilient`] restart driver.
 
 #![deny(missing_docs)]
+
+pub mod ckpt;
+pub mod resilient;
 
 use std::io::{Read, Write};
 
@@ -59,9 +68,24 @@ pub fn write_checkpoint(w: &mut impl Write, state: &BlockState, time: f64) -> st
 /// state (with default directional boundary conditions — adjust afterwards
 /// if needed) and the simulation time.
 ///
+/// Header dimensions are validated against [`ckpt::DEFAULT_BYTE_BUDGET`]
+/// before any allocation — a corrupt 16-byte header cannot trigger a
+/// multi-GB allocation; use [`read_checkpoint_bounded`] for a custom
+/// budget.
+///
 /// Ghost layers are left at their initial values; call the appropriate
 /// exchange/boundary handling before stepping.
 pub fn read_checkpoint(r: &mut impl Read) -> std::io::Result<(BlockState, f64)> {
+    read_checkpoint_bounded(r, ckpt::DEFAULT_BYTE_BUDGET)
+}
+
+/// [`read_checkpoint`] with an explicit byte budget: headers whose
+/// dimensions imply an in-memory [`BlockState`] larger than `byte_budget`
+/// are rejected with `InvalidData` before allocating.
+pub fn read_checkpoint_bounded(
+    r: &mut impl Read,
+    byte_budget: u64,
+) -> std::io::Result<(BlockState, f64)> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -75,10 +99,13 @@ pub fn read_checkpoint(r: &mut impl Read) -> std::io::Result<(BlockState, f64)> 
         r.read_exact(&mut u64buf)?;
         Ok(u64::from_le_bytes(u64buf))
     };
-    let nx = read_u64(r)? as usize;
-    let ny = read_u64(r)? as usize;
-    let nz = read_u64(r)? as usize;
-    let ghost = read_u64(r)? as usize;
+    let nx = read_u64(r)?;
+    let ny = read_u64(r)?;
+    let nz = read_u64(r)?;
+    let ghost = read_u64(r)?;
+    let dims = ckpt::validate_dims(nx, ny, nz, ghost, byte_budget)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let (nx, ny, nz, ghost) = (dims.nx, dims.ny, dims.nz, dims.ghost);
     let origin = [
         read_u64(r)? as usize,
         read_u64(r)? as usize,
@@ -87,8 +114,6 @@ pub fn read_checkpoint(r: &mut impl Read) -> std::io::Result<(BlockState, f64)> 
     let mut f64buf = [0u8; 8];
     r.read_exact(&mut f64buf)?;
     let time = f64::from_le_bytes(f64buf);
-
-    let dims = GridDims::new(nx, ny, nz, ghost);
     let mut state = BlockState::new(dims, origin);
     let mut buf = [0u8; 4];
     let mut read_comp = |r: &mut dyn Read, comp: &mut [f64]| -> std::io::Result<()> {

@@ -1,0 +1,511 @@
+//! Checkpoint/restart integration and the resilient run driver.
+//!
+//! [`SimCheckpointExt`] wires [`crate::ckpt`] checkpoint sets into
+//! `DistributedSim`: every rank writes its own block files, rank 0 gathers
+//! the per-block CRCs and writes the manifest last, and restore re-reads a
+//! set onto the *current* decomposition — the same or a different rank
+//! count, since block files are keyed by global block id.
+//!
+//! [`run_resilient`] is the production loop the paper's month-long runs
+//! imply: run the universe; if a rank dies (detected by the comm layer, not
+//! deadlocked), tear the universe down, restore the last *valid* checkpoint
+//! set, and continue — optionally on a different rank count. With
+//! [`Precision::F64`] checkpoints the recovered run is bit-identical to an
+//! uninterrupted one.
+//!
+//! Checkpoint cadence follows Sec. 3.2: [`CheckpointCadence`] measures the
+//! step and checkpoint wall times at runtime and re-plans the write
+//! interval through [`crate::checkpoint_interval`] so measured overhead
+//! stays within the configured budget. The measurements feed an allreduce,
+//! so every rank agrees on the interval and the collective checkpoint
+//! writes stay in lockstep.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use eutectica_blockgrid::decomp::{Decomposition, DomainSpec};
+use eutectica_comm::{FaultPlan, Rank, ReduceOp, Universe, UniverseCfg, UniverseError};
+use eutectica_core::kernels::KernelConfig;
+use eutectica_core::params::ModelParams;
+use eutectica_core::state::BlockState;
+use eutectica_core::timeloop::{DistributedSim, OverlapOptions};
+
+use crate::ckpt::{self, BlockEntry, CkptError, Manifest, Precision, DEFAULT_BYTE_BUDGET};
+
+/// Checkpoint-set operations on a distributed simulation.
+pub trait SimCheckpointExt {
+    /// Collectively write a checkpoint set for the current step under
+    /// `root`. Every rank writes its local blocks; rank 0 gathers the
+    /// per-block CRCs and writes the manifest last (the set is valid only
+    /// once the manifest lands). Returns the bytes this rank wrote.
+    ///
+    /// Telemetry: span `checkpoint_write` (category `io`), counters
+    /// `ckpt/bytes_written`, `ckpt/sets_written`, `ckpt/wall_ns`.
+    fn write_checkpoint_set(&self, root: &Path, precision: Precision) -> Result<u64, CkptError>;
+
+    /// Restore fields, time, step and window offset from the set in `dir`.
+    /// The set must decompose the same [`DomainSpec`]; the rank count may
+    /// differ from the writer's. Ghosts are refreshed collectively, so all
+    /// ranks must call this together.
+    fn restore_from_set(&mut self, dir: &Path, byte_budget: u64) -> Result<(), CkptError>;
+}
+
+impl SimCheckpointExt for DistributedSim<'_> {
+    fn write_checkpoint_set(&self, root: &Path, precision: Precision) -> Result<u64, CkptError> {
+        let tel = self.telemetry().clone();
+        let start = Instant::now();
+        let _span = tel.span_cat("checkpoint_write", "io");
+        let step = self.step_index() as u64;
+        let dir = ckpt::set_dir(root, step);
+        std::fs::create_dir_all(&dir)?;
+        let mut entries = Vec::with_capacity(self.blocks.len());
+        let mut bytes_written = 0u64;
+        for (li, &id) in self.local_block_ids().iter().enumerate() {
+            let e =
+                ckpt::write_block_file(&dir, &self.blocks[li], id as u64, self.time(), precision)?;
+            bytes_written += e.file_bytes;
+            entries.push(e);
+        }
+        // Rank 0 collects every rank's entries and completes the set.
+        let mut payload = Vec::with_capacity(entries.len() * 20);
+        for e in &entries {
+            payload.extend_from_slice(&e.id.to_le_bytes());
+            payload.extend_from_slice(&e.file_bytes.to_le_bytes());
+            payload.extend_from_slice(&e.crc32.to_le_bytes());
+        }
+        let rank = self.comm_rank();
+        if let Some(bufs) = rank.gather(0, Bytes::from(payload)) {
+            let mut all = Vec::new();
+            for buf in &bufs {
+                assert!(buf.len() % 20 == 0, "malformed checkpoint entry payload");
+                for chunk in buf.chunks_exact(20) {
+                    all.push(BlockEntry {
+                        id: u64::from_le_bytes(chunk[0..8].try_into().unwrap()),
+                        file_bytes: u64::from_le_bytes(chunk[8..16].try_into().unwrap()),
+                        crc32: u32::from_le_bytes(chunk[16..20].try_into().unwrap()),
+                    });
+                }
+            }
+            all.sort_by_key(|e| e.id);
+            ckpt::write_manifest_file(
+                &dir,
+                &Manifest {
+                    step,
+                    time: self.time(),
+                    window_shifts: self.window_shifts() as u64,
+                    precision,
+                    spec: self.decomp().spec,
+                    blocks: all,
+                },
+            )?;
+        }
+        // The set is complete for everyone only after the manifest landed.
+        rank.barrier();
+        tel.counter_add("ckpt/bytes_written", bytes_written);
+        tel.counter_add("ckpt/sets_written", 1);
+        tel.counter_add("ckpt/wall_ns", start.elapsed().as_nanos() as u64);
+        Ok(bytes_written)
+    }
+
+    fn restore_from_set(&mut self, dir: &Path, byte_budget: u64) -> Result<(), CkptError> {
+        let tel = self.telemetry().clone();
+        let start = Instant::now();
+        {
+            let _span = tel.span_cat("checkpoint_restore", "io");
+            let manifest = ckpt::read_manifest_file(dir)?;
+            if manifest.spec != self.decomp().spec {
+                return Err(CkptError::Incompatible {
+                    detail: format!(
+                        "set decomposes {:?}, simulation runs {:?}",
+                        manifest.spec,
+                        self.decomp().spec
+                    ),
+                });
+            }
+            let ids: Vec<usize> = self.local_block_ids().to_vec();
+            for (li, id) in ids.into_iter().enumerate() {
+                let dec = ckpt::read_block_from_set(dir, &manifest, id as u64, byte_budget)?;
+                let b = &mut self.blocks[li];
+                if dec.state.dims != b.dims {
+                    return Err(CkptError::Incompatible {
+                        detail: format!(
+                            "block {id}: checkpoint dims {:?} vs simulation {:?}",
+                            dec.state.dims, b.dims
+                        ),
+                    });
+                }
+                // Keep this block's boundary conditions; take fields and the
+                // (possibly window-shifted) origin from the file.
+                b.origin = dec.state.origin;
+                b.phi_src = dec.state.phi_src;
+                b.mu_src = dec.state.mu_src;
+                b.sync_dst_from_src();
+            }
+            self.set_progress(
+                manifest.time,
+                manifest.step as usize,
+                manifest.window_shifts as usize,
+            );
+            self.refresh_src_ghosts();
+        }
+        tel.counter_add("ckpt/restores", 1);
+        tel.counter_add("ckpt/restore_wall_ns", start.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Auto-cadence
+// ---------------------------------------------------------------------------
+
+/// Measured-overhead checkpoint scheduler (Sec. 3.2).
+///
+/// Starts with an interval of 1 so the first checkpoint is taken (and
+/// timed) immediately; afterwards the interval is re-planned from the
+/// allreduced worst-rank step and checkpoint times via
+/// [`crate::checkpoint_interval`], keeping the overhead under `budget`
+/// uniformly across ranks.
+#[derive(Clone, Debug)]
+pub struct CheckpointCadence {
+    budget: f64,
+    step_ema: f64,
+    interval: usize,
+    last_ckpt_step: usize,
+}
+
+impl CheckpointCadence {
+    /// New scheduler targeting `overhead_budget` (e.g. 0.01 = 1 %).
+    pub fn new(overhead_budget: f64) -> Self {
+        assert!(overhead_budget > 0.0);
+        Self {
+            budget: overhead_budget,
+            step_ema: 0.0,
+            interval: 1,
+            last_ckpt_step: 0,
+        }
+    }
+
+    /// Fixed-interval scheduler (no measurement; `observe_checkpoint` keeps
+    /// the interval unchanged).
+    pub fn fixed(every: usize) -> Self {
+        assert!(every > 0);
+        Self {
+            budget: 0.0,
+            step_ema: 0.0,
+            interval: every,
+            last_ckpt_step: 0,
+        }
+    }
+
+    /// Current write interval in steps.
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+
+    /// Record the wall time of one step.
+    pub fn observe_step(&mut self, wall: Duration) {
+        let s = wall.as_secs_f64();
+        self.step_ema = if self.step_ema == 0.0 {
+            s
+        } else {
+            0.7 * self.step_ema + 0.3 * s
+        };
+    }
+
+    /// Record the wall time of the checkpoint just written at `step` and
+    /// re-plan the interval. Collective when auto (allreduces the worst
+    /// rank's measurements so all ranks agree on the next interval).
+    pub fn observe_checkpoint(&mut self, rank: &Rank, wall: Duration, step: usize) {
+        self.last_ckpt_step = step;
+        if self.budget <= 0.0 {
+            return; // fixed cadence
+        }
+        let step_max = rank.allreduce_f64(self.step_ema.max(1e-9), ReduceOp::Max);
+        let ckpt_max = rank.allreduce_f64(wall.as_secs_f64(), ReduceOp::Max);
+        self.interval = crate::checkpoint_interval(step_max, ckpt_max, self.budget);
+    }
+
+    /// Should a checkpoint be written after completing `step`?
+    pub fn due(&self, step: usize) -> bool {
+        step.saturating_sub(self.last_ckpt_step) >= self.interval
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resilient driver
+// ---------------------------------------------------------------------------
+
+/// Checkpoint cadence policy of [`run_resilient`].
+#[derive(Clone, Debug)]
+pub enum Cadence {
+    /// Write every `n` steps.
+    EverySteps(usize),
+    /// Measure step/checkpoint cost and keep overhead under the budget.
+    Auto {
+        /// Fraction of runtime allowed for checkpointing (e.g. 0.01).
+        overhead_budget: f64,
+    },
+}
+
+impl Cadence {
+    fn scheduler(&self) -> CheckpointCadence {
+        match self {
+            Cadence::EverySteps(n) => CheckpointCadence::fixed(*n),
+            Cadence::Auto { overhead_budget } => CheckpointCadence::new(*overhead_budget),
+        }
+    }
+}
+
+/// Options of [`run_resilient`].
+#[derive(Clone, Debug)]
+pub struct ResilientOpts {
+    /// Directory holding the checkpoint sets.
+    pub ckpt_root: PathBuf,
+    /// Checkpoint precision ([`Precision::F64`] for bit-identical resume).
+    pub precision: Precision,
+    /// Checkpoint cadence.
+    pub cadence: Cadence,
+    /// Rank count per attempt; attempts beyond the end reuse the last entry
+    /// (restore re-decomposes, so counts may differ between attempts).
+    pub ranks: Vec<usize>,
+    /// Fault plan per attempt; attempts beyond the end run fault-free.
+    /// (A kill re-fires forever if its plan is reused after restart, so
+    /// plans are per-attempt by construction.)
+    pub fault_plans: Vec<FaultPlan>,
+    /// Give up after this many attempts.
+    pub max_attempts: usize,
+    /// Per-operation comm timeout (bounds failure-detection latency).
+    pub op_timeout: Duration,
+    /// Byte budget for checkpoint-header validation on restore.
+    pub byte_budget: u64,
+}
+
+impl ResilientOpts {
+    /// Sensible defaults: F64 checkpoints under `ckpt_root`, every 10
+    /// steps, single-rank, no faults.
+    pub fn new(ckpt_root: PathBuf) -> Self {
+        Self {
+            ckpt_root,
+            precision: Precision::F64,
+            cadence: Cadence::EverySteps(10),
+            ranks: vec![1],
+            fault_plans: Vec::new(),
+            max_attempts: 3,
+            op_timeout: Duration::from_secs(300),
+            byte_budget: DEFAULT_BYTE_BUDGET,
+        }
+    }
+}
+
+/// Result of a successful [`run_resilient`].
+#[derive(Debug)]
+pub struct ResilientOutcome {
+    /// Final block states in global block-id order.
+    pub blocks: Vec<BlockState>,
+    /// Final simulation time.
+    pub time: f64,
+    /// Attempts used (1 = no failure).
+    pub attempts: usize,
+    /// The universe failures that forced restarts, in order.
+    pub failures: Vec<UniverseError>,
+}
+
+/// Failure of [`run_resilient`].
+#[derive(Debug)]
+pub enum ResilientError {
+    /// Every attempt died; the recorded failures are in order.
+    Exhausted {
+        /// Attempts made.
+        attempts: usize,
+        /// Universe failure per attempt.
+        failures: Vec<UniverseError>,
+    },
+    /// A checkpoint-set scan failed outside the universe.
+    Ckpt(CkptError),
+}
+
+impl std::fmt::Display for ResilientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilientError::Exhausted { attempts, failures } => {
+                write!(f, "all {attempts} attempts failed")?;
+                if let Some(last) = failures.last() {
+                    write!(f, " (last: {last})")?;
+                }
+                Ok(())
+            }
+            ResilientError::Ckpt(e) => write!(f, "checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResilientError {}
+
+impl From<CkptError> for ResilientError {
+    fn from(e: CkptError) -> Self {
+        ResilientError::Ckpt(e)
+    }
+}
+
+/// Run `target_steps` of a distributed simulation to completion despite
+/// rank failures: each attempt resumes from the latest valid checkpoint set
+/// (or initializes with `init` when none exists), writes checkpoints at the
+/// configured cadence, and a detected failure tears the universe down and
+/// triggers the next attempt — possibly on a different rank count.
+///
+/// Each rank announces its step index to the fault-injection layer via
+/// `fault_step`, so a [`FaultPlan::kill`] at step *k* fires exactly when
+/// step *k* is about to run.
+pub fn run_resilient<F>(
+    params: ModelParams,
+    spec: DomainSpec,
+    cfg: KernelConfig,
+    overlap: OverlapOptions,
+    target_steps: usize,
+    opts: ResilientOpts,
+    init: F,
+) -> Result<ResilientOutcome, ResilientError>
+where
+    F: Fn(&mut BlockState) + Send + Sync + 'static,
+{
+    assert!(opts.max_attempts > 0 && !opts.ranks.is_empty());
+    let params = Arc::new(params);
+    let init = Arc::new(init);
+    let mut failures: Vec<UniverseError> = Vec::new();
+
+    for attempt in 0..opts.max_attempts {
+        let n_ranks = *opts
+            .ranks
+            .get(attempt)
+            .unwrap_or_else(|| opts.ranks.last().unwrap());
+        let resume_dir = ckpt::find_latest_checkpoint(&opts.ckpt_root)?.map(|(_, dir)| dir);
+
+        let mut ucfg = UniverseCfg::with_timeout(opts.op_timeout);
+        if let Some(plan) = opts.fault_plans.get(attempt) {
+            ucfg = ucfg.with_faults(plan.clone());
+        }
+
+        let params = Arc::clone(&params);
+        let init = Arc::clone(&init);
+        let root = opts.ckpt_root.clone();
+        let precision = opts.precision;
+        let budget = opts.byte_budget;
+        let cadence = opts.cadence.clone();
+
+        type RankResult = (f64, Vec<(usize, BlockState)>);
+        let run: Result<Vec<RankResult>, UniverseError> =
+            Universe::run_checked(n_ranks, ucfg, move |rank| {
+                let mut sim = DistributedSim::new(
+                    &rank,
+                    (*params).clone(),
+                    Decomposition::new(spec),
+                    cfg,
+                    overlap,
+                );
+                match &resume_dir {
+                    Some(dir) => sim
+                        .restore_from_set(dir, budget)
+                        .unwrap_or_else(|e| panic!("restore failed: {e}")),
+                    None => sim.init_blocks(|b| init(b)),
+                }
+                let mut sched = cadence.scheduler();
+                while sim.step_index() < target_steps {
+                    rank.fault_step(sim.step_index() as u64);
+                    let t0 = Instant::now();
+                    sim.step();
+                    sched.observe_step(t0.elapsed());
+                    if sim.step_index() < target_steps && sched.due(sim.step_index()) {
+                        let t0 = Instant::now();
+                        sim.write_checkpoint_set(&root, precision)
+                            .unwrap_or_else(|e| panic!("checkpoint write failed: {e}"));
+                        sched.observe_checkpoint(&rank, t0.elapsed(), sim.step_index());
+                    }
+                }
+                let ids = sim.local_block_ids().to_vec();
+                let blocks = std::mem::take(&mut sim.blocks);
+                (sim.time(), ids.into_iter().zip(blocks).collect())
+            });
+
+        match run {
+            Ok(per_rank) => {
+                let time = per_rank[0].0;
+                let mut tagged: Vec<(usize, BlockState)> =
+                    per_rank.into_iter().flat_map(|(_, b)| b).collect();
+                tagged.sort_by_key(|(id, _)| *id);
+                return Ok(ResilientOutcome {
+                    blocks: tagged.into_iter().map(|(_, b)| b).collect(),
+                    time,
+                    attempts: attempt + 1,
+                    failures,
+                });
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+    Err(ResilientError::Exhausted {
+        attempts: opts.max_attempts,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Power-of-two durations keep every EMA and interval computation exact
+    // in binary floating point, so the planned intervals can be asserted
+    // without wall-clock slack.
+
+    #[test]
+    fn auto_cadence_interval_follows_measured_costs() {
+        let out = Universe::run(1, |rank| {
+            let mut c = CheckpointCadence::new(0.25);
+            assert_eq!(c.interval(), 1, "first checkpoint is the probe");
+            c.observe_step(Duration::from_secs_f64(1.0 / 64.0));
+            c.observe_checkpoint(&rank, Duration::from_secs_f64(0.25), 1);
+            // ckpt / (step * budget) = 0.25 / (1/64 * 0.25) = 64.
+            assert_eq!(c.interval(), 64);
+            assert!(!c.due(64));
+            assert!(c.due(65));
+            // Cheaper checkpoints tighten the interval.
+            c.observe_checkpoint(&rank, Duration::from_secs_f64(1.0 / 16.0), 65);
+            assert_eq!(c.interval(), 16);
+            assert!(c.due(81));
+            true
+        });
+        assert!(out[0]);
+    }
+
+    #[test]
+    fn auto_cadence_agrees_across_ranks() {
+        // Ranks measure different step costs; the allreduced worst rank
+        // defines a single interval for everyone, keeping the collective
+        // checkpoint writes in lockstep.
+        let intervals = Universe::run(2, |rank| {
+            let mut c = CheckpointCadence::new(0.25);
+            let step = if rank.rank() == 0 {
+                1.0 / 64.0
+            } else {
+                1.0 / 32.0
+            };
+            c.observe_step(Duration::from_secs_f64(step));
+            c.observe_checkpoint(&rank, Duration::from_secs_f64(0.25), 1);
+            c.interval()
+        });
+        assert_eq!(intervals, vec![32, 32]);
+    }
+
+    #[test]
+    fn fixed_cadence_never_replans() {
+        Universe::run(1, |rank| {
+            let mut c = CheckpointCadence::fixed(7);
+            c.observe_step(Duration::from_secs(1));
+            c.observe_checkpoint(&rank, Duration::from_secs(30), 7);
+            assert_eq!(c.interval(), 7);
+            assert!(!c.due(13));
+            assert!(c.due(14));
+        });
+    }
+}

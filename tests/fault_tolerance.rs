@@ -1,0 +1,216 @@
+//! Integration: fault-tolerant checkpoint/restart. A rank killed by the
+//! deterministic fault-injection harness must be detected (not deadlocked),
+//! and resuming from the last valid checkpoint set must reproduce the
+//! uninterrupted run bit-for-bit — on the same rank count or a different
+//! one. The auto-cadence scheduler must keep measured checkpoint overhead
+//! within its configured budget over a long run.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use eutectica_blockgrid::decomp::{Decomposition, DomainSpec};
+use eutectica_comm::{FaultPlan, Universe};
+use eutectica_core::kernels::KernelConfig;
+use eutectica_core::params::ModelParams;
+use eutectica_core::state::BlockState;
+use eutectica_core::timeloop::{DistributedSim, OverlapOptions};
+use eutectica_core::{N_COMP, N_PHASES};
+use eutectica_pfio::ckpt::Precision;
+use eutectica_pfio::resilient::{
+    run_resilient, Cadence, CheckpointCadence, ResilientOpts, ResilientOutcome, SimCheckpointExt,
+};
+
+fn init(b: &mut BlockState) {
+    let seeds = eutectica_core::init::VoronoiSeeds::generate([16, 16], 4, [0.34, 0.33, 0.33], 42);
+    eutectica_core::init::init_directional_block(b, &seeds, 5);
+}
+
+/// Fresh per-test scratch directory (removed before and after use).
+fn tmp_root(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("eut_ft_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// Exact bit pattern of every interior φ/µ value plus block origins, in
+/// global block-id order — equal fingerprints mean bit-identical states.
+fn fingerprint(blocks: &[BlockState]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for b in blocks {
+        out.push(b.origin[0] as u64);
+        out.push(b.origin[2] as u64);
+        for (x, y, z) in b.dims.interior_iter() {
+            for c in 0..N_PHASES {
+                out.push(b.phi_src.at(c, x, y, z).to_bits());
+            }
+            for c in 0..N_COMP {
+                out.push(b.mu_src.at(c, x, y, z).to_bits());
+            }
+        }
+    }
+    out
+}
+
+fn run_case(
+    tag: &str,
+    spec: DomainSpec,
+    steps: usize,
+    ranks: Vec<usize>,
+    fault_plans: Vec<FaultPlan>,
+) -> ResilientOutcome {
+    let root = tmp_root(tag);
+    let mut opts = ResilientOpts::new(root.clone());
+    opts.cadence = Cadence::EverySteps(4);
+    opts.ranks = ranks;
+    opts.fault_plans = fault_plans;
+    let out = run_resilient(
+        ModelParams::ag_al_cu(),
+        spec,
+        KernelConfig::default(),
+        OverlapOptions::default(),
+        steps,
+        opts,
+        init,
+    )
+    .expect("resilient run must recover");
+    let _ = std::fs::remove_dir_all(&root);
+    out
+}
+
+#[test]
+fn kill_and_restore_is_bit_identical() {
+    let spec = DomainSpec::directional([16, 16, 12], [2, 2, 1]);
+    let steps = 12;
+
+    let clean = run_case("clean", spec, steps, vec![2], Vec::new());
+    assert_eq!(clean.attempts, 1, "fault-free run must not restart");
+
+    // Kill rank 1 at step 10 — two steps past the last checkpoint (step 8),
+    // so the recovery has to re-execute steps, not just reload them.
+    let killed = run_case(
+        "killed",
+        spec,
+        steps,
+        vec![2],
+        vec![FaultPlan::new(7).kill(1, 10)],
+    );
+    assert_eq!(
+        killed.attempts, 2,
+        "the kill must force exactly one restart"
+    );
+    assert_eq!(killed.failures.len(), 1);
+    let (dead_rank, msg) = &killed.failures[0].dead[0];
+    assert_eq!(*dead_rank, 1, "rank 1 was killed, got: {msg}");
+    assert!(msg.contains("fault injection"), "unexpected death: {msg}");
+
+    assert_eq!(clean.time.to_bits(), killed.time.to_bits());
+    assert_eq!(
+        fingerprint(&clean.blocks),
+        fingerprint(&killed.blocks),
+        "restored run diverged from the uninterrupted one"
+    );
+}
+
+#[test]
+fn restore_onto_different_rank_count_is_bit_identical() {
+    // Block files are keyed by global block id, so a set written by 4 ranks
+    // restores onto 2 (same block decomposition, different ownership).
+    let spec = DomainSpec::directional([16, 16, 12], [2, 2, 1]);
+    let steps = 12;
+
+    let clean = run_case("clean4", spec, steps, vec![4], Vec::new());
+    let killed = run_case(
+        "rescale",
+        spec,
+        steps,
+        vec![4, 2],
+        vec![FaultPlan::new(3).kill(3, 9)],
+    );
+    assert_eq!(killed.attempts, 2);
+    assert_eq!(killed.failures[0].dead[0].0, 3);
+
+    assert_eq!(clean.time.to_bits(), killed.time.to_bits());
+    assert_eq!(
+        fingerprint(&clean.blocks),
+        fingerprint(&killed.blocks),
+        "restore onto a different rank count diverged"
+    );
+}
+
+#[test]
+fn auto_cadence_keeps_checkpoint_overhead_within_budget() {
+    let root = tmp_root("cadence");
+    let budget = 0.10; // allow 10 % of runtime for checkpoint writes
+    let steps = 1000;
+    let spec = DomainSpec::directional([8, 8, 8], [1, 1, 1]);
+    let root_in = root.clone();
+
+    let out = Universe::run(1, move |rank| {
+        let mut sim = DistributedSim::new(
+            &rank,
+            ModelParams::ag_al_cu(),
+            Decomposition::new(spec),
+            KernelConfig::default(),
+            OverlapOptions::default(),
+        );
+        sim.init_blocks(init);
+        let mut sched = CheckpointCadence::new(budget);
+        let wall = Instant::now();
+        // The first checkpoint (interval 1) is the measuring probe; only
+        // overhead after the interval has been planned is charged against
+        // the budget.
+        let mut planned_ckpt_secs = 0.0f64;
+        let mut checkpoints = 0usize;
+        while sim.step_index() < steps {
+            let t0 = Instant::now();
+            sim.step();
+            sched.observe_step(t0.elapsed());
+            if sim.step_index() < steps && sched.due(sim.step_index()) {
+                let t0 = Instant::now();
+                sim.write_checkpoint_set(&root_in, Precision::F32)
+                    .expect("checkpoint write");
+                let cost = t0.elapsed();
+                if checkpoints > 0 {
+                    planned_ckpt_secs += cost.as_secs_f64();
+                }
+                checkpoints += 1;
+                sched.observe_checkpoint(&rank, cost, sim.step_index());
+            }
+        }
+        let total = wall.elapsed().as_secs_f64();
+        let snap = sim.telemetry().metrics_snapshot();
+        (
+            planned_ckpt_secs,
+            total,
+            checkpoints,
+            sched.interval(),
+            snap,
+        )
+    });
+    let (planned_ckpt_secs, total, checkpoints, interval, snap) = out.into_iter().next().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Checkpoint cost is observable through telemetry counters.
+    assert!(snap.counters["ckpt/sets_written"] >= 1);
+    assert!(snap.counters["ckpt/bytes_written"] > 0);
+    assert!(snap.counters["ckpt/wall_ns"] > 0);
+
+    // The probe at interval 1 must have fired, and the re-planned interval
+    // stays a valid schedule. (The exact interval value depends on wall
+    // clocks, so the deterministic interval arithmetic is unit-tested in
+    // `pfio::resilient` with synthetic durations; here we only pin the
+    // wall-clock-facing property: the realized overhead honours the
+    // budget.)
+    assert!(
+        checkpoints >= 1,
+        "the measuring probe checkpoint never fired"
+    );
+    assert!(interval >= 1);
+    // Budget check with generous slack for wall-clock noise on shared CI.
+    let overhead = planned_ckpt_secs / total.max(1e-9);
+    assert!(
+        overhead <= budget * 4.0,
+        "measured checkpoint overhead {overhead:.3} blew the {budget} budget \
+         ({checkpoints} checkpoints, interval {interval}, {total:.3}s total)"
+    );
+}

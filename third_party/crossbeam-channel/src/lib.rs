@@ -1,8 +1,10 @@
 //! Offline shim for `crossbeam-channel`: unbounded channels backed by
 //! `std::sync::mpsc`. Covers the API surface used by this workspace
-//! (`unbounded`, `Sender::send`, `Receiver::recv`, `Receiver::try_recv`).
+//! (`unbounded`, `Sender::send`, `Receiver::recv`, `Receiver::try_recv`,
+//! `Receiver::recv_timeout`).
 
 use std::sync::mpsc;
+use std::time::Duration;
 
 /// Error returned when sending on a channel whose receiver hung up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +19,15 @@ pub struct RecvError;
 pub enum TryRecvError {
     /// Channel currently empty.
     Empty,
+    /// All senders disconnected.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
     /// All senders disconnected.
     Disconnected,
 }
@@ -59,6 +70,14 @@ impl<T> Receiver<T> {
             mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
         })
     }
+
+    /// Block until a message arrives or `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
 }
 
 /// Create an unbounded channel.
@@ -80,5 +99,21 @@ mod tests {
         let sum: i32 = (0..2).map(|_| rx.recv().unwrap()).sum();
         assert_eq!(sum, 42);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! (linear compute scaling capped by the shared memory interface — see
 //! DESIGN.md substitution 1; this container has one physical core).
 
-use eutectica_bench::{f2, mu_mlups, ResultTable};
+use eutectica_bench::{f2, mu_mlups, mu_mlups_threaded, ResultTable};
 use eutectica_blockgrid::GridDims;
 use eutectica_core::kernels::OptLevel;
 use eutectica_core::metrics::mu_bytes_per_cell;
@@ -18,20 +18,48 @@ use eutectica_perfmodel::machines::{intranode_scaling, supermuc};
 fn main() {
     let params = ModelParams::ag_al_cu();
     let cfg = OptLevel::SimdTzBuf.config(); // no shortcuts, as in the paper
+    let threads = eutectica_bench::threads_arg();
     println!("Fig. 7 — intranode scaling of the mu-kernel (no shortcuts)");
     println!();
 
     if let Some(dir) = eutectica_bench::trace_out_arg() {
-        println!("instrumented 2-rank run (20^3 blocks, 4 steps):");
+        println!("instrumented 2-rank run (20^3 blocks, 4 steps, {threads} sweep thread(s)):");
         eutectica_bench::run_traced(
             &dir,
             2,
+            threads,
             [40, 20, 20],
             [2, 1, 1],
             4,
             eutectica_core::timeloop::OverlapOptions::default(),
         )
         .expect("write trace artifacts");
+        println!();
+    }
+
+    // Measured intra-rank thread scaling (z-slab work sharing) up to the
+    // requested --threads count. On a single-core container the threaded
+    // rows show pool overhead, not speedup; on a multi-core host this is
+    // the measured analogue of the node model below.
+    if threads > 1 {
+        let mut table = ResultTable::new(
+            "fig7_intranode_measured",
+            &["threads", "40^3 MLUP/s", "20^3 MLUP/s"],
+        );
+        let mut t = 1usize;
+        loop {
+            let m40 =
+                mu_mlups_threaded(&params, Scenario::Interface, GridDims::cube(40), cfg, t, 5);
+            let m20 =
+                mu_mlups_threaded(&params, Scenario::Interface, GridDims::cube(20), cfg, t, 9);
+            table.row(&[t.to_string(), f2(m40), f2(m20)]);
+            if t >= threads {
+                break;
+            }
+            t = (t * 2).min(threads);
+        }
+        println!("measured intra-rank sweep-thread scaling:");
+        table.finish();
         println!();
     }
 

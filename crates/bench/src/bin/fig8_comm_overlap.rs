@@ -14,7 +14,7 @@ use eutectica_blockgrid::field::SoaField;
 use eutectica_blockgrid::{ghost, Face, GridDims};
 use eutectica_core::kernels::KernelConfig;
 use eutectica_core::params::ModelParams;
-use eutectica_core::timeloop::{run_distributed, OverlapOptions};
+use eutectica_core::timeloop::{run_distributed_threaded, OverlapOptions};
 use eutectica_perfmodel::machines::supermuc;
 use eutectica_perfmodel::network::message_time;
 
@@ -33,16 +33,20 @@ fn pack_unpack_time<const NC: usize>(dims: GridDims) -> f64 {
 fn main() {
     let n = 60usize;
     let dims = GridDims::cube(n);
+    let threads = eutectica_bench::threads_arg();
     println!("Fig. 8 — time in communication per timestep, blocksize 60^3");
     println!();
 
     // --trace-out <dir>: run an instrumented 2-rank simulation and emit the
     // Chrome trace / JSONL / reduced-timing-tree artifacts.
     if let Some(dir) = eutectica_bench::trace_out_arg() {
-        println!("instrumented 2-rank run (mu-overlap, 32x16x16, 6 steps):");
+        println!(
+            "instrumented 2-rank run (mu-overlap, 32x16x16, 6 steps, {threads} sweep thread(s)):"
+        );
         eutectica_bench::run_traced(
             &dir,
             2,
+            threads,
             [32, 16, 16],
             [2, 1, 1],
             6,
@@ -56,13 +60,14 @@ fn main() {
     }
 
     // --- Live end-to-end check of the four overlap combinations (2 ranks).
-    println!("live 2-rank run (16^3 blocks, 4 steps each; exercised code paths):");
+    println!("live 2-rank run (16^3 blocks, 4 steps each, {threads} sweep thread(s)):");
     let params = ModelParams::ag_al_cu();
     for ov in OverlapOptions::ALL {
-        let out = run_distributed(
+        let out = run_distributed_threaded(
             params.clone(),
             Decomposition::new(DomainSpec::directional([32, 16, 16], [2, 1, 1])),
             2,
+            threads,
             4,
             KernelConfig::default(),
             ov,

@@ -6,23 +6,12 @@
 //! *measured* per scenario on this machine; the rank-count axis uses the
 //! calibrated machine models (DESIGN.md substitution 1).
 
-use eutectica_bench::{f3, time_median, ResultTable};
+use eutectica_bench::{f3, step_mlups_threaded, ResultTable};
 use eutectica_blockgrid::GridDims;
-use eutectica_core::kernels::{mu_sweep, phi_sweep, KernelConfig, MuPart};
+use eutectica_core::kernels::KernelConfig;
 use eutectica_core::params::ModelParams;
-use eutectica_core::regions::{build_scenario, Scenario};
+use eutectica_core::regions::Scenario;
 use eutectica_perfmodel::machines::{hornet, juqueen, supermuc, weak_scaling};
-
-/// Full-step (φ + µ) MLUP/s on one core for a scenario.
-fn step_mlups(params: &ModelParams, sc: Scenario, dims: GridDims) -> f64 {
-    let cfg = KernelConfig::default();
-    let mut s = build_scenario(sc, dims);
-    let secs = time_median(5, || {
-        phi_sweep(params, &mut s, 0.0, cfg);
-        mu_sweep(params, &mut s, 0.0, cfg, MuPart::Full);
-    });
-    dims.interior_volume() as f64 / secs / 1e6
-}
 
 fn powers(lo: u32, hi: u32) -> Vec<usize> {
     (lo..=hi).map(|k| 1usize << k).collect()
@@ -32,14 +21,18 @@ fn main() {
     let params = ModelParams::ag_al_cu();
     let block = [60usize, 60, 60];
     let dims = GridDims::cube(60);
+    let threads = eutectica_bench::threads_arg();
     println!("Fig. 9 — weak scaling, MLUP/s per core (block 60^3 per rank)");
     println!();
 
     if let Some(dir) = eutectica_bench::trace_out_arg() {
-        println!("instrumented 4-rank run (weak-scaling layout 2x2x1, 4 steps):");
+        println!(
+            "instrumented 4-rank run (weak-scaling layout 2x2x1, 4 steps, {threads} sweep thread(s)):"
+        );
         eutectica_bench::run_traced(
             &dir,
             4,
+            threads,
             [32, 32, 16],
             [2, 2, 1],
             4,
@@ -52,14 +45,16 @@ fn main() {
         println!();
     }
 
+    let cfg = KernelConfig::default();
     let rates: Vec<(Scenario, f64)> = [Scenario::Interface, Scenario::Liquid, Scenario::Solid]
         .iter()
-        .map(|&sc| (sc, step_mlups(&params, sc, dims)))
+        .map(|&sc| (sc, step_mlups_threaded(&params, sc, dims, cfg, threads, 5)))
         .collect();
     for (sc, r) in &rates {
         println!(
-            "measured single-core step rate ({}): {:.2} MLUP/s",
+            "measured per-rank step rate ({}, {} sweep thread(s)): {:.2} MLUP/s",
             sc.name(),
+            threads,
             r
         );
     }

@@ -14,6 +14,7 @@ use eutectica_core::kernels::{mu_sweep, phi_sweep, KernelConfig, MuPart};
 use eutectica_core::params::ModelParams;
 use eutectica_core::regions::{build_scenario, Scenario};
 use eutectica_core::state::BlockState;
+use eutectica_core::sweep_pool::SweepPool;
 
 /// Median-of-repetitions timing of `f`, in seconds per call.
 pub fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -56,6 +57,46 @@ pub fn mu_mlups(
     phi_sweep(params, &mut state, 0.0, cfg);
     let secs = time_median(reps, || {
         mu_sweep(params, &mut state, 0.0, cfg, MuPart::Full)
+    });
+    dims.interior_volume() as f64 / secs / 1e6
+}
+
+/// MLUP/s of the µ-kernel with `threads` intra-rank sweep threads
+/// (z-slab work sharing; bit-identical to the serial kernel).
+pub fn mu_mlups_threaded(
+    params: &ModelParams,
+    scenario: Scenario,
+    dims: GridDims,
+    cfg: KernelConfig,
+    threads: usize,
+    reps: usize,
+) -> f64 {
+    let pool = SweepPool::new(threads);
+    let tel = eutectica_telemetry::Telemetry::disabled();
+    let mut state = build_scenario(scenario, dims);
+    phi_sweep(params, &mut state, 0.0, cfg);
+    let secs = time_median(reps, || {
+        pool.mu_sweep(params, &mut state, 0.0, cfg, MuPart::Full, &tel)
+    });
+    dims.interior_volume() as f64 / secs / 1e6
+}
+
+/// Full-step (φ-sweep + µ-sweep) MLUP/s with `threads` intra-rank sweep
+/// threads.
+pub fn step_mlups_threaded(
+    params: &ModelParams,
+    scenario: Scenario,
+    dims: GridDims,
+    cfg: KernelConfig,
+    threads: usize,
+    reps: usize,
+) -> f64 {
+    let pool = SweepPool::new(threads);
+    let tel = eutectica_telemetry::Telemetry::disabled();
+    let mut state = build_scenario(scenario, dims);
+    let secs = time_median(reps, || {
+        pool.phi_sweep(params, &mut state, 0.0, cfg, &tel);
+        pool.mu_sweep(params, &mut state, 0.0, cfg, MuPart::Full, &tel);
     });
     dims.interior_volume() as f64 / secs / 1e6
 }
@@ -156,18 +197,42 @@ pub fn trace_out_arg() -> Option<std::path::PathBuf> {
     None
 }
 
+/// Parse a `--threads <n>` flag from the process arguments (default 1):
+/// intra-rank sweep threads, composing with the rank count into the hybrid
+/// ranks × threads layout.
+pub fn threads_arg() -> usize {
+    let mut args = std::env::args().skip(1);
+    let parse = |v: String| -> usize {
+        let n = v.parse().expect("--threads must be a positive integer");
+        assert!(n >= 1, "--threads must be a positive integer");
+        n
+    };
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return parse(args.next().expect("--threads needs a count"));
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return parse(v.to_string());
+        }
+    }
+    1
+}
+
 /// Run a fully instrumented distributed simulation and write observability
 /// artifacts into `out_dir`:
 ///
-/// * `trace.json` — Chrome trace-event timeline, one lane per rank,
+/// * `trace.json` — Chrome trace-event timeline, one lane per rank plus
+///   one per intra-rank sweep worker,
 /// * `steps.jsonl` — one [`eutectica_telemetry::StepRecord`] per rank per
 ///   step,
 ///
 /// and print the rank-reduced timing tree plus the Universe communication
-/// summary to stdout.
+/// summary to stdout. `threads` intra-rank sweep threads run per rank
+/// (hybrid ranks × threads; 1 = serial sweeps).
 pub fn run_traced(
     out_dir: &std::path::Path,
     n_ranks: usize,
+    threads: usize,
     domain: [usize; 3],
     blocks: [usize; 3],
     steps: usize,
@@ -189,6 +254,7 @@ pub fn run_traced(
             KernelConfig::default(),
             overlap,
         );
+        sim.set_threads(threads);
         let tel = Telemetry::new(rank.rank());
         tel.enable_trace();
         sim.set_telemetry(tel.clone());

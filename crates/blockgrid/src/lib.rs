@@ -94,6 +94,14 @@ impl GridDims {
         self.nx * self.ny * self.nz
     }
 
+    /// Interior z extent in total (ghost-inclusive) coordinates:
+    /// `[ghost, ghost + nz)`. Sweep kernels take sub-ranges of this for
+    /// z-slab work-sharing.
+    #[inline(always)]
+    pub fn interior_z_range(&self) -> (usize, usize) {
+        (self.ghost, self.ghost + self.nz)
+    }
+
     /// Stride between consecutive y rows.
     #[inline(always)]
     pub fn sy(&self) -> usize {

@@ -176,27 +176,54 @@ impl Default for KernelConfig {
 /// Run the φ-sweep over a block's interior with the selected variant:
 /// `φ_dst ← φ-kernel(φ_src, µ_src)` (Algorithm 1, line 1).
 pub fn phi_sweep(params: &ModelParams, state: &mut BlockState, time: f64, cfg: KernelConfig) {
+    let (z0, z1) = state.dims.interior_z_range();
+    phi_sweep_range(params, state, time, cfg, z0, z1);
+}
+
+/// Like [`phi_sweep`] restricted to the z-slices `z0..z1` (absolute,
+/// ghost-inclusive coordinates with `g <= z0 <= z1 <= g + nz`). All
+/// variants read only the source fields and write each `φ_dst` cell of the
+/// slab exactly once, so a disjoint slab partition run in any order (or
+/// concurrently) produces the full sweep's result bit-for-bit.
+pub fn phi_sweep_range(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    cfg: KernelConfig,
+    z0: usize,
+    z1: usize,
+) {
     match cfg.phi {
-        PhiVariant::Reference => reference::phi_sweep_reference(params, state, time),
-        PhiVariant::Scalar => scalar_phi::phi_sweep_scalar(
+        PhiVariant::Reference => reference::phi_sweep_reference_range(params, state, time, z0, z1),
+        PhiVariant::Scalar => scalar_phi::phi_sweep_scalar_range(
             params,
             state,
             time,
             cfg.tz_precompute,
             cfg.staggered_buffer,
             cfg.shortcuts,
+            z0,
+            z1,
         ),
-        PhiVariant::SimdCellwise => simd_phi::phi_sweep_cellwise(
+        PhiVariant::SimdCellwise => simd_phi::phi_sweep_cellwise_range(
             params,
             state,
             time,
             cfg.tz_precompute,
             cfg.staggered_buffer,
             cfg.shortcuts,
+            z0,
+            z1,
         ),
-        PhiVariant::SimdFourCell => {
-            simd_phi::phi_sweep_fourcell(params, state, time, cfg.tz_precompute, cfg.shortcuts)
-        }
+        PhiVariant::SimdFourCell => simd_phi::phi_sweep_fourcell_range(
+            params,
+            state,
+            time,
+            cfg.tz_precompute,
+            cfg.shortcuts,
+            z0,
+            z1,
+        ),
     }
 }
 
@@ -209,9 +236,27 @@ pub fn mu_sweep(
     cfg: KernelConfig,
     part: MuPart,
 ) {
+    let (z0, z1) = state.dims.interior_z_range();
+    mu_sweep_range(params, state, time, cfg, part, z0, z1);
+}
+
+/// Like [`mu_sweep`] restricted to the z-slices `z0..z1` (see
+/// [`phi_sweep_range`]). The [`MuPart::NeighborOnly`] accumulation reads
+/// and writes only its own cell of `µ_dst`, so it is slab-safe too.
+pub fn mu_sweep_range(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    cfg: KernelConfig,
+    part: MuPart,
+    z0: usize,
+    z1: usize,
+) {
     match cfg.mu {
-        MuVariant::Reference => reference::mu_sweep_reference(params, state, time, part),
-        MuVariant::Scalar => scalar_mu::mu_sweep_scalar(
+        MuVariant::Reference => {
+            reference::mu_sweep_reference_range(params, state, time, part, z0, z1)
+        }
+        MuVariant::Scalar => scalar_mu::mu_sweep_scalar_range(
             params,
             state,
             time,
@@ -219,8 +264,10 @@ pub fn mu_sweep(
             cfg.tz_precompute,
             cfg.staggered_buffer,
             cfg.shortcuts,
+            z0,
+            z1,
         ),
-        MuVariant::SimdFourCell => simd_mu::mu_sweep_fourcell(
+        MuVariant::SimdFourCell => simd_mu::mu_sweep_fourcell_range(
             params,
             state,
             time,
@@ -228,6 +275,8 @@ pub fn mu_sweep(
             cfg.tz_precompute,
             cfg.staggered_buffer,
             cfg.shortcuts,
+            z0,
+            z1,
         ),
     }
 }

@@ -670,9 +670,23 @@ pub fn gather19<R: Real>(
 
 /// Reference φ-sweep (Algorithm 1, line 1) in the general-purpose style.
 pub fn phi_sweep_reference(params: &ModelParams, state: &mut BlockState, time: f64) {
+    let (z0, z1) = state.dims.interior_z_range();
+    phi_sweep_reference_range(params, state, time, z0, z1);
+}
+
+/// Range-restricted reference φ-sweep for z-slab work-sharing (the plain
+/// triple loop has no cross-slice state, so any sub-range is exact).
+pub fn phi_sweep_reference_range(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    z0: usize,
+    z1: usize,
+) {
     let model = GeneralModel::<f64>::from_params(params);
     let dims = state.dims;
     let g = dims.ghost;
+    debug_assert!(g <= z0 && z0 <= z1 && z1 <= g + dims.nz);
     let (sy, sz) = (dims.sy(), dims.sz());
     let origin_z = state.origin[2] as f64 - g as f64;
     let BlockState {
@@ -688,7 +702,7 @@ pub fn phi_sweep_reference(params: &ModelParams, state: &mut BlockState, time: f
     let mut stencil: [Vec<f64>; 7] = core::array::from_fn(|_| vec![0.0; model.n]);
     let mut mu = vec![0.0; model.k];
 
-    for z in g..g + dims.nz {
+    for z in z0..z1 {
         for y in g..g + dims.ny {
             for x in g..g + dims.nx {
                 let i = dims.idx(x, y, z);
@@ -725,6 +739,19 @@ pub fn phi_sweep_reference(params: &ModelParams, state: &mut BlockState, time: f
 /// Only [`MuPart::Full`] is provided: the general code predates the
 /// communication-hiding split (Sec. 3.3).
 pub fn mu_sweep_reference(params: &ModelParams, state: &mut BlockState, time: f64, part: MuPart) {
+    let (z0, z1) = state.dims.interior_z_range();
+    mu_sweep_reference_range(params, state, time, part, z0, z1);
+}
+
+/// Range-restricted reference µ-sweep for z-slab work-sharing.
+pub fn mu_sweep_reference_range(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    part: MuPart,
+    z0: usize,
+    z1: usize,
+) {
     assert_eq!(
         part,
         MuPart::Full,
@@ -733,6 +760,7 @@ pub fn mu_sweep_reference(params: &ModelParams, state: &mut BlockState, time: f6
     let model = GeneralModel::<f64>::from_params(params);
     let dims = state.dims;
     let g = dims.ghost;
+    debug_assert!(g <= z0 && z0 <= z1 && z1 <= g + dims.nz);
     let (sy, sz) = (dims.sy(), dims.sz());
     let origin_z = state.origin[2] as f64 - g as f64;
     let BlockState {
@@ -751,7 +779,7 @@ pub fn mu_sweep_reference(params: &ModelParams, state: &mut BlockState, time: f6
     let mut phi_new7: [Vec<f64>; 7] = core::array::from_fn(|_| vec![0.0; model.n]);
     let mut mu7: [Vec<f64>; 7] = core::array::from_fn(|_| vec![0.0; model.k]);
 
-    for z in g..g + dims.nz {
+    for z in z0..z1 {
         let t = params.temperature(origin_z + z as f64, time);
         let t_zl = 0.5 * (t + params.temperature(origin_z + z as f64 - 1.0, time));
         let t_zh = 0.5 * (t + params.temperature(origin_z + z as f64 + 1.0, time));

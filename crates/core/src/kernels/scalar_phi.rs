@@ -25,15 +25,37 @@ pub fn phi_sweep_scalar(
     stag: bool,
     shortcuts: bool,
 ) {
+    let (z0, z1) = state.dims.interior_z_range();
+    phi_sweep_scalar_range(params, state, time, tz, stag, shortcuts, z0, z1);
+}
+
+/// Range-restricted entry point for z-slab work-sharing: updates only the
+/// slices `z0..z1` (absolute, ghost-inclusive coordinates with
+/// `g <= z0 <= z1 <= g + nz`). Because all reads go to the source fields,
+/// a partition of the interior into slabs yields exactly the cells the
+/// full sweep computes — the staggered z-slab buffer is reprefilled at `z0`
+/// from source faces, which the flag-equivalence tests pin bit-exact
+/// against the carried values.
+#[allow(clippy::too_many_arguments)]
+pub fn phi_sweep_scalar_range(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    tz: bool,
+    stag: bool,
+    shortcuts: bool,
+    z0: usize,
+    z1: usize,
+) {
     match (tz, stag, shortcuts) {
-        (false, false, false) => sweep::<false, false, false>(params, state, time),
-        (false, false, true) => sweep::<false, false, true>(params, state, time),
-        (false, true, false) => sweep::<false, true, false>(params, state, time),
-        (false, true, true) => sweep::<false, true, true>(params, state, time),
-        (true, false, false) => sweep::<true, false, false>(params, state, time),
-        (true, false, true) => sweep::<true, false, true>(params, state, time),
-        (true, true, false) => sweep::<true, true, false>(params, state, time),
-        (true, true, true) => sweep::<true, true, true>(params, state, time),
+        (false, false, false) => sweep::<false, false, false>(params, state, time, z0, z1),
+        (false, false, true) => sweep::<false, false, true>(params, state, time, z0, z1),
+        (false, true, false) => sweep::<false, true, false>(params, state, time, z0, z1),
+        (false, true, true) => sweep::<false, true, true>(params, state, time, z0, z1),
+        (true, false, false) => sweep::<true, false, false>(params, state, time, z0, z1),
+        (true, false, true) => sweep::<true, false, true>(params, state, time, z0, z1),
+        (true, true, false) => sweep::<true, true, false>(params, state, time, z0, z1),
+        (true, true, true) => sweep::<true, true, true>(params, state, time, z0, z1),
     }
 }
 
@@ -41,10 +63,13 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
     params: &ModelParams,
     state: &mut BlockState,
     time: f64,
+    z0: usize,
+    z1: usize,
 ) {
     let dims = state.dims;
     let g = dims.ghost;
     let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    debug_assert!(g <= z0 && z0 <= z1 && z1 <= g + nz);
     let (sy, sz) = (dims.sy(), dims.sz());
     let inv_dx = 1.0 / params.dx;
     let inv_2dx = 0.5 * inv_dx;
@@ -86,17 +111,19 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
     let mut zbuf = vec![[0.0f64; 4]; if STAG { nx * ny } else { 0 }];
     let mut ybuf = vec![[0.0f64; 4]; if STAG { nx } else { 0 }];
 
-    if STAG {
-        // Prefill the z slab with the fluxes through the bottom ghost faces.
+    if STAG && z0 < z1 {
+        // Prefill the z slab with the fluxes through the faces below the
+        // first computed slice (ghost faces for a full sweep, interior
+        // faces when restarting mid-block for a z-slab partition).
         for y in 0..ny {
             for x in 0..nx {
-                let i = dims.idx(x + g, y + g, g);
+                let i = dims.idx(x + g, y + g, z0);
                 zbuf[y * nx + x] = face(i - sz, i);
             }
         }
     }
 
-    for z in g..g + nz {
+    for z in z0..z1 {
         let ctx_z = if TZ {
             table.as_ref().unwrap().cell[z]
         } else {

@@ -33,15 +33,34 @@ pub fn mu_sweep_fourcell(
     stag: bool,
     shortcuts: bool,
 ) {
+    let (z0, z1) = state.dims.interior_z_range();
+    mu_sweep_fourcell_range(params, state, time, part, tz, stag, shortcuts, z0, z1);
+}
+
+/// Range-restricted entry point for z-slab work-sharing (see
+/// [`crate::kernels::scalar_phi::phi_sweep_scalar_range`] for the
+/// coordinate convention and the bit-exactness argument).
+#[allow(clippy::too_many_arguments)]
+pub fn mu_sweep_fourcell_range(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    part: MuPart,
+    tz: bool,
+    stag: bool,
+    shortcuts: bool,
+    z0: usize,
+    z1: usize,
+) {
     match (tz, stag, shortcuts) {
-        (false, false, false) => sweep::<false, false, false>(params, state, time, part),
-        (false, false, true) => sweep::<false, false, true>(params, state, time, part),
-        (false, true, false) => sweep::<false, true, false>(params, state, time, part),
-        (false, true, true) => sweep::<false, true, true>(params, state, time, part),
-        (true, false, false) => sweep::<true, false, false>(params, state, time, part),
-        (true, false, true) => sweep::<true, false, true>(params, state, time, part),
-        (true, true, false) => sweep::<true, true, false>(params, state, time, part),
-        (true, true, true) => sweep::<true, true, true>(params, state, time, part),
+        (false, false, false) => sweep::<false, false, false>(params, state, time, part, z0, z1),
+        (false, false, true) => sweep::<false, false, true>(params, state, time, part, z0, z1),
+        (false, true, false) => sweep::<false, true, false>(params, state, time, part, z0, z1),
+        (false, true, true) => sweep::<false, true, true>(params, state, time, part, z0, z1),
+        (true, false, false) => sweep::<true, false, false>(params, state, time, part, z0, z1),
+        (true, false, true) => sweep::<true, false, true>(params, state, time, part, z0, z1),
+        (true, true, false) => sweep::<true, true, false>(params, state, time, part, z0, z1),
+        (true, true, true) => sweep::<true, true, true>(params, state, time, part, z0, z1),
     }
 }
 
@@ -190,10 +209,13 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
     state: &mut BlockState,
     time: f64,
     part: MuPart,
+    z0: usize,
+    z1: usize,
 ) {
     let dims = state.dims;
     let g = dims.ghost;
     let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    debug_assert!(g <= z0 && z0 <= z1 && z1 <= g + nz);
     let (sy, sz) = (dims.sy(), dims.sz());
     let origin_z = state.origin[2] as isize;
     let dt = params.dt;
@@ -247,15 +269,15 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
     let mut zbuf = vec![[F64x4::zero(); N_COMP]; if STAG { ngx * ny } else { 0 }];
     let mut ybuf = vec![[F64x4::zero(); N_COMP]; if STAG { ngx } else { 0 }];
 
-    if STAG {
+    if STAG && z0 < z1 {
         let ctx_zlow = if TZ {
-            table.as_ref().unwrap().zface[g - 1]
+            table.as_ref().unwrap().zface[z0 - 1]
         } else {
-            zface_ctx(g - 1)
+            zface_ctx(z0 - 1)
         };
         for y in 0..ny {
             for gx in 0..ngx {
-                let i = dims.idx(4 * gx + g, y + g, g);
+                let i = dims.idx(4 * gx + g, y + g, z0);
                 zbuf[y * ngx + gx] = cx.face_flux::<SC>(&ps, &pd, &ms, &ctx_zlow, i - sz, i, 2);
             }
         }
@@ -266,7 +288,7 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
         core::array::from_fn(|a| core::array::from_fn(|i| F64x4::splat(cx.dc_dt[a][i])));
     let dtdt = F64x4::splat(params.dtemp_dt());
 
-    for z in g..g + nz {
+    for z in z0..z1 {
         let (ctx_z, ctx_zf_low, ctx_zf_high) = if TZ {
             let t = table.as_ref().unwrap();
             (t.cell[z], t.zface[z - 1], t.zface[z])

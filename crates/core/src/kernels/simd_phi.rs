@@ -31,6 +31,24 @@ pub fn phi_sweep_cellwise(
     stag: bool,
     shortcuts: bool,
 ) {
+    let (z0, z1) = state.dims.interior_z_range();
+    phi_sweep_cellwise_range(params, state, time, tz, stag, shortcuts, z0, z1);
+}
+
+/// Range-restricted entry point for z-slab work-sharing (see
+/// [`crate::kernels::scalar_phi::phi_sweep_scalar_range`] for the
+/// coordinate convention and the bit-exactness argument).
+#[allow(clippy::too_many_arguments)]
+pub fn phi_sweep_cellwise_range(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    tz: bool,
+    stag: bool,
+    shortcuts: bool,
+    z0: usize,
+    z1: usize,
+) {
     // With a uniform surface-energy matrix (γ_αβ = γ for α ≠ β, the standard
     // setup here and in the paper), Γ·v = γ(Σv − v): the matrix–vector
     // product collapses to one horizontal sum — the "φ_α Σ φ_β"-style
@@ -42,23 +60,24 @@ pub fn phi_sweep_cellwise(
             params.gamma[a][b] == want
         })
     });
+    let (p, s, t) = (params, state, time);
     match (uniform, tz, stag, shortcuts) {
-        (false, false, false, false) => cellwise::<false, false, false, false>(params, state, time),
-        (false, false, false, true) => cellwise::<false, false, true, false>(params, state, time),
-        (false, false, true, false) => cellwise::<false, true, false, false>(params, state, time),
-        (false, false, true, true) => cellwise::<false, true, true, false>(params, state, time),
-        (false, true, false, false) => cellwise::<true, false, false, false>(params, state, time),
-        (false, true, false, true) => cellwise::<true, false, true, false>(params, state, time),
-        (false, true, true, false) => cellwise::<true, true, false, false>(params, state, time),
-        (false, true, true, true) => cellwise::<true, true, true, false>(params, state, time),
-        (true, false, false, false) => cellwise::<false, false, false, true>(params, state, time),
-        (true, false, false, true) => cellwise::<false, false, true, true>(params, state, time),
-        (true, false, true, false) => cellwise::<false, true, false, true>(params, state, time),
-        (true, false, true, true) => cellwise::<false, true, true, true>(params, state, time),
-        (true, true, false, false) => cellwise::<true, false, false, true>(params, state, time),
-        (true, true, false, true) => cellwise::<true, false, true, true>(params, state, time),
-        (true, true, true, false) => cellwise::<true, true, false, true>(params, state, time),
-        (true, true, true, true) => cellwise::<true, true, true, true>(params, state, time),
+        (false, false, false, false) => cellwise::<false, false, false, false>(p, s, t, z0, z1),
+        (false, false, false, true) => cellwise::<false, false, true, false>(p, s, t, z0, z1),
+        (false, false, true, false) => cellwise::<false, true, false, false>(p, s, t, z0, z1),
+        (false, false, true, true) => cellwise::<false, true, true, false>(p, s, t, z0, z1),
+        (false, true, false, false) => cellwise::<true, false, false, false>(p, s, t, z0, z1),
+        (false, true, false, true) => cellwise::<true, false, true, false>(p, s, t, z0, z1),
+        (false, true, true, false) => cellwise::<true, true, false, false>(p, s, t, z0, z1),
+        (false, true, true, true) => cellwise::<true, true, true, false>(p, s, t, z0, z1),
+        (true, false, false, false) => cellwise::<false, false, false, true>(p, s, t, z0, z1),
+        (true, false, false, true) => cellwise::<false, false, true, true>(p, s, t, z0, z1),
+        (true, false, true, false) => cellwise::<false, true, false, true>(p, s, t, z0, z1),
+        (true, false, true, true) => cellwise::<false, true, true, true>(p, s, t, z0, z1),
+        (true, true, false, false) => cellwise::<true, false, false, true>(p, s, t, z0, z1),
+        (true, true, false, true) => cellwise::<true, false, true, true>(p, s, t, z0, z1),
+        (true, true, true, false) => cellwise::<true, true, false, true>(p, s, t, z0, z1),
+        (true, true, true, true) => cellwise::<true, true, true, true>(p, s, t, z0, z1),
     }
 }
 
@@ -93,10 +112,13 @@ fn cellwise<const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
     params: &ModelParams,
     state: &mut BlockState,
     time: f64,
+    z0: usize,
+    z1: usize,
 ) {
     let dims = state.dims;
     let g = dims.ghost;
     let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    debug_assert!(g <= z0 && z0 <= z1 && z1 <= g + nz);
     let (sy, sz) = (dims.sy(), dims.sz());
     let inv_dx_s = 1.0 / params.dx;
     let inv_dx = F64x4::splat(inv_dx_s);
@@ -147,16 +169,16 @@ fn cellwise<const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
     let mut zbuf = vec![F64x4::zero(); if STAG { nx * ny } else { 0 }];
     let mut ybuf = vec![F64x4::zero(); if STAG { nx } else { 0 }];
 
-    if STAG {
+    if STAG && z0 < z1 {
         for y in 0..ny {
             for x in 0..nx {
-                let i = dims.idx(x + g, y + g, g);
+                let i = dims.idx(x + g, y + g, z0);
                 zbuf[y * nx + x] = face(i - sz, i);
             }
         }
     }
 
-    for z in g..g + nz {
+    for z in z0..z1 {
         let ctx_z = if TZ {
             SliceCtxV::from_ctx(&table.as_ref().unwrap().cell[z])
         } else {
@@ -280,11 +302,27 @@ pub fn phi_sweep_fourcell(
     tz: bool,
     shortcuts: bool,
 ) {
+    let (z0, z1) = state.dims.interior_z_range();
+    phi_sweep_fourcell_range(params, state, time, tz, shortcuts, z0, z1);
+}
+
+/// Range-restricted entry point for z-slab work-sharing (no staggered
+/// buffer here, so restarting at any `z0` is trivially the same code path
+/// as the full sweep).
+pub fn phi_sweep_fourcell_range(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    tz: bool,
+    shortcuts: bool,
+    z0: usize,
+    z1: usize,
+) {
     match (tz, shortcuts) {
-        (false, false) => fourcell::<false, false>(params, state, time),
-        (false, true) => fourcell::<false, true>(params, state, time),
-        (true, false) => fourcell::<true, false>(params, state, time),
-        (true, true) => fourcell::<true, true>(params, state, time),
+        (false, false) => fourcell::<false, false>(params, state, time, z0, z1),
+        (false, true) => fourcell::<false, true>(params, state, time, z0, z1),
+        (true, false) => fourcell::<true, false>(params, state, time, z0, z1),
+        (true, true) => fourcell::<true, true>(params, state, time, z0, z1),
     }
 }
 
@@ -315,10 +353,13 @@ fn fourcell<const TZ: bool, const SC: bool>(
     params: &ModelParams,
     state: &mut BlockState,
     time: f64,
+    z0: usize,
+    z1: usize,
 ) {
     let dims = state.dims;
     let g = dims.ghost;
     let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    debug_assert!(g <= z0 && z0 <= z1 && z1 <= g + nz);
     let (sy, sz) = (dims.sy(), dims.sz());
     let inv_dx_s = 1.0 / params.dx;
     let inv_dx = F64x4::splat(inv_dx_s);
@@ -353,7 +394,7 @@ fn fourcell<const TZ: bool, const SC: bool>(
         core::array::from_fn(|a| F64x4::load(ps[a], (i as isize + off) as usize))
     };
 
-    for z in g..g + nz {
+    for z in z0..z1 {
         let ctx = if TZ {
             table.as_ref().unwrap().cell[z]
         } else {

@@ -24,6 +24,9 @@
 //! * [`init`] — Voronoi-tessellated solid nuclei and other initial setups.
 //! * [`regions`] — domain-region classification and the interface / solid /
 //!   liquid benchmark scenarios of Sec. 5.1.
+//! * [`sweep_pool`] — intra-rank work-sharing: a persistent thread pool
+//!   partitioning each block's interior into z-slabs (the OpenMP half of
+//!   the paper's hybrid MPI × OpenMP parallelization).
 //! * [`timeloop`] — Algorithms 1 & 2 (with/without communication hiding),
 //!   ghost exchange through `eutectica-comm`, moving-window advance.
 //! * [`solver`] — a high-level single-process façade for applications.
@@ -55,6 +58,7 @@ pub mod regions;
 pub mod simplex;
 pub mod solver;
 pub mod state;
+pub mod sweep_pool;
 pub mod temperature;
 pub mod timeloop;
 

@@ -10,8 +10,9 @@
 //! reference kernel on an instrumented scalar type, [`mu_bytes_per_cell`]
 //! derives the latter from the field layout.
 
-use core::cell::Cell;
 use core::ops::{Add, Div, Mul, Sub};
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 use crate::kernels::reference::{
     gather19, ref_mu_cell_faces, ref_phi_cell_faces, GeneralModel, Scratch,
@@ -58,11 +59,21 @@ impl Real for f64 {
     }
 }
 
-thread_local! {
-    static ADDS: Cell<u64> = const { Cell::new(0) };
-    static MULS: Cell<u64> = const { Cell::new(0) };
-    static DIVS: Cell<u64> = const { Cell::new(0) };
-    static SQRTS: Cell<u64> = const { Cell::new(0) };
+// Process-wide tallies. They used to be `thread_local!` `Cell`s, which
+// silently read back 0 when the counted arithmetic ran on a worker thread
+// (e.g. under the sweep pool); relaxed atomics make counts visible across
+// threads, and `MEASURE_GUARD` serializes whole reset→run→read sections so
+// concurrently running measurements (cargo test runs tests in parallel)
+// cannot bleed into each other's tallies.
+static ADDS: AtomicU64 = AtomicU64::new(0);
+static MULS: AtomicU64 = AtomicU64::new(0);
+static DIVS: AtomicU64 = AtomicU64::new(0);
+static SQRTS: AtomicU64 = AtomicU64::new(0);
+static MEASURE_GUARD: Mutex<()> = Mutex::new(());
+
+/// Hold the process-wide measurement lock for one reset→run→read section.
+fn measure_lock() -> MutexGuard<'static, ()> {
+    MEASURE_GUARD.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// FLOP tally per operation class.
@@ -112,7 +123,7 @@ impl Real for Counting {
     }
     #[inline]
     fn sqrt(self) -> Self {
-        SQRTS.with(|c| c.set(c.get() + 1));
+        SQRTS.fetch_add(1, Ordering::Relaxed);
         Counting(self.0.sqrt())
     }
     #[inline]
@@ -125,7 +136,7 @@ impl Add for Counting {
     type Output = Self;
     #[inline]
     fn add(self, o: Self) -> Self {
-        ADDS.with(|c| c.set(c.get() + 1));
+        ADDS.fetch_add(1, Ordering::Relaxed);
         Counting(self.0 + o.0)
     }
 }
@@ -135,7 +146,7 @@ impl Sub for Counting {
     #[inline]
     #[allow(clippy::suspicious_arithmetic_impl)] // the `+` increments the op counter
     fn sub(self, o: Self) -> Self {
-        ADDS.with(|c| c.set(c.get() + 1));
+        ADDS.fetch_add(1, Ordering::Relaxed);
         Counting(self.0 - o.0)
     }
 }
@@ -145,7 +156,7 @@ impl Mul for Counting {
     #[inline]
     #[allow(clippy::suspicious_arithmetic_impl)] // the `+` increments the op counter
     fn mul(self, o: Self) -> Self {
-        MULS.with(|c| c.set(c.get() + 1));
+        MULS.fetch_add(1, Ordering::Relaxed);
         Counting(self.0 * o.0)
     }
 }
@@ -155,24 +166,24 @@ impl Div for Counting {
     #[inline]
     #[allow(clippy::suspicious_arithmetic_impl)] // the `+` increments the op counter
     fn div(self, o: Self) -> Self {
-        DIVS.with(|c| c.set(c.get() + 1));
+        DIVS.fetch_add(1, Ordering::Relaxed);
         Counting(self.0 / o.0)
     }
 }
 
 fn reset_counters() {
-    ADDS.with(|c| c.set(0));
-    MULS.with(|c| c.set(0));
-    DIVS.with(|c| c.set(0));
-    SQRTS.with(|c| c.set(0));
+    ADDS.store(0, Ordering::Relaxed);
+    MULS.store(0, Ordering::Relaxed);
+    DIVS.store(0, Ordering::Relaxed);
+    SQRTS.store(0, Ordering::Relaxed);
 }
 
 fn read_counters() -> FlopCount {
     FlopCount {
-        adds: ADDS.with(Cell::get),
-        muls: MULS.with(Cell::get),
-        divs: DIVS.with(Cell::get),
-        sqrts: SQRTS.with(Cell::get),
+        adds: ADDS.load(Ordering::Relaxed),
+        muls: MULS.load(Ordering::Relaxed),
+        divs: DIVS.load(Ordering::Relaxed),
+        sqrts: SQRTS.load(Ordering::Relaxed),
     }
 }
 
@@ -181,6 +192,9 @@ fn read_counters() -> FlopCount {
 /// Coefficients are frozen per slice, so this is the per-cell cost of the
 /// T(z)-amortized kernels — the quantity the paper reports.
 pub fn phi_flops_per_cell(params: &ModelParams) -> FlopCount {
+    // Lock before the first `Counting` op: even model construction tallies,
+    // and a concurrent measurement must not observe it.
+    let _measure = measure_lock();
     let mut model = GeneralModel::<Counting>::from_params(params);
     model.freeze_at(params, 0.97);
     let mut scratch = Scratch::<Counting>::new(N_PHASES);
@@ -214,6 +228,7 @@ pub fn phi_flops_per_cell(params: &ModelParams) -> FlopCount {
 /// with temperature-dependent coefficients frozen per slice (the paper's
 /// amortized counting).
 pub fn mu_flops_per_cell(params: &ModelParams) -> FlopCount {
+    let _measure = measure_lock();
     let mut model = GeneralModel::<Counting>::from_params(params);
     model.freeze_at(params, 0.97);
     count_mu_cell(params, &model)
@@ -224,6 +239,7 @@ pub fn mu_flops_per_cell(params: &ModelParams) -> FlopCount {
 /// difference to [`mu_flops_per_cell`] is exactly the arithmetic that the
 /// T(z) optimization amortizes.
 pub fn mu_flops_per_cell_unamortized(params: &ModelParams) -> FlopCount {
+    let _measure = measure_lock();
     let model = GeneralModel::<Counting>::from_params(params);
     count_mu_cell(params, &model)
 }
@@ -304,6 +320,7 @@ mod tests {
 
     #[test]
     fn counting_type_counts() {
+        let _measure = measure_lock();
         reset_counters();
         let a = Counting(2.0);
         let b = Counting(3.0);
@@ -317,6 +334,30 @@ mod tests {
         assert_eq!(c.divs, 1);
         assert_eq!(c.sqrts, 1);
         assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn counts_from_spawned_threads_are_visible() {
+        // Regression: with `thread_local!` tallies, operations performed on
+        // a worker thread (as the sweep pool does) read back as 0 here.
+        let _measure = measure_lock();
+        reset_counters();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let a = Counting(1.5);
+                    let b = Counting(2.5);
+                    let _ = a + b;
+                    let _ = a * b;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let c = read_counters();
+        assert_eq!(c.adds, 3);
+        assert_eq!(c.muls, 3);
     }
 
     #[test]

@@ -31,10 +31,11 @@ use eutectica_comm::{
 };
 use eutectica_telemetry::{StepRecord, Telemetry};
 
-use crate::kernels::{self, KernelConfig, MuPart};
+use crate::kernels::{KernelConfig, MuPart};
 use crate::metrics;
 use crate::params::ModelParams;
 use crate::state::{BlockState, PHI_LIQUID};
+use crate::sweep_pool::SweepPool;
 use crate::{LIQ, N_COMP, N_PHASES};
 
 /// Which ghost exchanges to overlap with computation.
@@ -164,6 +165,8 @@ pub struct DistributedSim<'r> {
     /// Interior cells over all local blocks (one sweep pair updates each once).
     interior_cells: u64,
     step_records: Option<Vec<StepRecord>>,
+    /// Intra-rank z-slab work sharing for the sweeps (1 thread = serial).
+    pool: SweepPool,
 }
 
 impl<'r> DistributedSim<'r> {
@@ -213,7 +216,23 @@ impl<'r> DistributedSim<'r> {
             prev_window_shifts: 0,
             interior_cells,
             step_records: None,
+            pool: SweepPool::new(1),
         }
+    }
+
+    /// Share each block's sweeps across `threads` intra-rank worker threads
+    /// (z-slab partition). The result is bit-identical to the serial sweep
+    /// at any thread count; `1` restores the serial path with no pool
+    /// overhead.
+    pub fn set_threads(&mut self, threads: usize) {
+        if threads.max(1) != self.pool.threads() {
+            self.pool = SweepPool::new(threads);
+        }
+    }
+
+    /// Intra-rank sweep threads currently in use (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// This rank's telemetry collector (enabled by default; spans inside
@@ -358,19 +377,18 @@ impl<'r> DistributedSim<'r> {
         {
             let _g = self.telemetry.span_cat("phi_sweep", "compute");
             for b in &mut self.blocks {
-                kernels::phi_sweep(&self.params, b, self.time, self.cfg);
+                self.pool
+                    .phi_sweep(&self.params, b, self.time, self.cfg, &self.telemetry);
             }
         }
 
         if let Some(p) = mu_pending {
-            {
-                let _g = self.telemetry.span_cat("mu_comm", "comm");
-                self.finish_plain(p);
-            }
-            let _g = self.telemetry.span_cat("bc", "bc");
-            for b in &mut self.blocks {
-                b.bc_mu.apply(&mut b.mu_src);
-            }
+            // No BC reapplication needed: the hidden exchange unpacks only
+            // comm faces, and the physical-ghost values applied to µ at the
+            // end of the previous step depend only on interior cells the
+            // exchange never touches.
+            let _g = self.telemetry.span_cat("mu_comm", "comm");
+            self.finish_plain(p);
         }
 
         // --- φ_dst exchange then boundary handling (the BC fill reads
@@ -387,7 +405,14 @@ impl<'r> DistributedSim<'r> {
             {
                 let _g = self.telemetry.span_cat("mu_sweep_local", "compute");
                 for b in &mut self.blocks {
-                    kernels::mu_sweep(&self.params, b, self.time, self.cfg, MuPart::LocalOnly);
+                    self.pool.mu_sweep(
+                        &self.params,
+                        b,
+                        self.time,
+                        self.cfg,
+                        MuPart::LocalOnly,
+                        &self.telemetry,
+                    );
                 }
             }
 
@@ -406,7 +431,14 @@ impl<'r> DistributedSim<'r> {
 
             let _g = self.telemetry.span_cat("mu_sweep_neighbor", "compute");
             for b in &mut self.blocks {
-                kernels::mu_sweep(&self.params, b, self.time, self.cfg, MuPart::NeighborOnly);
+                self.pool.mu_sweep(
+                    &self.params,
+                    b,
+                    self.time,
+                    self.cfg,
+                    MuPart::NeighborOnly,
+                    &self.telemetry,
+                );
             }
         } else {
             {
@@ -422,12 +454,21 @@ impl<'r> DistributedSim<'r> {
 
             let _g = self.telemetry.span_cat("mu_sweep", "compute");
             for b in &mut self.blocks {
-                kernels::mu_sweep(&self.params, b, self.time, self.cfg, MuPart::Full);
+                self.pool.mu_sweep(
+                    &self.params,
+                    b,
+                    self.time,
+                    self.cfg,
+                    MuPart::Full,
+                    &self.telemetry,
+                );
             }
         }
 
-        // --- µ_dst exchange then boundary handling, unless deferred to the
-        // next step's hidden µ_src exchange (which reapplies the BCs).
+        // --- µ_dst exchange, unless deferred to the next step's hidden
+        // µ_src exchange (it fills only comm faces, which the hidden
+        // exchange overwrites anyway). The physical-face BCs applied here
+        // stay valid across that deferral.
         if !ov.hide_mu {
             let _g = self.telemetry.span_cat("mu_comm", "comm");
             self.exchange_sequenced(FieldSel::MuDst);
@@ -840,12 +881,32 @@ pub fn run_distributed<F>(
 where
     F: Fn(&mut BlockState) + Send + Sync + 'static,
 {
+    run_distributed_threaded(params, decomp, n_ranks, 1, steps, cfg, overlap, init)
+}
+
+/// Like [`run_distributed`] with `threads` intra-rank sweep threads per
+/// rank (hybrid ranks × threads; `threads = 1` is the serial sweep path).
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_threaded<F>(
+    params: ModelParams,
+    decomp: Decomposition,
+    n_ranks: usize,
+    threads: usize,
+    steps: usize,
+    cfg: KernelConfig,
+    overlap: OverlapOptions,
+    init: F,
+) -> Vec<(Vec<BlockState>, StepTimings)>
+where
+    F: Fn(&mut BlockState) + Send + Sync + 'static,
+{
     let params = std::sync::Arc::new(params);
     let decomp = std::sync::Arc::new(decomp);
     let init = std::sync::Arc::new(init);
     eutectica_comm::Universe::run(n_ranks, move |rank| {
         let mut sim =
             DistributedSim::new(&rank, (*params).clone(), (*decomp).clone(), cfg, overlap);
+        sim.set_threads(threads);
         sim.init_blocks(|b| init(b));
         sim.step_n(steps);
         (std::mem::take(&mut sim.blocks), sim.timings)
@@ -950,6 +1011,35 @@ mod tests {
                 )
             })
             .collect();
+        // The hide_mu toggle only reorders when the identical exchange and
+        // BC work happens, so interiors must be *bit*-identical — both with
+        // and without hide_phi (ALL is ordered none, µ, φ, µ+φ). Ghost
+        // layers are excluded: under deferral the µ comm-face ghosts are
+        // refreshed at the start of the *next* step, so they lag one step
+        // at shutdown without ever being read stale.
+        for (a_idx, b_idx) in [(0usize, 1usize), (2, 3)] {
+            for (r, (blocks, _)) in runs[b_idx].iter().enumerate() {
+                for (bi, b) in blocks.iter().enumerate() {
+                    let a = &runs[a_idx][r].0[bi];
+                    for (x, y, z) in b.dims.interior_iter() {
+                        for c in 0..N_PHASES {
+                            assert_eq!(
+                                a.phi_src.at(c, x, y, z),
+                                b.phi_src.at(c, x, y, z),
+                                "hide_mu phi[{c}] at ({x},{y},{z})"
+                            );
+                        }
+                        for c in 0..N_COMP {
+                            assert_eq!(
+                                a.mu_src.at(c, x, y, z),
+                                b.mu_src.at(c, x, y, z),
+                                "hide_mu mu[{c}] at ({x},{y},{z})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
         let base = &runs[0];
         for (k, run) in runs.iter().enumerate().skip(1) {
             for (r, (blocks, _)) in run.iter().enumerate() {

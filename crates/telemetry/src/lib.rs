@@ -16,14 +16,29 @@
 //! ([`reduce_with`]) so the communication layer can depend on telemetry
 //! (for histograms in its statistics) without a cycle.
 //!
+//! # Threading model
+//!
+//! A [`Telemetry`] handle is `Send + Sync` and may be used concurrently
+//! from any number of threads (the hybrid sweep pool opens spans on worker
+//! threads while the rank thread times the enclosing phase). Internally the
+//! state is *sharded per thread*: the first span or metric update from a
+//! thread lazily creates that thread's shard (its own timing tree, metrics
+//! registry, and trace buffer, each behind an uncontended mutex), so hot
+//! paths never contend across threads. Shards are merged on every snapshot
+//! call: tree nodes with equal paths accumulate, counters sum, histograms
+//! merge, and for duplicate gauges the lowest lane (the rank thread that
+//! created the handle) wins. Each shard gets its own Chrome-trace lane
+//! (`tid = rank * LANE_STRIDE + lane`) so worker activity is visible as
+//! separate timeline rows under the rank.
+//!
 //! # Cost model
 //!
-//! A [`Telemetry`] handle is an `Rc` and clones for pennies. A disabled
+//! A [`Telemetry`] handle is an `Arc` and clones for pennies. A disabled
 //! handle ([`Telemetry::disabled`]) makes [`Telemetry::span`] and every
-//! metric update a branch-and-return — no clock read, no allocation — so
-//! instrumented code paths stay numerically and (near) temporally identical
-//! to uninstrumented ones. Building with the `off` feature compiles all of
-//! it out entirely.
+//! metric update a branch-and-return — no clock read, no allocation, no
+//! thread-local access — so instrumented code paths stay numerically and
+//! (near) temporally identical to uninstrumented ones. Building with the
+//! `off` feature compiles all of it out entirely.
 
 mod json;
 mod metrics;
@@ -33,11 +48,20 @@ mod trace;
 pub use json::JsonObject;
 pub use metrics::{Histogram, MetricsSnapshot, HIST_BUCKETS};
 pub use reduce::{reduce_snapshots, reduce_with, ReducedRow, ReducedTree};
-pub use trace::{epoch, write_chrome_trace, write_jsonl, StepRecord, TraceEvent};
+pub use trace::{
+    epoch, lane_tid, write_chrome_trace, write_jsonl, StepRecord, TraceEvent, LANE_STRIDE,
+};
 
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Weak};
 use std::time::{Duration, Instant};
+
+/// Lock that shrugs off poisoning: a panicking worker thread (caught and
+/// re-raised by the sweep pool) must not wedge the whole telemetry handle.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One node of the in-construction timing tree.
 #[derive(Debug)]
@@ -91,21 +115,74 @@ impl TreeState {
         self.nodes[parent].children.push(idx);
         idx
     }
+
+    /// Accumulate every node of `src` into `self`, matching by path.
+    fn merge_from(&mut self, src: &TreeState) {
+        fn rec(dst: &mut TreeState, dst_node: usize, src: &TreeState, src_node: usize) {
+            for &c in &src.nodes[src_node].children {
+                let (name, cat, total, count) = {
+                    let sn = &src.nodes[c];
+                    (sn.name, sn.cat, sn.total, sn.count)
+                };
+                let d = dst.child(dst_node, name, cat);
+                dst.nodes[d].total += total;
+                dst.nodes[d].count += count;
+                rec(dst, d, src, c);
+            }
+        }
+        rec(self, 0, src, 0);
+    }
+}
+
+/// One thread's slice of a [`Telemetry`] handle's state.
+struct Shard {
+    /// Per-handle lane number: 0 for the thread that built the handle,
+    /// then in order of first use.
+    lane: u32,
+    /// Chrome-trace lane id (`rank * LANE_STRIDE + lane`).
+    tid: u32,
+    state: Mutex<ShardState>,
+}
+
+struct ShardState {
+    tree: TreeState,
+    metrics: MetricsSnapshot,
+    trace: Vec<TraceEvent>,
+}
+
+impl ShardState {
+    fn new() -> Self {
+        Self {
+            tree: TreeState::new(),
+            metrics: MetricsSnapshot::default(),
+            trace: Vec::new(),
+        }
+    }
 }
 
 struct Inner {
     enabled: bool,
     rank: usize,
-    tree: RefCell<TreeState>,
-    metrics: RefCell<MetricsSnapshot>,
-    trace: RefCell<Option<Vec<TraceEvent>>>,
+    trace_on: AtomicBool,
+    next_lane: AtomicU32,
+    shards: Mutex<Vec<Arc<Shard>>>,
+}
+
+thread_local! {
+    /// Cache mapping `Inner` allocations to this thread's shard. Keyed by
+    /// a `Weak` so a dead entry still pins its `Inner` allocation's address
+    /// (no ABA false hit after a handle is dropped); dead entries are
+    /// pruned whenever a new shard is created.
+    static SHARD_CACHE: RefCell<Vec<(Weak<Inner>, Arc<Shard>)>> =
+        const { RefCell::new(Vec::new()) };
 }
 
 /// Handle to one rank's telemetry state (timing tree + metrics registry +
 /// optional trace buffer). Clones share the same state; keep one per rank.
+/// Safe to share with worker threads — see the module docs' threading model.
 #[derive(Clone)]
 pub struct Telemetry {
-    inner: Rc<Inner>,
+    inner: Arc<Inner>,
 }
 
 impl Telemetry {
@@ -124,15 +201,21 @@ impl Telemetry {
     }
 
     fn build(rank: usize, enabled: bool) -> Self {
-        Self {
-            inner: Rc::new(Inner {
+        let tel = Self {
+            inner: Arc::new(Inner {
                 enabled,
                 rank,
-                tree: RefCell::new(TreeState::new()),
-                metrics: RefCell::new(MetricsSnapshot::default()),
-                trace: RefCell::new(None),
+                trace_on: AtomicBool::new(false),
+                next_lane: AtomicU32::new(0),
+                shards: Mutex::new(Vec::new()),
             }),
+        };
+        if tel.is_enabled() {
+            // Claim lane 0 for the building thread (the rank thread), so
+            // its gauges win merges and its trace lane sorts first.
+            let _ = tel.shard();
         }
+        tel
     }
 
     /// Whether this handle records anything at all.
@@ -146,15 +229,44 @@ impl Telemetry {
         self.inner.rank
     }
 
+    /// The calling thread's shard, created on first use.
+    fn shard(&self) -> Arc<Shard> {
+        SHARD_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let key = Arc::as_ptr(&self.inner);
+            if let Some((_, s)) = cache.iter().find(|(w, _)| std::ptr::eq(w.as_ptr(), key)) {
+                return s.clone();
+            }
+            cache.retain(|(w, _)| w.strong_count() > 0);
+            let lane = self.inner.next_lane.fetch_add(1, Ordering::Relaxed);
+            let shard = Arc::new(Shard {
+                lane,
+                tid: lane_tid(self.inner.rank, lane),
+                state: Mutex::new(ShardState::new()),
+            });
+            lock(&self.inner.shards).push(shard.clone());
+            cache.push((Arc::downgrade(&self.inner), shard.clone()));
+            shard
+        })
+    }
+
+    /// All shards, lowest lane first (merge order must be deterministic).
+    fn shards_by_lane(&self) -> Vec<Arc<Shard>> {
+        let mut shards = lock(&self.inner.shards).clone();
+        shards.sort_by_key(|s| s.lane);
+        shards
+    }
+
     /// Start buffering per-span trace events for Chrome trace export.
     pub fn enable_trace(&self) {
         if self.is_enabled() {
-            *self.inner.trace.borrow_mut() = Some(Vec::new());
+            self.inner.trace_on.store(true, Ordering::Relaxed);
         }
     }
 
-    /// Open a span nested under the innermost open span. Dropping the
-    /// returned guard closes it and accrues its wall time into the tree.
+    /// Open a span nested under the innermost span open *on this thread*.
+    /// Dropping the returned guard closes it and accrues its wall time into
+    /// the calling thread's shard of the timing tree.
     #[inline]
     pub fn span(&self, name: &'static str) -> Span {
         self.span_cat(name, "default")
@@ -165,42 +277,23 @@ impl Telemetry {
     #[inline]
     pub fn span_cat(&self, name: &'static str, cat: &'static str) -> Span {
         if !self.is_enabled() {
-            return Span {
-                tel: None,
-                node: 0,
-                start: None,
-            };
+            return Span { live: None };
         }
+        let shard = self.shard();
         let node = {
-            let mut st = self.inner.tree.borrow_mut();
-            let parent = *st.stack.last().expect("span stack never empty");
-            let node = st.child(parent, name, cat);
-            st.stack.push(node);
+            let mut st = lock(&shard.state);
+            let parent = *st.tree.stack.last().expect("span stack never empty");
+            let node = st.tree.child(parent, name, cat);
+            st.tree.stack.push(node);
             node
         };
         Span {
-            tel: Some(self.clone()),
-            node,
-            start: Some(Instant::now()),
-        }
-    }
-
-    fn finish_span(&self, node: usize, start: Instant) {
-        let elapsed = start.elapsed();
-        let mut st = self.inner.tree.borrow_mut();
-        debug_assert_eq!(st.stack.last(), Some(&node), "spans closed out of order");
-        st.stack.pop();
-        st.nodes[node].total += elapsed;
-        st.nodes[node].count += 1;
-        if let Some(buf) = self.inner.trace.borrow_mut().as_mut() {
-            let ep = epoch();
-            buf.push(TraceEvent {
-                name: st.nodes[node].name.to_string(),
-                cat: st.nodes[node].cat.to_string(),
-                ts_us: start.saturating_duration_since(ep).as_secs_f64() * 1e6,
-                dur_us: elapsed.as_secs_f64() * 1e6,
-                tid: self.inner.rank as u32,
-            });
+            live: Some(SpanLive {
+                inner: self.inner.clone(),
+                shard,
+                node,
+                start: Instant::now(),
+            }),
         }
     }
 
@@ -208,23 +301,23 @@ impl Telemetry {
     #[inline]
     pub fn counter_add(&self, name: &str, delta: u64) {
         if self.is_enabled() && delta > 0 {
-            *self
-                .inner
+            let shard = self.shard();
+            *lock(&shard.state)
                 .metrics
-                .borrow_mut()
                 .counters
                 .entry(name.to_string())
                 .or_insert(0) += delta;
         }
     }
 
-    /// Set the named gauge to `value` (last write wins).
+    /// Set the named gauge to `value` (last write on this thread wins; on
+    /// snapshot merge, the lowest lane that set the gauge wins).
     #[inline]
     pub fn gauge_set(&self, name: &str, value: f64) {
         if self.is_enabled() {
-            self.inner
+            let shard = self.shard();
+            lock(&shard.state)
                 .metrics
-                .borrow_mut()
                 .gauges
                 .insert(name.to_string(), value);
         }
@@ -234,9 +327,9 @@ impl Telemetry {
     #[inline]
     pub fn hist_record(&self, name: &str, value: u64) {
         if self.is_enabled() {
-            self.inner
+            let shard = self.shard();
+            lock(&shard.state)
                 .metrics
-                .borrow_mut()
                 .histograms
                 .entry(name.to_string())
                 .or_default()
@@ -247,9 +340,9 @@ impl Telemetry {
     /// Merge a whole externally built histogram into the named one.
     pub fn hist_merge(&self, name: &str, hist: &Histogram) {
         if self.is_enabled() {
-            self.inner
+            let shard = self.shard();
+            lock(&shard.state)
                 .metrics
-                .borrow_mut()
                 .histograms
                 .entry(name.to_string())
                 .or_default()
@@ -257,14 +350,34 @@ impl Telemetry {
         }
     }
 
-    /// Copy of the accumulated metrics.
+    /// Copy of the accumulated metrics, merged across all thread shards:
+    /// counters sum, histograms merge, duplicate gauges resolve to the
+    /// lowest lane's value.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.inner.metrics.borrow().clone()
+        let mut out = MetricsSnapshot::default();
+        for shard in self.shards_by_lane() {
+            let st = lock(&shard.state);
+            for (k, v) in &st.metrics.counters {
+                *out.counters.entry(k.clone()).or_insert(0) += v;
+            }
+            for (k, v) in &st.metrics.gauges {
+                out.gauges.entry(k.clone()).or_insert(*v);
+            }
+            for (k, h) in &st.metrics.histograms {
+                out.histograms.entry(k.clone()).or_default().merge(h);
+            }
+        }
+        out
     }
 
-    /// Flatten the timing tree into rows (depth-first, insertion order).
+    /// Flatten the timing tree into rows (depth-first, insertion order),
+    /// merging all thread shards: nodes with equal paths accumulate, and
+    /// sibling order follows the lowest lane that first recorded the path.
     pub fn tree_snapshot(&self) -> TimingTreeSnapshot {
-        let st = self.inner.tree.borrow();
+        let mut merged = TreeState::new();
+        for shard in self.shards_by_lane() {
+            merged.merge_from(&lock(&shard.state).tree);
+        }
         let mut rows = Vec::new();
         fn walk(
             st: &TreeState,
@@ -290,7 +403,7 @@ impl Telemetry {
                 walk(st, c, &path, depth + 1, rows);
             }
         }
-        walk(&st, 0, "", 0, &mut rows);
+        walk(&merged, 0, "", 0, &mut rows);
         TimingTreeSnapshot { rows }
     }
 
@@ -303,14 +416,14 @@ impl Telemetry {
             .map(|r| r.total_secs)
     }
 
-    /// Take the buffered trace events (empties the buffer).
+    /// Take the buffered trace events from every thread shard (empties the
+    /// buffers), lowest lane first.
     pub fn take_trace(&self) -> Vec<TraceEvent> {
-        self.inner
-            .trace
-            .borrow_mut()
-            .as_mut()
-            .map(std::mem::take)
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        for shard in self.shards_by_lane() {
+            out.append(&mut lock(&shard.state).trace);
+        }
+        out
     }
 }
 
@@ -323,19 +436,49 @@ impl std::fmt::Debug for Telemetry {
     }
 }
 
+struct SpanLive {
+    inner: Arc<Inner>,
+    shard: Arc<Shard>,
+    node: usize,
+    start: Instant,
+}
+
 /// RAII guard returned by [`Telemetry::span`]; closes the span on drop.
+/// Drop it on the thread that opened it — the span stack is per-thread.
 #[must_use = "a span measures the scope it lives in — bind it to a variable"]
 pub struct Span {
-    tel: Option<Telemetry>,
-    node: usize,
-    start: Option<Instant>,
+    live: Option<SpanLive>,
 }
 
 impl Drop for Span {
     #[inline]
     fn drop(&mut self) {
-        if let (Some(tel), Some(start)) = (self.tel.take(), self.start.take()) {
-            tel.finish_span(self.node, start);
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let elapsed = live.start.elapsed();
+        let mut st = lock(&live.shard.state);
+        debug_assert_eq!(
+            st.tree.stack.last(),
+            Some(&live.node),
+            "spans closed out of order"
+        );
+        st.tree.stack.pop();
+        st.tree.nodes[live.node].total += elapsed;
+        st.tree.nodes[live.node].count += 1;
+        if live.inner.trace_on.load(Ordering::Relaxed) {
+            let ep = epoch();
+            let (name, cat) = {
+                let n = &st.tree.nodes[live.node];
+                (n.name.to_string(), n.cat.to_string())
+            };
+            st.trace.push(TraceEvent {
+                name,
+                cat,
+                ts_us: live.start.saturating_duration_since(ep).as_secs_f64() * 1e6,
+                dur_us: elapsed.as_secs_f64() * 1e6,
+                tid: live.shard.tid,
+            });
         }
     }
 }
@@ -504,5 +647,63 @@ mod tests {
         let h = &m.histograms["wait_ns"];
         assert_eq!(h.count(), 3);
         assert_eq!(h.sum(), 1001);
+    }
+
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn spans_and_metrics_from_worker_threads_merge() {
+        let tel = Telemetry::new(3);
+        tel.enable_trace();
+        tel.counter_add("cells", 10);
+        {
+            let _outer = tel.span("step");
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        let t = tel.clone();
+                        let _g = t.span_cat("phi_slab", "compute");
+                        t.counter_add("cells", 7);
+                        t.hist_record("slab_ns", 42);
+                    });
+                }
+            });
+        }
+        // Counters sum across threads; worker tree nodes appear as their
+        // own root-level paths with accumulated counts.
+        let m = tel.metrics_snapshot();
+        assert_eq!(m.counters["cells"], 24);
+        assert_eq!(m.histograms["slab_ns"].count(), 2);
+        let snap = tel.tree_snapshot();
+        let slab = snap.rows.iter().find(|r| r.path == "phi_slab").unwrap();
+        assert_eq!(slab.count, 2);
+        assert!(snap.rows.iter().any(|r| r.path == "step"));
+        // Each worker got its own trace lane; the rank thread is lane 0.
+        let trace = tel.take_trace();
+        let mut tids: Vec<u32> = trace.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert!(tids.contains(&lane_tid(3, 0)), "rank-thread lane missing");
+        assert_eq!(
+            tids.iter().filter(|&&t| t != lane_tid(3, 0)).count(),
+            2,
+            "expected one extra lane per worker thread: {tids:?}"
+        );
+    }
+
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn gauge_merge_prefers_the_building_thread() {
+        let tel = Telemetry::new(0);
+        tel.gauge_set("mlups", 1.0);
+        std::thread::scope(|s| {
+            s.spawn(|| tel.gauge_set("mlups", 99.0));
+        });
+        assert_eq!(tel.metrics_snapshot().gauges["mlups"], 1.0);
+    }
+
+    #[test]
+    fn telemetry_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Telemetry>();
     }
 }

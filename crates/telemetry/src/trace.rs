@@ -12,6 +12,17 @@ use crate::Histogram;
 
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 
+/// Trace lanes per rank: lane ids are `rank * LANE_STRIDE + thread_lane`,
+/// so a rank and its sweep-pool workers group together and sort in order.
+/// 256 intra-rank lanes is far beyond any plausible `--threads` value.
+pub const LANE_STRIDE: u32 = 256;
+
+/// Chrome-trace `tid` for a given rank and intra-rank thread lane
+/// (lane 0 is the rank thread itself, 1.. are sweep-pool workers).
+pub fn lane_tid(rank: usize, lane: u32) -> u32 {
+    rank as u32 * LANE_STRIDE + lane
+}
+
 /// Process-wide trace epoch. First call pins it; all span timestamps are
 /// expressed relative to this instant so rank threads share one timeline.
 pub fn epoch() -> Instant {
@@ -29,7 +40,7 @@ pub struct TraceEvent {
     pub ts_us: f64,
     /// Duration in microseconds.
     pub dur_us: f64,
-    /// Lane id — the rank number.
+    /// Lane id — see [`lane_tid`]: `rank * LANE_STRIDE + thread_lane`.
     pub tid: u32,
 }
 
@@ -50,49 +61,70 @@ impl TraceEvent {
 
 /// Write events from all ranks as a Chrome trace file
 /// (`{"traceEvents":[…]}` object form). `events_per_rank[r]` holds rank
-/// r's events; each rank gets a named lane.
+/// r's events; every distinct `tid` seen in the events gets a named lane
+/// (`"rank R"` for the rank thread, `"rank R · worker L"` for sweep-pool
+/// workers) sorted so a rank's workers sit directly under it.
 pub fn write_chrome_trace(path: &Path, events_per_rank: &[Vec<TraceEvent>]) -> io::Result<()> {
     let mut w = io::BufWriter::new(std::fs::File::create(path)?);
     w.write_all(b"{\"traceEvents\":[\n")?;
+    let mut tids: Vec<u32> = events_per_rank
+        .iter()
+        .flatten()
+        .map(|e| e.tid)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    // Ranks without events still get an (empty) named lane.
+    for rank in 0..events_per_rank.len() {
+        let tid = lane_tid(rank, 0);
+        if !tids.contains(&tid) {
+            tids.push(tid);
+        }
+    }
+    tids.sort_unstable();
     let mut first = true;
-    for (rank, events) in events_per_rank.iter().enumerate() {
+    let mut emit = |w: &mut io::BufWriter<std::fs::File>, line: &str| -> io::Result<()> {
+        if !first {
+            w.write_all(b",\n")?;
+        }
+        first = false;
+        w.write_all(line.as_bytes())
+    };
+    for &tid in &tids {
+        let (rank, lane) = (tid / LANE_STRIDE, tid % LANE_STRIDE);
+        let lane_name = if lane == 0 {
+            format!("rank {rank}")
+        } else {
+            format!("rank {rank} · worker {lane}")
+        };
         let name_meta = JsonObject::new()
             .str_field("name", "thread_name")
             .str_field("ph", "M")
             .int_field("pid", 0)
-            .int_field("tid", rank as u64)
+            .int_field("tid", tid as u64)
             .raw_field(
                 "args",
-                &JsonObject::new()
-                    .str_field("name", &format!("rank {rank}"))
-                    .finish(),
+                &JsonObject::new().str_field("name", &lane_name).finish(),
             )
             .finish();
         let sort_meta = JsonObject::new()
             .str_field("name", "thread_sort_index")
             .str_field("ph", "M")
             .int_field("pid", 0)
-            .int_field("tid", rank as u64)
+            .int_field("tid", tid as u64)
             .raw_field(
                 "args",
                 &JsonObject::new()
-                    .int_field("sort_index", rank as u64)
+                    .int_field("sort_index", tid as u64)
                     .finish(),
             )
             .finish();
-        for line in [name_meta, sort_meta].iter().map(String::as_str).chain(
-            events
-                .iter()
-                .map(|e| e.to_json())
-                .collect::<Vec<_>>()
-                .iter()
-                .map(String::as_str),
-        ) {
-            if !first {
-                w.write_all(b",\n")?;
-            }
-            first = false;
-            w.write_all(line.as_bytes())?;
+        emit(&mut w, &name_meta)?;
+        emit(&mut w, &sort_meta)?;
+    }
+    for events in events_per_rank {
+        for e in events {
+            emit(&mut w, &e.to_json())?;
         }
     }
     w.write_all(b"\n]}\n")?;
@@ -196,8 +228,11 @@ mod tests {
         write_chrome_trace(
             &path,
             &[
-                vec![ev("phi_sweep", "compute", 0.0, 0)],
-                vec![ev("phi_comm", "comm", 1.0, 1)],
+                vec![
+                    ev("phi_sweep", "compute", 0.0, lane_tid(0, 0)),
+                    ev("phi_slab", "compute", 0.5, lane_tid(0, 2)),
+                ],
+                vec![ev("phi_comm", "comm", 1.0, lane_tid(1, 0))],
             ],
         )
         .unwrap();
@@ -205,6 +240,8 @@ mod tests {
         assert!(text.starts_with("{\"traceEvents\":["));
         assert!(text.contains("\"ph\":\"X\""));
         assert!(text.contains("\"rank 1\""));
+        // Worker shards show up as their own named lanes under the rank.
+        assert!(text.contains("\"rank 0 · worker 2\""));
         // Balanced braces/brackets — crude but effective well-formedness check.
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(

@@ -280,7 +280,10 @@ fn step_records_and_trace_events_are_complete() {
         }
         assert!(trace.iter().any(|e| e.cat == "compute"));
         assert!(trace.iter().any(|e| e.cat == "comm"));
-        assert!(trace.iter().all(|e| e.tid == r as u32));
+        // Serial run: every event sits on the rank thread's lane 0.
+        assert!(trace
+            .iter()
+            .all(|e| e.tid == eutectica_telemetry::lane_tid(r, 0)));
         // The registry bridged the comm counters.
         assert!(metrics.counters["comm/bytes_sent"] > 0);
         assert_eq!(

@@ -32,6 +32,7 @@ fn main() {
             [2, 1, 1],
             4,
             eutectica_core::timeloop::OverlapOptions::default(),
+            eutectica_bench::health_every_arg(),
         )
         .expect("write trace artifacts");
         println!();

@@ -40,6 +40,7 @@ fn main() {
                 hide_mu: true,
                 hide_phi: false,
             },
+            eutectica_bench::health_every_arg(),
         )
         .expect("write trace artifacts");
         println!();

@@ -218,6 +218,28 @@ pub fn threads_arg() -> usize {
     1
 }
 
+/// Parse a `--health-every <n>` flag from the process arguments: scan
+/// cadence of the in-situ field-health monitor (`0` disables scans even if
+/// a monitor is attached; absent flag = no monitor, zero overhead).
+pub fn health_every_arg() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    let parse = |v: String| -> usize {
+        v.parse()
+            .expect("--health-every must be a non-negative step count")
+    };
+    while let Some(a) = args.next() {
+        if a == "--health-every" {
+            return Some(parse(
+                args.next().expect("--health-every needs a step count"),
+            ));
+        }
+        if let Some(v) = a.strip_prefix("--health-every=") {
+            return Some(parse(v.to_string()));
+        }
+    }
+    None
+}
+
 /// Run a fully instrumented distributed simulation and write observability
 /// artifacts into `out_dir`:
 ///
@@ -229,6 +251,7 @@ pub fn threads_arg() -> usize {
 /// and print the rank-reduced timing tree plus the Universe communication
 /// summary to stdout. `threads` intra-rank sweep threads run per rank
 /// (hybrid ranks × threads; 1 = serial sweeps).
+#[allow(clippy::too_many_arguments)] // mirrors the figure binaries' flag list
 pub fn run_traced(
     out_dir: &std::path::Path,
     n_ranks: usize,
@@ -237,7 +260,9 @@ pub fn run_traced(
     blocks: [usize; 3],
     steps: usize,
     overlap: eutectica_core::timeloop::OverlapOptions,
+    health_every: Option<usize>,
 ) -> std::io::Result<()> {
+    use eutectica_core::health::{HealthConfig, HealthMonitor};
     use eutectica_core::timeloop::DistributedSim;
     use eutectica_telemetry::Telemetry;
 
@@ -259,18 +284,28 @@ pub fn run_traced(
         tel.enable_trace();
         sim.set_telemetry(tel.clone());
         sim.record_steps(true);
+        if let Some(every) = health_every {
+            sim.set_health_monitor(Some(HealthMonitor::new(
+                HealthConfig::for_params(&params).with_every(every),
+            )));
+        }
         sim.init_blocks(|b| eutectica_core::init::init_planar_front(b, 0, 6));
         sim.step_n(steps);
         let reduced = rank.reduce_timing(&tel.tree_snapshot());
-        (tel.take_trace(), sim.take_step_records(), reduced)
+        let metrics = tel.metrics_snapshot();
+        (tel.take_trace(), sim.take_step_records(), reduced, metrics)
     });
 
     let mut events = Vec::new();
     let mut records = Vec::new();
     let mut reduced = None;
-    for (ev, recs, red) in out {
+    let mut rank0_metrics = None;
+    for (ev, recs, red, metrics) in out {
         events.push(ev);
         records.extend(recs);
+        if reduced.is_none() {
+            rank0_metrics = Some(metrics);
+        }
         reduced = reduced.or(red);
     }
     let trace_path = out_dir.join("trace.json");
@@ -284,5 +319,18 @@ pub fn run_traced(
         trace_path.display(),
         jsonl_path.display()
     );
+    if health_every.is_some() {
+        if let Some(m) = rank0_metrics {
+            let scans = m.counters.get("health/scans").copied().unwrap_or(0);
+            let violations = m.counters.get("health/violations").copied().unwrap_or(0);
+            let wall_ms = m.counters.get("health/scan_wall_ns").copied().unwrap_or(0) as f64 / 1e6;
+            let frac = m.gauges.get("health/scan_frac").copied().unwrap_or(0.0);
+            println!(
+                "field health (rank 0): {scans} scan(s), {violations} violation(s), \
+                 {wall_ms:.3} ms scanning, last scan {:.2} % of its step",
+                frac * 100.0
+            );
+        }
+    }
     Ok(())
 }

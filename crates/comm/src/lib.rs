@@ -980,6 +980,57 @@ impl Rank {
         }
     }
 
+    /// Element-wise sum all-reduce of a `u64` vector over all ranks — the
+    /// reduction behind the cross-rank health reports of `core::health`
+    /// (violation counters per invariant class). Every rank must pass a
+    /// slice of the same length; sums wrap on overflow.
+    ///
+    /// # Panics
+    /// Panics with the [`CommError`] diagnostic on failure; use
+    /// [`Rank::allreduce_u64s_checked`] to handle failures.
+    pub fn allreduce_u64s(&self, values: &[u64]) -> Vec<u64> {
+        self.unwrap_comm(self.allreduce_u64s_checked(values))
+    }
+
+    /// Fallible [`Rank::allreduce_u64s`]: returns [`CommError`] instead of
+    /// hanging when any participating rank dies or the timeout expires.
+    pub fn allreduce_u64s_checked(&self, values: &[u64]) -> Result<Vec<u64>, CommError> {
+        let tag = COLLECTIVE_TAG | 4;
+        let encode = |vals: &[u64]| {
+            let mut payload = Vec::with_capacity(vals.len() * 8);
+            for v in vals {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            Bytes::from(payload)
+        };
+        if self.rank == 0 {
+            let mut acc = values.to_vec();
+            for src in 1..self.size {
+                let b = self.recv_matched(src, tag, DeathScope::Any, "allreduce_u64s")?;
+                assert_eq!(
+                    b.len(),
+                    acc.len() * 8,
+                    "allreduce_u64s length mismatch from rank {src}"
+                );
+                for (a, chunk) in acc.iter_mut().zip(b.chunks_exact(8)) {
+                    *a = a.wrapping_add(u64::from_le_bytes(chunk.try_into().unwrap()));
+                }
+            }
+            let payload = encode(&acc);
+            for dst in 1..self.size {
+                self.send_raw(dst, tag, payload.clone());
+            }
+            Ok(acc)
+        } else {
+            self.send_raw(0, tag, encode(values));
+            let b = self.recv_matched(0, tag, DeathScope::Any, "allreduce_u64s")?;
+            assert_eq!(b.len(), values.len() * 8, "allreduce_u64s length mismatch");
+            Ok(b.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect())
+        }
+    }
+
     /// Gather byte payloads on `root`; returns `Some(per-rank payloads)` on
     /// the root, `None` elsewhere.
     ///
@@ -1474,6 +1525,18 @@ mod tests {
             let got = Universe::run(4, move |r| r.allreduce_f64(r.rank() as f64, op));
             assert_eq!(got, vec![expect; 4], "{op:?}");
         }
+    }
+
+    #[test]
+    fn allreduce_u64s_sums_elementwise() {
+        let got = Universe::run(4, |r| {
+            let v = [r.rank() as u64, 10 * r.rank() as u64, 1];
+            r.allreduce_u64s(&v)
+        });
+        assert_eq!(got, vec![vec![6, 60, 4]; 4]);
+        // Empty vectors are a valid degenerate reduction.
+        let got = Universe::run(3, |r| r.allreduce_u64s(&[]));
+        assert_eq!(got, vec![Vec::<u64>::new(); 3]);
     }
 
     #[test]

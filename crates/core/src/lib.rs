@@ -24,6 +24,9 @@
 //! * [`init`] — Voronoi-tessellated solid nuclei and other initial setups.
 //! * [`regions`] — domain-region classification and the interface / solid /
 //!   liquid benchmark scenarios of Sec. 5.1.
+//! * [`health`] — silent-corruption defense: periodic field-invariant
+//!   scans (φ on the Gibbs simplex, bounded µ, everything finite) and the
+//!   deterministic [`health::FieldFaultPlan`] numerical-fault injector.
 //! * [`sweep_pool`] — intra-rank work-sharing: a persistent thread pool
 //!   partitioning each block's interior into z-slabs (the OpenMP half of
 //!   the paper's hybrid MPI × OpenMP parallelization).
@@ -49,6 +52,7 @@
 #![allow(clippy::needless_range_loop)]
 #![deny(missing_docs)]
 
+pub mod health;
 pub mod init;
 pub mod kernels;
 pub mod metrics;

@@ -240,9 +240,10 @@ impl std::fmt::Debug for SweepPool {
 }
 
 /// Balanced contiguous slab `k` of `parts` over `z0..z1`: the first
-/// `(z1-z0) % parts` slabs get one extra slice.
+/// `(z1-z0) % parts` slabs get one extra slice. Shared with the health
+/// scans so they partition exactly like the sweeps.
 #[inline]
-fn slab(z0: usize, z1: usize, parts: usize, k: usize) -> (usize, usize) {
+pub(crate) fn slab(z0: usize, z1: usize, parts: usize, k: usize) -> (usize, usize) {
     let n = z1 - z0;
     let (base, rem) = (n / parts, n % parts);
     let lo = z0 + k * base + k.min(rem);

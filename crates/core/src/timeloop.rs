@@ -31,6 +31,7 @@ use eutectica_comm::{
 };
 use eutectica_telemetry::{StepRecord, Telemetry};
 
+use crate::health::{self, HealthMonitor, HealthReport, ScanStats};
 use crate::kernels::{KernelConfig, MuPart};
 use crate::metrics;
 use crate::params::ModelParams;
@@ -167,6 +168,8 @@ pub struct DistributedSim<'r> {
     step_records: Option<Vec<StepRecord>>,
     /// Intra-rank z-slab work sharing for the sweeps (1 thread = serial).
     pool: SweepPool,
+    /// Silent-corruption defense: periodic invariant scans + fault injection.
+    health: Option<HealthMonitor>,
 }
 
 impl<'r> DistributedSim<'r> {
@@ -217,6 +220,7 @@ impl<'r> DistributedSim<'r> {
             interior_cells,
             step_records: None,
             pool: SweepPool::new(1),
+            health: None,
         }
     }
 
@@ -353,14 +357,167 @@ impl<'r> DistributedSim<'r> {
         self.rank.barrier();
     }
 
-    /// Execute one time step.
+    /// Execute one time step. When a [`HealthMonitor`] is attached, any
+    /// faults its plan schedules for this step are injected into the source
+    /// fields first, and an invariant scan (collective: all ranks scan at
+    /// the same cadence) runs after the step completes.
     pub fn step(&mut self) {
         let wall = Instant::now();
         {
             let _step = self.telemetry.span("step");
+            self.inject_field_faults();
             self.step_inner();
+            self.health_scan_if_due(wall);
         }
         self.finish_step_accounting(wall.elapsed());
+    }
+
+    /// Attach (or detach, with `None`) the silent-corruption monitor. All
+    /// ranks of a distributed run must use the same scan configuration —
+    /// the scan's cross-rank reduction is collective.
+    pub fn set_health_monitor(&mut self, monitor: Option<HealthMonitor>) {
+        self.health = monitor;
+    }
+
+    /// The attached health monitor, if any.
+    pub fn health_monitor(&self) -> Option<&HealthMonitor> {
+        self.health.as_ref()
+    }
+
+    /// Take the unhealthy report produced by the most recent scan, if any
+    /// (consumed once — the recovery driver's trigger).
+    pub fn take_unhealthy_report(&mut self) -> Option<HealthReport> {
+        self.health.as_mut().and_then(|h| h.take_unhealthy())
+    }
+
+    /// Apply scheduled field faults for the upcoming step (fire-once).
+    fn inject_field_faults(&mut self) {
+        let Some(mut h) = self.health.take() else {
+            return;
+        };
+        let due = h.due_faults(self.step as u64);
+        let mut injected = 0u64;
+        for f in &due {
+            if let Some(li) = self.local_ids.iter().position(|&id| id as u64 == f.block) {
+                health::apply_fault(&mut self.blocks[li], f);
+                injected += 1;
+            }
+        }
+        if injected > 0 {
+            h.injected += injected;
+            self.telemetry
+                .counter_add("health/injected_faults", injected);
+        }
+        self.health = Some(h);
+    }
+
+    /// Run the periodic invariant scan when due; records the report (and a
+    /// pending unhealthy verdict) on the monitor.
+    fn health_scan_if_due(&mut self, step_start: Instant) {
+        let due = self.health.as_ref().is_some_and(|h| h.due(self.step));
+        if !due {
+            return;
+        }
+        let t0 = Instant::now();
+        let Some(report) = self.do_health_scan() else {
+            return;
+        };
+        let scan = t0.elapsed();
+        self.telemetry.counter_add("health/scans", 1);
+        self.telemetry
+            .counter_add("health/scan_wall_ns", scan.as_nanos() as u64);
+        self.telemetry
+            .counter_add("health/violations", report.total_violations());
+        let total = step_start.elapsed().as_secs_f64();
+        if total > 0.0 {
+            self.telemetry
+                .gauge_set("health/scan_frac", scan.as_secs_f64() / total);
+        }
+        if let Some(h) = &mut self.health {
+            h.record(report);
+        }
+    }
+
+    /// Scan all local blocks and reduce across ranks, regardless of
+    /// cadence. Collective — every rank must call it at the same point.
+    /// Returns `None` when no monitor is attached. Updates the monitor's
+    /// front baseline but leaves any pending unhealthy verdict untouched
+    /// (the recovery driver uses this to validate freshly restored state).
+    pub fn health_scan_now(&mut self) -> Option<HealthReport> {
+        let report = self.do_health_scan()?;
+        if let Some(h) = &mut self.health {
+            if let Some((pos, _)) = report.front {
+                h.set_front_sample(report.step, pos);
+            }
+        }
+        Some(report)
+    }
+
+    fn do_health_scan(&mut self) -> Option<HealthReport> {
+        let cfg = self.health.as_ref()?.cfg;
+        let _g = self.telemetry.span_cat("health_scan", "health");
+        let mut local = ScanStats::default();
+        for (li, b) in self.blocks.iter().enumerate() {
+            let s = health::scan_block_pooled(&self.pool, b, &cfg, self.local_ids[li] as u64);
+            local.merge(&s);
+        }
+        let summed = self.rank.allreduce_u64s(&local.counts());
+        let global = [summed[0], summed[1], summed[2], summed[3]];
+        let (front, front_ok) = if cfg.max_front_speed.is_finite() {
+            let pos = self
+                .rank
+                .allreduce_f64(self.local_front(), eutectica_comm::ReduceOp::Max);
+            match self.health.as_ref().and_then(|h| h.front_sample()) {
+                Some((s0, p0)) if self.step > s0 => {
+                    let speed = (pos - p0) / (self.step - s0) as f64;
+                    (Some((pos, speed)), speed.abs() <= cfg.max_front_speed)
+                }
+                _ => (Some((pos, 0.0)), true),
+            }
+        } else {
+            (None, true)
+        };
+        Some(HealthReport {
+            step: self.step,
+            local,
+            global,
+            front,
+            front_ok,
+        })
+    }
+
+    /// Remediation: re-project interior φ cells that violate the Gibbs
+    /// simplex beyond `tol` onto it, mirror src into dst, and refresh
+    /// ghosts. Collective (ghost refresh). Cells already on the simplex
+    /// within `tol` are left bit-untouched (the projection's `(1−Σφ)/4`
+    /// shift is a roundoff-sized non-zero even on valid cells, so an
+    /// unconditional re-projection would break bit-identical recovery).
+    /// Returns the number of cells whose value changed on this rank.
+    pub fn project_phi_to_simplex(&mut self, tol: f64) -> u64 {
+        let mut changed = 0u64;
+        {
+            let _g = self.telemetry.span_cat("simplex_reproject", "health");
+            for b in &mut self.blocks {
+                let mut block_changed = 0u64;
+                for (x, y, z) in b.dims.interior_iter() {
+                    let p = b.phi_src.cell(x, y, z);
+                    if crate::simplex::on_simplex(p, tol) {
+                        continue;
+                    }
+                    let q = crate::simplex::project_to_simplex(p);
+                    if q != p {
+                        b.phi_src.set_cell(x, y, z, q);
+                        block_changed += 1;
+                    }
+                }
+                if block_changed > 0 {
+                    b.sync_dst_from_src();
+                }
+                changed += block_changed;
+            }
+        }
+        self.refresh_src_ghosts();
+        changed
     }
 
     fn step_inner(&mut self) {
@@ -695,6 +852,11 @@ impl<'r> DistributedSim<'r> {
         self.steps_base = self.steps_base.min(step);
         self.window_shifts = window_shifts;
         self.prev_window_shifts = window_shifts;
+        // A progress jump (restore / rollback) invalidates the health
+        // monitor's rolling state: the front baseline and pending verdicts.
+        if let Some(h) = &mut self.health {
+            h.on_progress_reset();
+        }
     }
 
     /// Global solid fraction (allreduce over ranks).

@@ -24,6 +24,7 @@ use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use eutectica_blockgrid::decomp::DomainSpec;
 use eutectica_blockgrid::GridDims;
@@ -127,6 +128,14 @@ pub enum CkptError {
         /// What did not match.
         detail: String,
     },
+    /// A collective checkpoint operation failed on *another* rank: this
+    /// rank's local part succeeded, but the set as a whole is invalid.
+    /// Distinguishes "my I/O failed" from "a peer's did" in the typed
+    /// per-rank failure path of the resilient driver.
+    PeerFailure {
+        /// Which collective operation failed.
+        during: &'static str,
+    },
 }
 
 impl fmt::Display for CkptError {
@@ -150,6 +159,9 @@ impl fmt::Display for CkptError {
             CkptError::MissingBlock { id } => write!(f, "manifest has no entry for block {id}"),
             CkptError::Incompatible { detail } => {
                 write!(f, "checkpoint incompatible with simulation: {detail}")
+            }
+            CkptError::PeerFailure { during } => {
+                write!(f, "a peer rank failed during collective {during}")
             }
         }
     }
@@ -584,6 +596,58 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
     Ok(())
 }
 
+/// Bounded-backoff retry for transient checkpoint I/O (overloaded parallel
+/// filesystems routinely fail writes transiently at scale).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (≥ 1; 1 = no retry).
+    pub attempts: u32,
+    /// Delay before the first retry; doubles per retry, capped at 500 ms.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Cap on the exponential backoff delay.
+const MAX_BACKOFF: Duration = Duration::from_millis(500);
+
+/// Run `f`, retrying on [`CkptError::Io`] with bounded exponential backoff.
+/// Non-I/O errors (corruption, incompatibility) are returned immediately —
+/// retrying cannot fix them.
+pub fn retry_io<T>(
+    policy: RetryPolicy,
+    mut f: impl FnMut() -> Result<T, CkptError>,
+) -> Result<T, CkptError> {
+    let attempts = policy.attempts.max(1);
+    let mut delay = policy.backoff;
+    let mut attempt = 0;
+    loop {
+        match f() {
+            Err(CkptError::Io(e)) if attempt + 1 < attempts => {
+                attempt += 1;
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(MAX_BACKOFF);
+                let _ = e;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// [`atomic_write`] wrapped in [`retry_io`]. The tmp+rename sequence is
+/// idempotent, so re-running the whole write after a transient failure is
+/// safe — a reader never observes a torn final file.
+pub fn atomic_write_retry(path: &Path, bytes: &[u8], policy: RetryPolicy) -> Result<(), CkptError> {
+    retry_io(policy, || atomic_write(path, bytes))
+}
+
 /// Directory of the checkpoint set for `step` under `root`.
 pub fn set_dir(root: &Path, step: u64) -> PathBuf {
     root.join(format!("step_{step:010}"))
@@ -604,7 +668,11 @@ pub fn write_block_file(
 ) -> Result<BlockEntry, CkptError> {
     let bytes = encode_block(state, id, time, precision);
     let crc = crc32(&bytes);
-    atomic_write(&dir.join(block_file_name(id)), &bytes)?;
+    atomic_write_retry(
+        &dir.join(block_file_name(id)),
+        &bytes,
+        RetryPolicy::default(),
+    )?;
     Ok(BlockEntry {
         id,
         file_bytes: bytes.len() as u64,
@@ -614,7 +682,11 @@ pub fn write_block_file(
 
 /// Atomically write the manifest into `dir`, completing the set.
 pub fn write_manifest_file(dir: &Path, m: &Manifest) -> Result<(), CkptError> {
-    atomic_write(&dir.join(MANIFEST_FILE), &encode_manifest(m))
+    atomic_write_retry(
+        &dir.join(MANIFEST_FILE),
+        &encode_manifest(m),
+        RetryPolicy::default(),
+    )
 }
 
 /// Read and verify the manifest of the set in `dir`.
@@ -667,12 +739,42 @@ pub fn read_block_from_set(
 /// skipped. Returns `Ok(None)` when no valid set exists (including when
 /// `root` itself does not exist yet).
 pub fn find_latest_checkpoint(root: &Path) -> Result<Option<(u64, PathBuf)>, CkptError> {
+    find_latest_checkpoint_at_or_below(root, None)
+}
+
+/// Like [`find_latest_checkpoint`], but only considers sets at step ≤
+/// `step_limit` when given — the descent primitive of the resilient
+/// driver's "skip a poisoned/corrupt set and retry with the previous one"
+/// path. Pruned (deleted) and partial (manifest-less) directories are
+/// skipped just like torn sets.
+pub fn find_latest_checkpoint_at_or_below(
+    root: &Path,
+    step_limit: Option<u64>,
+) -> Result<Option<(u64, PathBuf)>, CkptError> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for (step, dir) in list_set_dirs(root)? {
+        if step_limit.is_some_and(|limit| step > limit) {
+            continue;
+        }
+        if read_manifest_file(&dir).is_err() {
+            continue; // aborted / torn / partially pruned set
+        }
+        if best.as_ref().is_none_or(|(s, _)| step > *s) {
+            best = Some((step, dir));
+        }
+    }
+    Ok(best)
+}
+
+/// All `step_*` directories under `root` (valid or not), unordered.
+/// `Ok(empty)` when `root` does not exist yet.
+fn list_set_dirs(root: &Path) -> Result<Vec<(u64, PathBuf)>, CkptError> {
     let entries = match fs::read_dir(root) {
         Ok(e) => e,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
         Err(e) => return Err(e.into()),
     };
-    let mut best: Option<(u64, PathBuf)> = None;
+    let mut out = Vec::new();
     for entry in entries {
         let entry = entry?;
         let name = entry.file_name();
@@ -683,15 +785,41 @@ pub fn find_latest_checkpoint(root: &Path) -> Result<Option<(u64, PathBuf)>, Ckp
         else {
             continue;
         };
-        let dir = entry.path();
-        if read_manifest_file(&dir).is_err() {
-            continue; // aborted / torn set
-        }
-        if best.as_ref().is_none_or(|(s, _)| step > *s) {
-            best = Some((step, dir));
+        out.push((step, entry.path()));
+    }
+    Ok(out)
+}
+
+/// Retention: keep the newest `keep` *valid* checkpoint sets under `root`
+/// and delete everything older — including partial (manifest-less) debris
+/// from aborted writes — except `protect` (the set currently being read,
+/// which must never vanish mid-restore). Sets newer than the oldest kept
+/// valid set are left alone even without a manifest: they may be a write
+/// in progress. Returns the number of directories removed.
+pub fn prune_checkpoint_sets(
+    root: &Path,
+    keep: usize,
+    protect: Option<&Path>,
+) -> Result<usize, CkptError> {
+    assert!(keep >= 1, "retention must keep at least one set");
+    let dirs = list_set_dirs(root)?;
+    let mut valid_steps: Vec<u64> = dirs
+        .iter()
+        .filter(|(_, dir)| read_manifest_file(dir).is_ok())
+        .map(|(step, _)| *step)
+        .collect();
+    valid_steps.sort_unstable_by(|a, b| b.cmp(a));
+    let Some(&cutoff) = valid_steps.get(keep - 1) else {
+        return Ok(0); // fewer valid sets than the retention target
+    };
+    let mut removed = 0;
+    for (step, dir) in dirs {
+        if step < cutoff && protect != Some(dir.as_path()) {
+            fs::remove_dir_all(&dir)?;
+            removed += 1;
         }
     }
-    Ok(best)
+    Ok(removed)
 }
 
 #[cfg(test)]
@@ -906,5 +1034,142 @@ mod tests {
     fn find_latest_on_missing_root_is_none() {
         let p = Path::new("/nonexistent/eutectica/ckpts");
         assert!(find_latest_checkpoint(p).unwrap().is_none());
+    }
+
+    /// Minimal complete (manifest-carrying) set at `step` under `root`.
+    fn write_valid_set(root: &Path, step: u64) -> PathBuf {
+        let s = sample_state();
+        let dir = set_dir(root, step);
+        fs::create_dir_all(&dir).unwrap();
+        let e = write_block_file(&dir, &s, 0, step as f64, Precision::F32).unwrap();
+        write_manifest_file(
+            &dir,
+            &Manifest {
+                step,
+                time: step as f64,
+                window_shifts: 0,
+                precision: Precision::F32,
+                spec: DomainSpec::directional([4, 3, 5], [1, 1, 1]),
+                blocks: vec![e],
+            },
+        )
+        .unwrap();
+        dir
+    }
+
+    #[test]
+    fn find_latest_at_or_below_descends_past_newer_sets() {
+        let tmp = std::env::temp_dir().join(format!("eut_ckpt_below_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&tmp);
+        for step in [10, 20, 30] {
+            write_valid_set(&tmp, step);
+        }
+        let (step, _) = find_latest_checkpoint_at_or_below(&tmp, None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(step, 30);
+        let (step, _) = find_latest_checkpoint_at_or_below(&tmp, Some(29))
+            .unwrap()
+            .unwrap();
+        assert_eq!(step, 20);
+        let (step, _) = find_latest_checkpoint_at_or_below(&tmp, Some(20))
+            .unwrap()
+            .unwrap();
+        assert_eq!(step, 20);
+        assert!(find_latest_checkpoint_at_or_below(&tmp, Some(9))
+            .unwrap()
+            .is_none());
+        let _ = fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn prune_keeps_newest_valid_sets_and_clears_debris() {
+        let tmp = std::env::temp_dir().join(format!("eut_ckpt_prune_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&tmp);
+        for step in [10, 20, 30, 40] {
+            write_valid_set(&tmp, step);
+        }
+        // Manifest-less debris both below and between the valid sets.
+        for step in [5, 25] {
+            fs::create_dir_all(set_dir(&tmp, step)).unwrap();
+        }
+        let removed = prune_checkpoint_sets(&tmp, 2, None).unwrap();
+        // Cutoff is the 2nd-newest valid step (30): sets 10, 20 and the
+        // debris at 5 and 25 go; 30 and 40 stay.
+        assert_eq!(removed, 4);
+        for step in [5, 10, 20, 25] {
+            assert!(!set_dir(&tmp, step).exists(), "step {step} not pruned");
+        }
+        for step in [30, 40] {
+            assert!(set_dir(&tmp, step).exists(), "step {step} wrongly pruned");
+        }
+        let (latest, _) = find_latest_checkpoint(&tmp).unwrap().unwrap();
+        assert_eq!(latest, 40);
+        let _ = fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn prune_never_deletes_the_protected_set() {
+        let tmp = std::env::temp_dir().join(format!("eut_ckpt_protect_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&tmp);
+        let protected = write_valid_set(&tmp, 10);
+        write_valid_set(&tmp, 20);
+        write_valid_set(&tmp, 30);
+        let removed = prune_checkpoint_sets(&tmp, 1, Some(&protected)).unwrap();
+        assert_eq!(removed, 1, "only step 20 may go");
+        assert!(protected.exists(), "protected set was deleted");
+        assert!(set_dir(&tmp, 30).exists());
+        let _ = fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn prune_with_fewer_valid_sets_than_keep_is_a_noop() {
+        let tmp = std::env::temp_dir().join(format!("eut_ckpt_noop_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&tmp);
+        write_valid_set(&tmp, 10);
+        fs::create_dir_all(set_dir(&tmp, 20)).unwrap(); // partial, not valid
+        assert_eq!(prune_checkpoint_sets(&tmp, 5, None).unwrap(), 0);
+        assert!(set_dir(&tmp, 10).exists());
+        assert!(set_dir(&tmp, 20).exists(), "debris above cutoff survives");
+        let _ = fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn retry_io_retries_transient_io_errors_only() {
+        use std::cell::Cell;
+        let policy = RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(1),
+        };
+        // Transient: two Io failures, then success.
+        let calls = Cell::new(0u32);
+        let out = retry_io(policy, || {
+            calls.set(calls.get() + 1);
+            if calls.get() < 3 {
+                Err(CkptError::Io(std::io::Error::other("transient")))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls.get(), 3);
+
+        // Persistent Io: gives up after `attempts` calls.
+        let calls = Cell::new(0u32);
+        let out: Result<(), _> = retry_io(policy, || {
+            calls.set(calls.get() + 1);
+            Err(CkptError::Io(std::io::Error::other("still down")))
+        });
+        assert!(matches!(out, Err(CkptError::Io(_))));
+        assert_eq!(calls.get(), 3);
+
+        // Non-Io errors are never retried — corruption does not heal.
+        let calls = Cell::new(0u32);
+        let out: Result<(), _> = retry_io(policy, || {
+            calls.set(calls.get() + 1);
+            Err(CkptError::BadMagic { what: "test" })
+        });
+        assert!(matches!(out, Err(CkptError::BadMagic { .. })));
+        assert_eq!(calls.get(), 1);
     }
 }

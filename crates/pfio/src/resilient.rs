@@ -13,6 +13,28 @@
 //! [`Precision::F64`] checkpoints the recovered run is bit-identical to an
 //! uninterrupted one.
 //!
+//! # Silent-corruption recovery
+//!
+//! Rank death is not the only failure mode at scale: a [`RecoveryPolicy`]
+//! with health scans enabled additionally defends against *silent* state
+//! corruption without tearing the universe down. The timeloop's periodic
+//! invariant scans (`eutectica_core::health`) produce a cross-rank
+//! `HealthReport`; on an unhealthy verdict every rank rolls back in-flight
+//! to the newest checkpoint set that restores cleanly **and** itself scans
+//! healthy (poisoned sets — written after the corruption — are skipped in
+//! descending step order), applies the configured remediation (simplex
+//! re-projection, optional dt-reduction for K steps), and keeps running.
+//! After [`RecoveryPolicy::max_rollbacks`] in-flight rollbacks the attempt
+//! escalates to a full restart via a typed [`RankFailure`]; only when every
+//! attempt is exhausted does the driver give up with
+//! [`ResilientError::Exhausted`].
+//!
+//! Checkpoint-write and restore failures are typed per rank (satellite of
+//! the same defense): collective votes inside [`SimCheckpointExt`] keep all
+//! ranks in lockstep when one rank's I/O fails, a failed write leaves an
+//! invalid (manifest-less) set that restores skip, and a corrupt newest set
+//! is retried with the *previous* one instead of killing the rank.
+//!
 //! Checkpoint cadence follows Sec. 3.2: [`CheckpointCadence`] measures the
 //! step and checkpoint wall times at runtime and re-plans the write
 //! interval through [`crate::checkpoint_interval`] so measured overhead
@@ -27,6 +49,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use eutectica_blockgrid::decomp::{Decomposition, DomainSpec};
 use eutectica_comm::{FaultPlan, Rank, ReduceOp, Universe, UniverseCfg, UniverseError};
+use eutectica_core::health::{FieldFaultPlan, HealthConfig, HealthMonitor};
 use eutectica_core::kernels::KernelConfig;
 use eutectica_core::params::ModelParams;
 use eutectica_core::state::BlockState;
@@ -59,15 +82,36 @@ impl SimCheckpointExt for DistributedSim<'_> {
         let _span = tel.span_cat("checkpoint_write", "io");
         let step = self.step_index() as u64;
         let dir = ckpt::set_dir(root, step);
-        std::fs::create_dir_all(&dir)?;
-        let mut entries = Vec::with_capacity(self.blocks.len());
-        let mut bytes_written = 0u64;
-        for (li, &id) in self.local_block_ids().iter().enumerate() {
-            let e =
-                ckpt::write_block_file(&dir, &self.blocks[li], id as u64, self.time(), precision)?;
-            bytes_written += e.file_bytes;
-            entries.push(e);
+        // Write local block files without early returns — the collective
+        // votes below must run on every rank no matter what fails locally.
+        let local: Result<(Vec<BlockEntry>, u64), CkptError> = (|| {
+            std::fs::create_dir_all(&dir)?;
+            let mut entries = Vec::with_capacity(self.blocks.len());
+            let mut bytes_written = 0u64;
+            for (li, &id) in self.local_block_ids().iter().enumerate() {
+                let e = ckpt::write_block_file(
+                    &dir,
+                    &self.blocks[li],
+                    id as u64,
+                    self.time(),
+                    precision,
+                )?;
+                bytes_written += e.file_bytes;
+                entries.push(e);
+            }
+            Ok((entries, bytes_written))
+        })();
+        let rank = self.comm_rank();
+        // Vote 1: every rank's block files landed. A failing peer must not
+        // strand the others in the gather; on failure the set simply never
+        // gets a manifest and stays invisible to restores.
+        let vote = |ok: bool| rank.allreduce_f64(if ok { 1.0 } else { 0.0 }, ReduceOp::Min) == 1.0;
+        if !vote(local.is_ok()) {
+            return Err(local.err().unwrap_or(CkptError::PeerFailure {
+                during: "checkpoint write",
+            }));
         }
+        let (entries, bytes_written) = local.expect("voted ok");
         // Rank 0 collects every rank's entries and completes the set.
         let mut payload = Vec::with_capacity(entries.len() * 20);
         for e in &entries {
@@ -75,34 +119,42 @@ impl SimCheckpointExt for DistributedSim<'_> {
             payload.extend_from_slice(&e.file_bytes.to_le_bytes());
             payload.extend_from_slice(&e.crc32.to_le_bytes());
         }
-        let rank = self.comm_rank();
-        if let Some(bufs) = rank.gather(0, Bytes::from(payload)) {
-            let mut all = Vec::new();
-            for buf in &bufs {
-                assert!(buf.len() % 20 == 0, "malformed checkpoint entry payload");
-                for chunk in buf.chunks_exact(20) {
-                    all.push(BlockEntry {
-                        id: u64::from_le_bytes(chunk[0..8].try_into().unwrap()),
-                        file_bytes: u64::from_le_bytes(chunk[8..16].try_into().unwrap()),
-                        crc32: u32::from_le_bytes(chunk[16..20].try_into().unwrap()),
-                    });
+        let manifest_result: Result<(), CkptError> = match rank.gather(0, Bytes::from(payload)) {
+            Some(bufs) => {
+                let mut all = Vec::new();
+                for buf in &bufs {
+                    assert!(buf.len() % 20 == 0, "malformed checkpoint entry payload");
+                    for chunk in buf.chunks_exact(20) {
+                        all.push(BlockEntry {
+                            id: u64::from_le_bytes(chunk[0..8].try_into().unwrap()),
+                            file_bytes: u64::from_le_bytes(chunk[8..16].try_into().unwrap()),
+                            crc32: u32::from_le_bytes(chunk[16..20].try_into().unwrap()),
+                        });
+                    }
                 }
+                all.sort_by_key(|e| e.id);
+                ckpt::write_manifest_file(
+                    &dir,
+                    &Manifest {
+                        step,
+                        time: self.time(),
+                        window_shifts: self.window_shifts() as u64,
+                        precision,
+                        spec: self.decomp().spec,
+                        blocks: all,
+                    },
+                )
             }
-            all.sort_by_key(|e| e.id);
-            ckpt::write_manifest_file(
-                &dir,
-                &Manifest {
-                    step,
-                    time: self.time(),
-                    window_shifts: self.window_shifts() as u64,
-                    precision,
-                    spec: self.decomp().spec,
-                    blocks: all,
-                },
-            )?;
+            None => Ok(()),
+        };
+        // Vote 2 (doubles as the completion barrier): the set is complete
+        // for everyone only after the manifest landed, and a failed
+        // manifest write surfaces consistently on *all* ranks.
+        if !vote(manifest_result.is_ok()) {
+            return Err(manifest_result.err().unwrap_or(CkptError::PeerFailure {
+                during: "manifest write",
+            }));
         }
-        // The set is complete for everyone only after the manifest landed.
-        rank.barrier();
         tel.counter_add("ckpt/bytes_written", bytes_written);
         tel.counter_add("ckpt/sets_written", 1);
         tel.counter_add("ckpt/wall_ns", start.elapsed().as_nanos() as u64);
@@ -114,46 +166,72 @@ impl SimCheckpointExt for DistributedSim<'_> {
         let start = Instant::now();
         {
             let _span = tel.span_cat("checkpoint_restore", "io");
-            let manifest = ckpt::read_manifest_file(dir)?;
-            if manifest.spec != self.decomp().spec {
-                return Err(CkptError::Incompatible {
-                    detail: format!(
-                        "set decomposes {:?}, simulation runs {:?}",
-                        manifest.spec,
-                        self.decomp().spec
-                    ),
-                });
+            // Local reads first, no early return: the vote below must run on
+            // every rank so a failing rank cannot strand its peers in the
+            // ghost-refresh collective. On error this rank's fields may be
+            // partially overwritten — callers are expected to re-restore
+            // (e.g. from the previous set) before continuing.
+            let local = restore_local(self, dir, byte_budget);
+            let ok = self
+                .comm_rank()
+                .allreduce_f64(if local.is_ok() { 1.0 } else { 0.0 }, ReduceOp::Min)
+                == 1.0;
+            if !ok {
+                return Err(local.err().unwrap_or(CkptError::PeerFailure {
+                    during: "checkpoint restore",
+                }));
             }
-            let ids: Vec<usize> = self.local_block_ids().to_vec();
-            for (li, id) in ids.into_iter().enumerate() {
-                let dec = ckpt::read_block_from_set(dir, &manifest, id as u64, byte_budget)?;
-                let b = &mut self.blocks[li];
-                if dec.state.dims != b.dims {
-                    return Err(CkptError::Incompatible {
-                        detail: format!(
-                            "block {id}: checkpoint dims {:?} vs simulation {:?}",
-                            dec.state.dims, b.dims
-                        ),
-                    });
-                }
-                // Keep this block's boundary conditions; take fields and the
-                // (possibly window-shifted) origin from the file.
-                b.origin = dec.state.origin;
-                b.phi_src = dec.state.phi_src;
-                b.mu_src = dec.state.mu_src;
-                b.sync_dst_from_src();
-            }
-            self.set_progress(
-                manifest.time,
-                manifest.step as usize,
-                manifest.window_shifts as usize,
-            );
             self.refresh_src_ghosts();
         }
         tel.counter_add("ckpt/restores", 1);
         tel.counter_add("ckpt/restore_wall_ns", start.elapsed().as_nanos() as u64);
         Ok(())
     }
+}
+
+/// Rank-local part of [`SimCheckpointExt::restore_from_set`]: manifest read,
+/// spec check, block reads and progress reset — everything except the
+/// collective ghost refresh.
+fn restore_local(
+    sim: &mut DistributedSim<'_>,
+    dir: &Path,
+    byte_budget: u64,
+) -> Result<(), CkptError> {
+    let manifest = ckpt::read_manifest_file(dir)?;
+    if manifest.spec != sim.decomp().spec {
+        return Err(CkptError::Incompatible {
+            detail: format!(
+                "set decomposes {:?}, simulation runs {:?}",
+                manifest.spec,
+                sim.decomp().spec
+            ),
+        });
+    }
+    let ids: Vec<usize> = sim.local_block_ids().to_vec();
+    for (li, id) in ids.into_iter().enumerate() {
+        let dec = ckpt::read_block_from_set(dir, &manifest, id as u64, byte_budget)?;
+        let b = &mut sim.blocks[li];
+        if dec.state.dims != b.dims {
+            return Err(CkptError::Incompatible {
+                detail: format!(
+                    "block {id}: checkpoint dims {:?} vs simulation {:?}",
+                    dec.state.dims, b.dims
+                ),
+            });
+        }
+        // Keep this block's boundary conditions; take fields and the
+        // (possibly window-shifted) origin from the file.
+        b.origin = dec.state.origin;
+        b.phi_src = dec.state.phi_src;
+        b.mu_src = dec.state.mu_src;
+        b.sync_dst_from_src();
+    }
+    sim.set_progress(
+        manifest.time,
+        manifest.step as usize,
+        manifest.window_shifts as usize,
+    );
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -258,6 +336,125 @@ impl Cadence {
     }
 }
 
+/// Temporary time-step reduction applied after an in-flight rollback.
+///
+/// Breaks bit-identity with an uninjected run (the recovered trajectory
+/// integrates with a different dt for a while), so it is off by default —
+/// enable it when corruption correlates with stiffness rather than with
+/// radiation-style bit upsets.
+#[derive(Clone, Copy, Debug)]
+pub struct DtReduction {
+    /// Multiply dt by this factor (0 < factor < 1) right after rollback.
+    pub factor: f64,
+    /// Restore the original dt after this many post-rollback steps.
+    pub steps: usize,
+}
+
+/// Silent-corruption recovery policy of [`run_resilient`].
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryPolicy {
+    /// Enable periodic field-health scans with this configuration.
+    /// `None` disables the entire in-flight recovery path.
+    pub health: Option<HealthConfig>,
+    /// Field-fault injection plan per attempt (testing); attempts beyond
+    /// the end run injection-free. Fire-once semantics: a fault consumed
+    /// before a rollback is not re-injected after it.
+    pub field_fault_plans: Vec<FieldFaultPlan>,
+    /// In-flight rollbacks allowed per attempt before escalating to a full
+    /// restart ([`RankFailure::RollbackExhausted`]).
+    pub max_rollbacks: usize,
+    /// Re-project φ onto the Gibbs simplex after each rollback (a no-op on
+    /// valid restored states, so bit-identity is preserved).
+    pub project_simplex: bool,
+    /// Optional dt-reduction remediation after each rollback.
+    pub dt_reduction: Option<DtReduction>,
+}
+
+impl RecoveryPolicy {
+    /// Recovery with health scans enabled and default remediation
+    /// (simplex re-projection, 3 rollbacks per attempt, no dt-reduction).
+    pub fn with_health(health: HealthConfig) -> Self {
+        Self {
+            health: Some(health),
+            field_fault_plans: Vec::new(),
+            max_rollbacks: 3,
+            project_simplex: true,
+            dt_reduction: None,
+        }
+    }
+}
+
+/// Typed per-rank failure inside a [`run_resilient`] attempt — distinguishes
+/// recovery-path failures from a killed rank ([`UniverseError`]).
+#[derive(Clone, Debug)]
+pub enum RankFailure {
+    /// No checkpoint set could be restored (all sets corrupt, poisoned, or
+    /// unreadable).
+    Restore {
+        /// Human-readable cause chain.
+        detail: String,
+    },
+    /// The in-flight rollback budget was exhausted at `step`.
+    RollbackExhausted {
+        /// Rollbacks consumed this attempt.
+        rollbacks: usize,
+        /// Step at which the budget ran out.
+        step: usize,
+        /// The unhealthy report that triggered the final rollback.
+        detail: String,
+    },
+    /// Corruption was detected but no checkpoint set exists to roll back to.
+    NoRollbackTarget {
+        /// Step at which corruption was detected.
+        step: usize,
+        /// The unhealthy report.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankFailure::Restore { detail } => write!(f, "restore failed: {detail}"),
+            RankFailure::RollbackExhausted {
+                rollbacks,
+                step,
+                detail,
+            } => write!(
+                f,
+                "rollback budget exhausted ({rollbacks} rollbacks) at step {step}: {detail}"
+            ),
+            RankFailure::NoRollbackTarget { step, detail } => {
+                write!(f, "no rollback target at step {step}: {detail}")
+            }
+        }
+    }
+}
+
+/// Why one [`run_resilient`] attempt failed.
+#[derive(Debug)]
+pub enum AttemptFailure {
+    /// The universe itself died (rank kill, comm timeout, rank panic).
+    Universe(UniverseError),
+    /// All ranks survived but at least one hit a typed recovery failure.
+    Ranks(Vec<RankFailure>),
+}
+
+impl std::fmt::Display for AttemptFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttemptFailure::Universe(e) => write!(f, "universe failure: {e}"),
+            AttemptFailure::Ranks(rs) => {
+                write!(f, "{} rank(s) failed", rs.len())?;
+                if let Some(first) = rs.first() {
+                    write!(f, " (first: {first})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Options of [`run_resilient`].
 #[derive(Clone, Debug)]
 pub struct ResilientOpts {
@@ -280,11 +477,19 @@ pub struct ResilientOpts {
     pub op_timeout: Duration,
     /// Byte budget for checkpoint-header validation on restore.
     pub byte_budget: u64,
+    /// Silent-corruption defense (health scans, in-flight rollback).
+    pub recovery: RecoveryPolicy,
+    /// Keep only the newest `k` valid checkpoint sets on disk (rank 0
+    /// prunes after each successful write). `None` retains everything.
+    pub retain_sets: Option<usize>,
+    /// Intra-rank sweep/scan threads per rank (PR 3 hybrid layer).
+    pub threads: usize,
 }
 
 impl ResilientOpts {
     /// Sensible defaults: F64 checkpoints under `ckpt_root`, every 10
-    /// steps, single-rank, no faults.
+    /// steps, single-rank, single-thread, no faults, no health scans,
+    /// unlimited retention.
     pub fn new(ckpt_root: PathBuf) -> Self {
         Self {
             ckpt_root,
@@ -295,6 +500,9 @@ impl ResilientOpts {
             max_attempts: 3,
             op_timeout: Duration::from_secs(300),
             byte_budget: DEFAULT_BYTE_BUDGET,
+            recovery: RecoveryPolicy::default(),
+            retain_sets: None,
+            threads: 1,
         }
     }
 }
@@ -308,8 +516,14 @@ pub struct ResilientOutcome {
     pub time: f64,
     /// Attempts used (1 = no failure).
     pub attempts: usize,
-    /// The universe failures that forced restarts, in order.
-    pub failures: Vec<UniverseError>,
+    /// The attempt failures that forced restarts, in order.
+    pub failures: Vec<AttemptFailure>,
+    /// In-flight rollbacks consumed during the successful attempt
+    /// (max over ranks; ranks agree when health scans are collective).
+    pub rollbacks: usize,
+    /// Poisoned/corrupt checkpoint sets skipped while searching for a
+    /// rollback or resume target during the successful attempt.
+    pub restore_skips: usize,
 }
 
 /// Failure of [`run_resilient`].
@@ -319,8 +533,8 @@ pub enum ResilientError {
     Exhausted {
         /// Attempts made.
         attempts: usize,
-        /// Universe failure per attempt.
-        failures: Vec<UniverseError>,
+        /// Failure per attempt.
+        failures: Vec<AttemptFailure>,
     },
     /// A checkpoint-set scan failed outside the universe.
     Ckpt(CkptError),
@@ -349,15 +563,103 @@ impl From<CkptError> for ResilientError {
     }
 }
 
+/// Outcome of `restore_best`: either a set was restored or none exist yet.
+enum RestoreBest {
+    /// Restored the set written at this step.
+    Restored(u64),
+    /// The root holds no checkpoint sets at all (fresh start).
+    NoSets,
+}
+
+/// Restore the newest checkpoint set that restores cleanly and (when
+/// `validate`) itself scans healthy, skipping poisoned or corrupt sets in
+/// descending step order. Collective: the restore votes and the validation
+/// scan allreduces keep every rank descending in lockstep, so all ranks
+/// agree on the chosen set (and on failure).
+fn restore_best(
+    sim: &mut DistributedSim<'_>,
+    root: &Path,
+    budget: u64,
+    validate: bool,
+    skips: &mut usize,
+) -> Result<RestoreBest, RankFailure> {
+    let mut limit: Option<u64> = None;
+    let mut saw_any = false;
+    loop {
+        let found = ckpt::find_latest_checkpoint_at_or_below(root, limit).map_err(|e| {
+            RankFailure::Restore {
+                detail: format!("checkpoint scan failed: {e}"),
+            }
+        })?;
+        let Some((step, dir)) = found else {
+            return if saw_any {
+                Err(RankFailure::Restore {
+                    detail: "no restorable checkpoint set left".into(),
+                })
+            } else {
+                Ok(RestoreBest::NoSets)
+            };
+        };
+        saw_any = true;
+        match sim.restore_from_set(&dir, budget) {
+            Ok(()) => {
+                if validate {
+                    if let Some(report) = sim.health_scan_now() {
+                        if !report.is_healthy() {
+                            *skips += 1;
+                            sim.telemetry().counter_add("health/restore_skips", 1);
+                            if step == 0 {
+                                return Err(RankFailure::Restore {
+                                    detail: format!(
+                                        "every checkpoint set is poisoned (step 0: {})",
+                                        report.describe()
+                                    ),
+                                });
+                            }
+                            limit = Some(step - 1);
+                            continue;
+                        }
+                    }
+                }
+                return Ok(RestoreBest::Restored(step));
+            }
+            Err(e) => {
+                *skips += 1;
+                sim.telemetry().counter_add("health/restore_skips", 1);
+                if step == 0 {
+                    return Err(RankFailure::Restore {
+                        detail: format!("step-0 set failed to restore: {e}"),
+                    });
+                }
+                limit = Some(step - 1);
+            }
+        }
+    }
+}
+
+/// Per-rank result of one successful attempt.
+struct RankOutcome {
+    time: f64,
+    blocks: Vec<(usize, BlockState)>,
+    rollbacks: usize,
+    restore_skips: usize,
+}
+
 /// Run `target_steps` of a distributed simulation to completion despite
-/// rank failures: each attempt resumes from the latest valid checkpoint set
-/// (or initializes with `init` when none exists), writes checkpoints at the
-/// configured cadence, and a detected failure tears the universe down and
-/// triggers the next attempt — possibly on a different rank count.
+/// rank failures *and* silent state corruption: each attempt resumes from
+/// the newest restorable checkpoint set (or initializes with `init` when
+/// none exists) and writes checkpoints at the configured cadence. A rank
+/// death tears the universe down and triggers the next attempt — possibly
+/// on a different rank count. A failed health scan (see
+/// [`RecoveryPolicy`]) instead rolls back in-flight: the newest set that
+/// restores cleanly and scans healthy is re-loaded, remediation is applied,
+/// and the run continues without universe teardown; only an exhausted
+/// rollback budget escalates to a full restart via a typed [`RankFailure`].
 ///
 /// Each rank announces its step index to the fault-injection layer via
 /// `fault_step`, so a [`FaultPlan::kill`] at step *k* fires exactly when
-/// step *k* is about to run.
+/// step *k* is about to run; [`RecoveryPolicy::field_fault_plans`] inject
+/// field corruption the same way, keyed by attempt.
 pub fn run_resilient<F>(
     params: ModelParams,
     spec: DomainSpec,
@@ -373,14 +675,13 @@ where
     assert!(opts.max_attempts > 0 && !opts.ranks.is_empty());
     let params = Arc::new(params);
     let init = Arc::new(init);
-    let mut failures: Vec<UniverseError> = Vec::new();
+    let mut failures: Vec<AttemptFailure> = Vec::new();
 
     for attempt in 0..opts.max_attempts {
         let n_ranks = *opts
             .ranks
             .get(attempt)
             .unwrap_or_else(|| opts.ranks.last().unwrap());
-        let resume_dir = ckpt::find_latest_checkpoint(&opts.ckpt_root)?.map(|(_, dir)| dir);
 
         let mut ucfg = UniverseCfg::with_timeout(opts.op_timeout);
         if let Some(plan) = opts.fault_plans.get(attempt) {
@@ -393,10 +694,18 @@ where
         let precision = opts.precision;
         let budget = opts.byte_budget;
         let cadence = opts.cadence.clone();
+        let recovery = opts.recovery.clone();
+        let field_plan = recovery
+            .field_fault_plans
+            .get(attempt)
+            .cloned()
+            .unwrap_or_default();
+        let retain = opts.retain_sets;
+        let threads = opts.threads;
 
-        type RankResult = (f64, Vec<(usize, BlockState)>);
+        type RankResult = Result<RankOutcome, RankFailure>;
         let run: Result<Vec<RankResult>, UniverseError> =
-            Universe::run_checked(n_ranks, ucfg, move |rank| {
+            Universe::run_checked(n_ranks, ucfg, move |rank| -> RankResult {
                 let mut sim = DistributedSim::new(
                     &rank,
                     (*params).clone(),
@@ -404,44 +713,140 @@ where
                     cfg,
                     overlap,
                 );
-                match &resume_dir {
-                    Some(dir) => sim
-                        .restore_from_set(dir, budget)
-                        .unwrap_or_else(|e| panic!("restore failed: {e}")),
-                    None => sim.init_blocks(|b| init(b)),
+                sim.set_threads(threads);
+                let validate = recovery.health.is_some();
+                if let Some(hc) = recovery.health {
+                    sim.set_health_monitor(Some(
+                        HealthMonitor::new(hc).with_faults(field_plan.clone()),
+                    ));
+                }
+                let mut restore_skips = 0usize;
+                match restore_best(&mut sim, &root, budget, validate, &mut restore_skips)? {
+                    RestoreBest::Restored(step) => {
+                        sim.telemetry().gauge_set("ckpt/resumed_step", step as f64);
+                    }
+                    RestoreBest::NoSets => sim.init_blocks(|b| init(b)),
                 }
                 let mut sched = cadence.scheduler();
+                let mut rollbacks = 0usize;
+                let mut dt_restore: Option<(usize, f64)> = None;
                 while sim.step_index() < target_steps {
+                    if let Some((until, dt0)) = dt_restore {
+                        if sim.step_index() >= until {
+                            sim.params.dt = dt0;
+                            dt_restore = None;
+                        }
+                    }
                     rank.fault_step(sim.step_index() as u64);
                     let t0 = Instant::now();
                     sim.step();
                     sched.observe_step(t0.elapsed());
+                    if let Some(report) = sim.take_unhealthy_report() {
+                        // Unhealthy verdicts come from an allreduce, so every
+                        // rank takes this branch at the same step and the
+                        // rollback collectives stay in lockstep.
+                        rollbacks += 1;
+                        sim.telemetry().counter_add("health/rollbacks", 1);
+                        let detail = report.describe();
+                        if rollbacks > recovery.max_rollbacks {
+                            return Err(RankFailure::RollbackExhausted {
+                                rollbacks,
+                                step: report.step,
+                                detail,
+                            });
+                        }
+                        match restore_best(&mut sim, &root, budget, validate, &mut restore_skips)? {
+                            RestoreBest::Restored(step) => {
+                                sim.telemetry()
+                                    .gauge_set("health/rollback_to_step", step as f64);
+                            }
+                            RestoreBest::NoSets => {
+                                return Err(RankFailure::NoRollbackTarget {
+                                    step: report.step,
+                                    detail,
+                                });
+                            }
+                        }
+                        if recovery.project_simplex {
+                            let tol = recovery
+                                .health
+                                .as_ref()
+                                .map_or(eutectica_core::health::DEFAULT_SIMPLEX_TOL, |h| {
+                                    h.simplex_tol
+                                });
+                            sim.project_phi_to_simplex(tol);
+                        }
+                        if let Some(dr) = recovery.dt_reduction {
+                            if dt_restore.is_none() {
+                                dt_restore = Some((sim.step_index() + dr.steps, sim.params.dt));
+                            }
+                            sim.params.dt *= dr.factor;
+                        }
+                        continue;
+                    }
                     if sim.step_index() < target_steps && sched.due(sim.step_index()) {
                         let t0 = Instant::now();
-                        sim.write_checkpoint_set(&root, precision)
-                            .unwrap_or_else(|e| panic!("checkpoint write failed: {e}"));
-                        sched.observe_checkpoint(&rank, t0.elapsed(), sim.step_index());
+                        match sim.write_checkpoint_set(&root, precision) {
+                            Ok(_) => {
+                                sched.observe_checkpoint(&rank, t0.elapsed(), sim.step_index());
+                                if let (Some(keep), 0) = (retain, rank.rank()) {
+                                    // Collectives serialize rank 0 against
+                                    // restores, so pruning cannot race a set
+                                    // being read.
+                                    if let Ok(n) = ckpt::prune_checkpoint_sets(&root, keep, None) {
+                                        sim.telemetry().counter_add("ckpt/sets_pruned", n as u64);
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                // The votes made this error consistent across
+                                // ranks and the set has no manifest, so it is
+                                // invisible to restores. Keep running — the
+                                // scheduler stays due and retries next step.
+                                sim.telemetry().counter_add("ckpt/write_failures", 1);
+                            }
+                        }
                     }
                 }
                 let ids = sim.local_block_ids().to_vec();
                 let blocks = std::mem::take(&mut sim.blocks);
-                (sim.time(), ids.into_iter().zip(blocks).collect())
+                Ok(RankOutcome {
+                    time: sim.time(),
+                    blocks: ids.into_iter().zip(blocks).collect(),
+                    rollbacks,
+                    restore_skips,
+                })
             });
 
         match run {
             Ok(per_rank) => {
-                let time = per_rank[0].0;
-                let mut tagged: Vec<(usize, BlockState)> =
-                    per_rank.into_iter().flat_map(|(_, b)| b).collect();
-                tagged.sort_by_key(|(id, _)| *id);
-                return Ok(ResilientOutcome {
-                    blocks: tagged.into_iter().map(|(_, b)| b).collect(),
-                    time,
-                    attempts: attempt + 1,
-                    failures,
-                });
+                let mut oks: Vec<RankOutcome> = Vec::new();
+                let mut errs: Vec<RankFailure> = Vec::new();
+                for r in per_rank {
+                    match r {
+                        Ok(o) => oks.push(o),
+                        Err(e) => errs.push(e),
+                    }
+                }
+                if errs.is_empty() {
+                    let time = oks[0].time;
+                    let rollbacks = oks.iter().map(|o| o.rollbacks).max().unwrap_or(0);
+                    let restore_skips = oks.iter().map(|o| o.restore_skips).max().unwrap_or(0);
+                    let mut tagged: Vec<(usize, BlockState)> =
+                        oks.into_iter().flat_map(|o| o.blocks).collect();
+                    tagged.sort_by_key(|(id, _)| *id);
+                    return Ok(ResilientOutcome {
+                        blocks: tagged.into_iter().map(|(_, b)| b).collect(),
+                        time,
+                        attempts: attempt + 1,
+                        failures,
+                        rollbacks,
+                        restore_skips,
+                    });
+                }
+                failures.push(AttemptFailure::Ranks(errs));
             }
-            Err(e) => failures.push(e),
+            Err(e) => failures.push(AttemptFailure::Universe(e)),
         }
     }
     Err(ResilientError::Exhausted {

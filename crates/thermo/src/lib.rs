@@ -269,6 +269,41 @@ impl TernarySystem {
         let rhs = [cl[0], cl[1], 1.0];
         solve3(m, rhs)
     }
+
+    /// Physically plausible per-component bounds on the chemical potential,
+    /// `[(lo, hi); N_COMP]`, derived from the parabolic free energies: the
+    /// extreme values µ_i = 2 k_i(T) (c_i − c_i^eq(T)) can take for *any*
+    /// phase with concentrations in `[−c_margin, 1 + c_margin]` (atomic
+    /// fractions padded by `c_margin`) and temperatures in `[t_lo, t_hi]`.
+    ///
+    /// A µ value outside these bounds cannot arise from any physical
+    /// composition and therefore indicates corrupted state — this is the
+    /// contract the `core::health` invariant scans enforce at runtime.
+    ///
+    /// k_i(T)·(c − c_i^eq(T)) is quadratic in T, so the extremum over the
+    /// temperature interval need not sit at an endpoint; the interval is
+    /// sampled densely, which is exact enough for a plausibility envelope.
+    pub fn mu_plausible_bounds(&self, t_lo: f64, t_hi: f64, c_margin: f64) -> [(f64, f64); N_COMP] {
+        assert!(t_lo <= t_hi, "empty temperature interval");
+        assert!(c_margin >= 0.0, "negative concentration margin");
+        let mut bounds = [(f64::INFINITY, f64::NEG_INFINITY); N_COMP];
+        const T_SAMPLES: usize = 17;
+        for s in 0..T_SAMPLES {
+            let t = t_lo + (t_hi - t_lo) * s as f64 / (T_SAMPLES - 1) as f64;
+            for ph in &self.phases {
+                let c_eq = ph.c_eq(t, self.t_eu);
+                let k = ph.curvature_at(t, self.t_eu);
+                for i in 0..N_COMP {
+                    for c in [-c_margin, 1.0 + c_margin] {
+                        let mu = 2.0 * k[i] * (c - c_eq[i]);
+                        bounds[i].0 = bounds[i].0.min(mu);
+                        bounds[i].1 = bounds[i].1.max(mu);
+                    }
+                }
+            }
+        }
+        bounds
+    }
 }
 
 /// Solve a 3×3 linear system by Cramer's rule.
@@ -471,6 +506,40 @@ mod tests {
         for comp in 0..N_COMP {
             let mix: f64 = (0..3).map(|a| f[a] * s.phases[a].c_eu[comp]).sum();
             assert!((mix - s.phases[LIQUID].c_eu[comp]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mu_plausible_bounds_contain_all_physical_mu() {
+        let s = sys();
+        let b = s.mu_plausible_bounds(0.9, 1.1, 0.25);
+        // Every µ reachable from an in-range composition must lie inside.
+        for a in 0..N_PHASES {
+            for &t in &[0.9, 0.95, 1.0, 1.05, 1.1] {
+                for &c0 in &[-0.25, 0.0, 0.5, 1.0, 1.25] {
+                    for &c1 in &[-0.25, 0.0, 0.5, 1.0, 1.25] {
+                        let mu = s.mu_of_c(a, [c0, c1], t);
+                        for i in 0..N_COMP {
+                            assert!(
+                                mu[i] >= b[i].0 - 1e-12 && mu[i] <= b[i].1 + 1e-12,
+                                "phase {a} t={t} c=({c0},{c1}): mu[{i}]={} outside {:?}",
+                                mu[i],
+                                b[i]
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // The envelope is finite, nonempty, and straddles zero (eutectic
+        // equilibrium µ = 0 must always be plausible).
+        for (lo, hi) in b {
+            assert!(lo.is_finite() && hi.is_finite() && lo < 0.0 && hi > 0.0);
+        }
+        // A wider concentration margin can only widen the envelope.
+        let wider = s.mu_plausible_bounds(0.9, 1.1, 0.5);
+        for i in 0..N_COMP {
+            assert!(wider[i].0 <= b[i].0 && wider[i].1 >= b[i].1);
         }
     }
 

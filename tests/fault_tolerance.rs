@@ -17,8 +17,18 @@ use eutectica_core::timeloop::{DistributedSim, OverlapOptions};
 use eutectica_core::{N_COMP, N_PHASES};
 use eutectica_pfio::ckpt::Precision;
 use eutectica_pfio::resilient::{
-    run_resilient, Cadence, CheckpointCadence, ResilientOpts, ResilientOutcome, SimCheckpointExt,
+    run_resilient, AttemptFailure, Cadence, CheckpointCadence, ResilientOpts, ResilientOutcome,
+    SimCheckpointExt,
 };
+
+/// Unwrap an attempt failure that must be a universe (rank-death) failure
+/// and return its dead-rank list.
+fn universe_dead(f: &AttemptFailure) -> &[(usize, String)] {
+    match f {
+        AttemptFailure::Universe(u) => &u.dead,
+        other => panic!("expected a universe failure, got: {other}"),
+    }
+}
 
 fn init(b: &mut BlockState) {
     let seeds = eutectica_core::init::VoronoiSeeds::generate([16, 16], 4, [0.34, 0.33, 0.33], 42);
@@ -99,7 +109,7 @@ fn kill_and_restore_is_bit_identical() {
         "the kill must force exactly one restart"
     );
     assert_eq!(killed.failures.len(), 1);
-    let (dead_rank, msg) = &killed.failures[0].dead[0];
+    let (dead_rank, msg) = &universe_dead(&killed.failures[0])[0];
     assert_eq!(*dead_rank, 1, "rank 1 was killed, got: {msg}");
     assert!(msg.contains("fault injection"), "unexpected death: {msg}");
 
@@ -127,7 +137,7 @@ fn restore_onto_different_rank_count_is_bit_identical() {
         vec![FaultPlan::new(3).kill(3, 9)],
     );
     assert_eq!(killed.attempts, 2);
-    assert_eq!(killed.failures[0].dead[0].0, 3);
+    assert_eq!(universe_dead(&killed.failures[0])[0].0, 3);
 
     assert_eq!(clean.time.to_bits(), killed.time.to_bits());
     assert_eq!(

@@ -33,6 +33,7 @@ fn main() {
             4,
             eutectica_core::timeloop::OverlapOptions::default(),
             eutectica_bench::health_every_arg(),
+            eutectica_bench::rebalance_policy_from_args(),
         )
         .expect("write trace artifacts");
         println!();

@@ -55,6 +55,7 @@ fn main() {
                 hide_phi: false,
             },
             eutectica_bench::health_every_arg(),
+            eutectica_bench::rebalance_policy_from_args(),
         )
         .expect("write trace artifacts");
         println!();

@@ -41,8 +41,17 @@ fn main() {
                 hide_phi: false,
             },
             eutectica_bench::health_every_arg(),
+            eutectica_bench::rebalance_policy_from_args(),
         )
         .expect("write trace artifacts");
+        println!();
+    }
+
+    // --rebalance-every <k>: run the front-crossing load-imbalance demo and
+    // report the measured static vs. dynamically rebalanced max/avg ratio.
+    if let Some(every) = eutectica_bench::rebalance_every_arg() {
+        let threshold = eutectica_bench::imbalance_threshold_arg().unwrap_or(1.1);
+        eutectica_bench::rebalance_demo(every, threshold, threads, 24);
         println!();
     }
 

@@ -37,6 +37,13 @@ pub fn assign_contiguous_uniform(n_blocks: usize, n_ranks: usize) -> Vec<usize> 
 /// Optimal *contiguous* weighted partition: blocks stay in id order (good
 /// halo locality), rank boundaries are chosen to minimize the maximum rank
 /// weight. Binary search on the bottleneck + greedy feasibility check.
+///
+/// **Tie-break rule (determinism guarantee).** The greedy packing walks
+/// blocks in ascending id and opens a new rank at the first block that
+/// overflows the bottleneck cap (or that the trailing-rank reserve claims) —
+/// there is no data-dependent ordering anywhere, so equal weights never
+/// reshuffle between calls and the result is a pure function of
+/// `(weights, n_ranks)`.
 pub fn assign_contiguous_weighted(weights: &[f64], n_ranks: usize) -> Vec<usize> {
     assert!(n_ranks >= 1 && n_ranks <= weights.len());
     let max_w = weights.iter().fold(0.0f64, |m, &w| m.max(w));
@@ -90,6 +97,14 @@ pub fn assign_contiguous_weighted(weights: &[f64], n_ranks: usize) -> Vec<usize>
 /// onto the currently lightest rank. Tighter balance, but neighbors may
 /// land on distant ranks (more halo traffic) — the locality/balance
 /// trade-off the paper's experiment probes.
+///
+/// **Tie-break rule (determinism guarantee).** Blocks of equal weight are
+/// processed in ascending block id (the sort is stable), and among equally
+/// loaded ranks the *lowest* rank index wins (`min_by` returns the first
+/// minimum). The assignment is therefore a pure function of
+/// `(weights, n_ranks)`: repeated calls — and calls on different ranks —
+/// produce the identical vector, which the dynamic rebalancer relies on to
+/// broadcast only the decision, not the data.
 pub fn assign_lpt(weights: &[f64], n_ranks: usize) -> Vec<usize> {
     assert!(n_ranks >= 1);
     let mut order: Vec<usize> = (0..weights.len()).collect();
@@ -184,5 +199,40 @@ mod tests {
         let w = vec![1.0, 2.0, 3.0];
         assert_eq!(assign_contiguous_weighted(&w, 1), vec![0, 0, 0]);
         assert_eq!(assign_lpt(&w, 1), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn lpt_ties_follow_documented_rule_and_never_reshuffle() {
+        // All weights equal: stable sort keeps ascending id order, and the
+        // lowest equally-loaded rank wins — so the assignment is exactly
+        // round-robin by id.
+        let w = vec![2.5; 8];
+        let a = assign_lpt(&w, 4);
+        assert_eq!(a, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        for _ in 0..10 {
+            assert_eq!(assign_lpt(&w, 4), a, "tie reshuffled between calls");
+        }
+        // Bit-identical duplicated weights (a two-block tie inside a skewed
+        // population) also stay put across calls.
+        let w = vec![1.0, 3.0, 3.0, 1.0, 2.0, 2.0];
+        let a = assign_lpt(&w, 3);
+        for _ in 0..10 {
+            assert_eq!(assign_lpt(&w, 3), a);
+        }
+    }
+
+    #[test]
+    fn assignments_are_deterministic_across_calls() {
+        let w: Vec<f64> = (0..16)
+            .map(|i| 1.0 + (i as f64 * 0.7).sin().abs())
+            .collect();
+        for n in [1, 2, 3, 4, 8] {
+            let c = assign_contiguous_weighted(&w, n);
+            let l = assign_lpt(&w, n);
+            for _ in 0..5 {
+                assert_eq!(assign_contiguous_weighted(&w, n), c);
+                assert_eq!(assign_lpt(&w, n), l);
+            }
+        }
     }
 }

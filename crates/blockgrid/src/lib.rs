@@ -30,9 +30,11 @@
 
 pub mod balance;
 pub mod boundary;
+pub mod codec;
 pub mod decomp;
 pub mod field;
 pub mod ghost;
+pub mod rebalance;
 
 use serde::{Deserialize, Serialize};
 

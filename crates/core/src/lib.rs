@@ -24,6 +24,8 @@
 //! * [`init`] — Voronoi-tessellated solid nuclei and other initial setups.
 //! * [`regions`] — domain-region classification and the interface / solid /
 //!   liquid benchmark scenarios of Sec. 5.1.
+//! * [`migrate`] — bit-exact wire format for in-flight block migration
+//!   (dynamic load rebalancing).
 //! * [`health`] — silent-corruption defense: periodic field-invariant
 //!   scans (φ on the Gibbs simplex, bounded µ, everything finite) and the
 //!   deterministic [`health::FieldFaultPlan`] numerical-fault injector.
@@ -56,6 +58,7 @@ pub mod health;
 pub mod init;
 pub mod kernels;
 pub mod metrics;
+pub mod migrate;
 pub mod model;
 pub mod params;
 pub mod regions;

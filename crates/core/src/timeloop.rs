@@ -18,13 +18,18 @@
 //!   split µ-kernel, whose per-slice temperature values are computed twice —
 //!   the overhead that makes φ-hiding a net loss in the paper's Fig. 8.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use eutectica_blockgrid::balance::imbalance;
 use eutectica_blockgrid::boundary::{Bc, BoundarySpec};
+use eutectica_blockgrid::codec::DEFAULT_FIELD_BYTE_BUDGET;
 use eutectica_blockgrid::decomp::Decomposition;
 use eutectica_blockgrid::ghost;
+use eutectica_blockgrid::rebalance::{
+    blend_weights, plan_rebalance, CostEntry, CostModel, RebalancePolicy,
+};
 use eutectica_blockgrid::Face;
 use eutectica_comm::{
     bytes_to_f64s_into, f64s_to_bytes, CommStats, Rank, RecvRequest, TagStats, COLLECTIVE_TAG,
@@ -126,6 +131,89 @@ impl FieldSel {
     }
 }
 
+/// Counters describing what the dynamic rebalancer has done on this rank.
+#[derive(Clone, Debug, Default)]
+pub struct RebalanceStats {
+    /// Collective imbalance checks performed.
+    pub checks: u64,
+    /// Migrations executed (plan applications; counted on every rank).
+    pub rebalances: u64,
+    /// Blocks this rank shipped away.
+    pub blocks_sent: u64,
+    /// Blocks this rank received.
+    pub blocks_received: u64,
+    /// Serialized migration bytes this rank sent.
+    pub bytes_sent: u64,
+    /// Global ids of every block that ever migrated *away* from this rank
+    /// (the union across ranks is the set of blocks that moved at least
+    /// once).
+    pub migrated_away: BTreeSet<usize>,
+    /// Measured max/avg rank load at the first imbalance check (the static
+    /// assignment's imbalance, before any migration could have happened).
+    pub first_imbalance_before: Option<f64>,
+    /// Measured max/avg rank load at the most recent check, *before* any
+    /// migration that check triggered. After a rebalance, the next check's
+    /// value is the dynamic placement's measured imbalance.
+    pub last_imbalance_before: f64,
+    /// Predicted max/avg rank load under the placement adopted by the most
+    /// recent check (equals `last_imbalance_before` when nothing moved).
+    pub last_imbalance_after: f64,
+    /// Measured `before` imbalance of every check in order (same value on
+    /// every rank — it comes from the collective decision broadcast). Lets
+    /// callers average out single-check timing noise.
+    pub imbalance_history: Vec<f64>,
+}
+
+/// A cost-clock reading taken before a block sweep.
+enum SweepStamp {
+    /// Per-thread CPU seconds (serial sweeps on Linux).
+    Cpu(f64),
+    /// Wall clock (threaded sweeps, or no thread-CPU clock available).
+    Wall(Instant),
+}
+
+/// Per-thread CPU seconds via `clock_gettime(CLOCK_THREAD_CPUTIME_ID)`,
+/// issued as a raw syscall — the workspace deliberately has no libc
+/// dependency. `None` where the syscall is unavailable.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn thread_cpu_seconds() -> Option<f64> {
+    let mut ts = [0i64; 2]; // struct timespec { tv_sec, tv_nsec }
+    let ret: i64;
+    // SAFETY: SYS_clock_gettime (228) with CLOCK_THREAD_CPUTIME_ID (3)
+    // writes exactly 16 bytes into `ts` and touches no other memory; rcx
+    // and r11 are the registers the syscall instruction itself clobbers.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 228i64 => ret,
+            in("rdi") 3i64,
+            in("rsi") ts.as_mut_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    (ret == 0).then(|| ts[0] as f64 + ts[1] as f64 * 1e-9)
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn thread_cpu_seconds() -> Option<f64> {
+    None
+}
+
+/// Live state of the dynamic rebalancer (policy + cost model + per-window
+/// sweep-time accumulator).
+struct RebalanceState {
+    policy: RebalancePolicy,
+    cost: CostModel,
+    /// Sweep seconds accumulated per local block since the last check,
+    /// aligned with `local_ids`.
+    acc: Vec<f64>,
+    /// Steps accumulated into `acc`.
+    acc_steps: usize,
+    stats: RebalanceStats,
+}
+
 /// A posted nonblocking exchange awaiting completion.
 struct Pending {
     /// (local block index, face to unpack at, request, plain or sequenced).
@@ -170,6 +258,11 @@ pub struct DistributedSim<'r> {
     pool: SweepPool,
     /// Silent-corruption defense: periodic invariant scans + fault injection.
     health: Option<HealthMonitor>,
+    /// Current block→rank placement, identical on every rank. Starts as the
+    /// static decomposition mapping; migrations rewrite it collectively.
+    placement: Vec<usize>,
+    /// Dynamic load rebalancing (cost model + migration), when attached.
+    rebalance: Option<RebalanceState>,
 }
 
 impl<'r> DistributedSim<'r> {
@@ -197,6 +290,9 @@ impl<'r> DistributedSim<'r> {
             .iter()
             .map(|b| (b.dims.nx * b.dims.ny * b.dims.nz) as u64)
             .sum();
+        let placement = (0..decomp.blocks().len())
+            .map(|id| decomp.rank_of(id, n_ranks))
+            .collect();
         Self {
             params,
             cfg,
@@ -221,6 +317,8 @@ impl<'r> DistributedSim<'r> {
             step_records: None,
             pool: SweepPool::new(1),
             health: None,
+            placement,
+            rebalance: None,
         }
     }
 
@@ -368,6 +466,7 @@ impl<'r> DistributedSim<'r> {
             self.inject_field_faults();
             self.step_inner();
             self.health_scan_if_due(wall);
+            self.maybe_rebalance();
         }
         self.finish_step_accounting(wall.elapsed());
     }
@@ -377,6 +476,53 @@ impl<'r> DistributedSim<'r> {
     /// the scan's cross-rank reduction is collective.
     pub fn set_health_monitor(&mut self, monitor: Option<HealthMonitor>) {
         self.health = monitor;
+    }
+
+    /// Attach (or detach, with `None`) the dynamic load rebalancer. Every
+    /// rank of a distributed run must attach an *identical* policy — the
+    /// imbalance check is collective (gather → decide on rank 0 →
+    /// broadcast → p2p migration).
+    ///
+    /// Each currently-local block gets a cold-start cost prior from its
+    /// region composition ([`crate::regions::classify_block`] at the
+    /// paper-ordered [`crate::regions::DEFAULT_REGION_RATES`]), so attach
+    /// *after* `init_blocks` for informative priors; measured sweep times
+    /// take over from the first check onward.
+    ///
+    /// Rebalancing is **placement-invariant**: a rebalanced run produces
+    /// bit-identical fields to an unbalanced run of the same scenario. It
+    /// composes with communication hiding, threaded sweeps, health scans
+    /// and checkpoint/restore (`restore_local` iterates the post-migration
+    /// `local_block_ids`).
+    pub fn set_rebalance_policy(&mut self, policy: Option<RebalancePolicy>) {
+        self.rebalance = policy.map(|policy| {
+            let mut cost = CostModel::new(policy.alpha);
+            for (li, &id) in self.local_ids.iter().enumerate() {
+                let counts = crate::regions::classify_block(&self.blocks[li]);
+                let prior =
+                    crate::regions::block_weight(&counts, crate::regions::DEFAULT_REGION_RATES);
+                cost.track(id, prior);
+            }
+            RebalanceState {
+                policy,
+                cost,
+                acc: vec![0.0; self.local_ids.len()],
+                acc_steps: 0,
+                stats: RebalanceStats::default(),
+            }
+        });
+    }
+
+    /// Counters of the attached rebalancer, if any.
+    pub fn rebalance_stats(&self) -> Option<&RebalanceStats> {
+        self.rebalance.as_ref().map(|rb| &rb.stats)
+    }
+
+    /// Current block→rank placement (identical on every rank; index =
+    /// global block id). Without rebalancing this is the static
+    /// decomposition mapping.
+    pub fn placement(&self) -> &[usize] {
+        &self.placement
     }
 
     /// The attached health monitor, if any.
@@ -533,9 +679,16 @@ impl<'r> DistributedSim<'r> {
 
         {
             let _g = self.telemetry.span_cat("phi_sweep", "compute");
-            for b in &mut self.blocks {
-                self.pool
-                    .phi_sweep(&self.params, b, self.time, self.cfg, &self.telemetry);
+            for li in 0..self.blocks.len() {
+                let t0 = self.sweep_stamp();
+                self.pool.phi_sweep(
+                    &self.params,
+                    &mut self.blocks[li],
+                    self.time,
+                    self.cfg,
+                    &self.telemetry,
+                );
+                self.note_sweep_time(li, t0);
             }
         }
 
@@ -561,15 +714,17 @@ impl<'r> DistributedSim<'r> {
 
             {
                 let _g = self.telemetry.span_cat("mu_sweep_local", "compute");
-                for b in &mut self.blocks {
+                for li in 0..self.blocks.len() {
+                    let t0 = self.sweep_stamp();
                     self.pool.mu_sweep(
                         &self.params,
-                        b,
+                        &mut self.blocks[li],
                         self.time,
                         self.cfg,
                         MuPart::LocalOnly,
                         &self.telemetry,
                     );
+                    self.note_sweep_time(li, t0);
                 }
             }
 
@@ -587,15 +742,17 @@ impl<'r> DistributedSim<'r> {
             }
 
             let _g = self.telemetry.span_cat("mu_sweep_neighbor", "compute");
-            for b in &mut self.blocks {
+            for li in 0..self.blocks.len() {
+                let t0 = self.sweep_stamp();
                 self.pool.mu_sweep(
                     &self.params,
-                    b,
+                    &mut self.blocks[li],
                     self.time,
                     self.cfg,
                     MuPart::NeighborOnly,
                     &self.telemetry,
                 );
+                self.note_sweep_time(li, t0);
             }
         } else {
             {
@@ -610,15 +767,17 @@ impl<'r> DistributedSim<'r> {
             }
 
             let _g = self.telemetry.span_cat("mu_sweep", "compute");
-            for b in &mut self.blocks {
+            for li in 0..self.blocks.len() {
+                let t0 = self.sweep_stamp();
                 self.pool.mu_sweep(
                     &self.params,
-                    b,
+                    &mut self.blocks[li],
                     self.time,
                     self.cfg,
                     MuPart::Full,
                     &self.telemetry,
                 );
+                self.note_sweep_time(li, t0);
             }
         }
 
@@ -643,6 +802,273 @@ impl<'r> DistributedSim<'r> {
         self.time += self.params.dt;
         self.step += 1;
         self.maybe_shift_window();
+    }
+
+    /// Take a cost-clock reading before a block sweep (`None` without a
+    /// rebalancer — measurement is free when disabled).
+    ///
+    /// With serial sweeps the clock is per-thread CPU time where available:
+    /// on oversubscribed machines (many rank threads per core — every test
+    /// box) wall time charges a block for the time the OS spent running
+    /// *other* ranks, which is exactly the load the balancer is trying to
+    /// move; CPU time measures only the block's own work. Threaded sweeps
+    /// run on pool workers, where the rank thread's CPU time is blind, so
+    /// they fall back to wall time.
+    fn sweep_stamp(&self) -> Option<SweepStamp> {
+        self.rebalance.as_ref()?;
+        if self.pool.threads() == 1 {
+            if let Some(t) = thread_cpu_seconds() {
+                return Some(SweepStamp::Cpu(t));
+            }
+        }
+        Some(SweepStamp::Wall(Instant::now()))
+    }
+
+    /// Accrue the elapsed sweep time of local block `li` into the
+    /// rebalancer's measurement window (no-op without a rebalancer).
+    fn note_sweep_time(&mut self, li: usize, t0: Option<SweepStamp>) {
+        let Some(t0) = t0 else { return };
+        let elapsed = match t0 {
+            SweepStamp::Cpu(t) => thread_cpu_seconds().map_or(0.0, |t1| (t1 - t).max(0.0)),
+            SweepStamp::Wall(t) => t.elapsed().as_secs_f64(),
+        };
+        if let Some(rb) = self.rebalance.as_mut() {
+            rb.acc[li] += elapsed;
+        }
+    }
+
+    /// Collective rebalance check + in-flight migration, when due.
+    ///
+    /// Protocol (every rank executes the same sequence — deadlock-free,
+    /// trigger determined purely by step count and the shared policy):
+    /// 1. every rank folds its window of measured sweep seconds into the
+    ///    EWMA cost model and gathers `(id, measured?, prior)` to rank 0;
+    /// 2. rank 0 blends the entries onto one weight scale, measures the
+    ///    imbalance of the current placement, picks the new placement (a
+    ///    forced plan, or strategy + move-minimizing diff when over the
+    ///    threshold) and broadcasts the decision;
+    /// 3. all ranks apply it: serialize departing blocks through the
+    ///    bit-exact migration codec, ship them p2p, decode arrivals,
+    ///    rebuild boundary specs from the block descriptors, and barrier.
+    fn maybe_rebalance(&mut self) {
+        let due = {
+            let Some(rb) = &mut self.rebalance else {
+                return;
+            };
+            rb.acc_steps += 1;
+            let forced = rb.policy.forced_at(self.step as u64).is_some();
+            let periodic = rb.policy.every > 0 && self.step % rb.policy.every == 0;
+            forced || periodic
+        };
+        if !due {
+            return;
+        }
+        let _g = self.telemetry.span_cat("rebalance", "rebalance");
+        {
+            let rb = self.rebalance.as_mut().unwrap();
+            if rb.acc_steps > 0 {
+                let inv = 1.0 / rb.acc_steps as f64;
+                for (li, &id) in self.local_ids.iter().enumerate() {
+                    if rb.acc[li] > 0.0 {
+                        rb.cost.observe(id, rb.acc[li] * inv);
+                    }
+                    rb.acc[li] = 0.0;
+                }
+                rb.acc_steps = 0;
+            }
+            rb.stats.checks += 1;
+        }
+        self.telemetry.counter_add("rebalance/checks", 1);
+        let payload = {
+            let snap = self.rebalance.as_ref().unwrap().cost.snapshot();
+            let mut out = Vec::with_capacity(snap.len() * 25);
+            for (id, measured, prior) in snap {
+                out.extend_from_slice(&(id as u64).to_le_bytes());
+                out.push(measured.is_some() as u8);
+                out.extend_from_slice(&measured.unwrap_or(0.0).to_le_bytes());
+                out.extend_from_slice(&prior.to_le_bytes());
+            }
+            Bytes::from(out)
+        };
+        let decision = match self.rank.gather(0, payload) {
+            Some(bufs) => {
+                let out = self.decide_rebalance(&bufs);
+                self.rank.broadcast(0, Bytes::from(out))
+            }
+            None => self.rank.broadcast(0, Bytes::new()),
+        };
+        let before = f64::from_le_bytes(decision[0..8].try_into().unwrap());
+        let after = f64::from_le_bytes(decision[8..16].try_into().unwrap());
+        {
+            let rb = self.rebalance.as_mut().unwrap();
+            rb.stats.first_imbalance_before.get_or_insert(before);
+            rb.stats.last_imbalance_before = before;
+            rb.stats.last_imbalance_after = after;
+            rb.stats.imbalance_history.push(before);
+        }
+        self.telemetry
+            .gauge_set("rebalance/imbalance_before", before);
+        self.telemetry.gauge_set("rebalance/imbalance_after", after);
+        if decision[16] == 1 {
+            let nb = self.placement.len();
+            let mut newp = Vec::with_capacity(nb);
+            for chunk in decision[17..].chunks_exact(4) {
+                newp.push(u32::from_le_bytes(chunk.try_into().unwrap()) as usize);
+            }
+            assert_eq!(newp.len(), nb, "malformed rebalance decision");
+            if newp != self.placement {
+                self.execute_migration(newp);
+            }
+        }
+    }
+
+    /// Rank 0 only: blend the gathered cost entries into global weights and
+    /// decide the new placement. Returns the serialized decision
+    /// (`imbalance_before f64 | imbalance_after f64 | changed u8
+    /// [| placement u32 × n_blocks]`) to broadcast.
+    fn decide_rebalance(&self, bufs: &[Bytes]) -> Vec<u8> {
+        let mut entries = Vec::new();
+        for buf in bufs {
+            for chunk in buf.chunks_exact(25) {
+                let id = u64::from_le_bytes(chunk[0..8].try_into().unwrap()) as usize;
+                let has = chunk[8] != 0;
+                let measured = f64::from_le_bytes(chunk[9..17].try_into().unwrap());
+                let prior = f64::from_le_bytes(chunk[17..25].try_into().unwrap());
+                entries.push((id, has.then_some(measured), prior));
+            }
+        }
+        let nb = self.placement.len();
+        let weights = blend_weights(&entries, nb);
+        let before = imbalance(&weights, &self.placement, self.n_ranks);
+        let p = &self.rebalance.as_ref().unwrap().policy;
+        let new_placement: Option<Vec<usize>> = if let Some(fp) = p.forced_at(self.step as u64) {
+            assert_eq!(fp.len(), nb, "forced plan length must equal block count");
+            assert!(
+                fp.iter().all(|&r| r < self.n_ranks),
+                "forced plan rank out of range"
+            );
+            assert!(
+                (0..self.n_ranks).all(|r| fp.contains(&r)),
+                "forced plan must keep every rank non-empty"
+            );
+            (fp != self.placement.as_slice()).then(|| fp.to_vec())
+        } else if before > p.threshold {
+            let plan = plan_rebalance(&weights, &self.placement, self.n_ranks, p.strategy, p.slack);
+            (!plan.is_empty()).then_some(plan.placement)
+        } else {
+            None
+        };
+        let after = new_placement
+            .as_ref()
+            .map_or(before, |np| imbalance(&weights, np, self.n_ranks));
+        let mut out = Vec::with_capacity(17 + 4 * nb);
+        out.extend_from_slice(&before.to_le_bytes());
+        out.extend_from_slice(&after.to_le_bytes());
+        match &new_placement {
+            Some(np) => {
+                out.push(1);
+                for &r in np {
+                    out.extend_from_slice(&(r as u32).to_le_bytes());
+                }
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Apply `new_placement`: serialize departing blocks, ship them p2p on
+    /// tags above the ghost-exchange tag space, decode arrivals (dims
+    /// verified against the descriptor, CRC verified by the codec), rebuild
+    /// boundary specs, and refresh every placement-derived cache.
+    /// Collective: every rank calls this with the identical placement.
+    ///
+    /// Bit-identity argument: at the step boundary, the live state of a
+    /// block is exactly `{phi,mu} × {src,dst}` plus its origin — the
+    /// kernels' staggered slab buffers are per-sweep temporaries and the
+    /// boundary specs are pure functions of the decomposition. All four
+    /// buffers migrate bit-exactly (ghosts included), so the next sweep on
+    /// the new owner reads exactly the bytes the old owner would have read.
+    /// Under deferred µ exchange (`hide_mu`) the µ comm-face ghosts are one
+    /// step stale at this point; they migrate bit-exactly too, and the next
+    /// step's hidden exchange overwrites them (from senders resolved via
+    /// the *new* placement on every rank) before any kernel reads them.
+    fn execute_migration(&mut self, new_placement: Vec<usize>) {
+        let _g = self.telemetry.span_cat("migration", "rebalance");
+        let my = self.rank.rank();
+        let nb = new_placement.len();
+        // Ghost tags occupy [0, 4·6·nb); migration tags sit just above.
+        let mig_tag = |id: usize| 4 * 6 * nb as u32 + id as u32;
+        let old = std::mem::replace(&mut self.placement, new_placement);
+        let mut departing = Vec::new();
+        for li in 0..self.local_ids.len() {
+            let id = self.local_ids[li];
+            let dst = self.placement[id];
+            if dst == my {
+                continue;
+            }
+            let entry = self
+                .rebalance
+                .as_mut()
+                .and_then(|rb| rb.cost.untrack(id))
+                .unwrap_or(CostEntry {
+                    measured: None,
+                    prior: 1.0,
+                });
+            let bytes = crate::migrate::encode_block(&self.blocks[li], id as u64, &entry);
+            if let Some(rb) = self.rebalance.as_mut() {
+                rb.stats.blocks_sent += 1;
+                rb.stats.bytes_sent += bytes.len() as u64;
+                rb.stats.migrated_away.insert(id);
+            }
+            self.telemetry
+                .counter_add("rebalance/bytes_sent", bytes.len() as u64);
+            self.rank.isend(dst, mig_tag(id), Bytes::from(bytes));
+            departing.push(li);
+        }
+        // Post receives for arrivals in ascending id order (deterministic).
+        let mut arrivals = Vec::new();
+        for id in 0..nb {
+            if self.placement[id] == my && old[id] != my {
+                arrivals.push((id, self.rank.irecv(old[id], mig_tag(id))));
+            }
+        }
+        // Drop departed state (descending index keeps indices valid).
+        for &li in departing.iter().rev() {
+            self.blocks.remove(li);
+            self.local_ids.remove(li);
+        }
+        for (id, req) in arrivals {
+            let payload = self.rank.wait(req);
+            let desc = self.decomp.block(id);
+            let (pid, mut state, entry) =
+                crate::migrate::decode_block(&payload, desc.dims(1), DEFAULT_FIELD_BYTE_BUDGET)
+                    .unwrap_or_else(|e| panic!("migration of block {id} failed: {e}"));
+            assert_eq!(pid as usize, id, "migration payload id mismatch");
+            state.bc_phi = block_bc::<N_PHASES>(desc.neighbors, PHI_LIQUID);
+            state.bc_mu = block_bc::<N_COMP>(desc.neighbors, [0.0; N_COMP]);
+            let pos = self.local_ids.partition_point(|&x| x < id);
+            self.local_ids.insert(pos, id);
+            self.blocks.insert(pos, state);
+            if let Some(rb) = self.rebalance.as_mut() {
+                rb.cost.adopt(id, entry);
+                rb.stats.blocks_received += 1;
+            }
+        }
+        self.interior_cells = self
+            .blocks
+            .iter()
+            .map(|b| (b.dims.nx * b.dims.ny * b.dims.nz) as u64)
+            .sum();
+        if let Some(rb) = self.rebalance.as_mut() {
+            rb.acc = vec![0.0; self.local_ids.len()];
+            rb.acc_steps = 0;
+            rb.stats.rebalances += 1;
+        }
+        self.telemetry.counter_add("rebalance/migrations", 1);
+        // Fence the migration epoch: no ghost message of the next step can
+        // race a straggling migration payload, and migration tags can be
+        // reused by later epochs.
+        self.rank.barrier();
     }
 
     /// Fold the telemetry tree back into the legacy [`StepTimings`] view,
@@ -857,6 +1283,15 @@ impl<'r> DistributedSim<'r> {
         if let Some(h) = &mut self.health {
             h.on_progress_reset();
         }
+        // Likewise, sweep times measured before the jump describe blocks
+        // whose contents just changed — drop the open measurement window
+        // (the EWMA itself survives; it converges again within a few steps).
+        if let Some(rb) = &mut self.rebalance {
+            for a in &mut rb.acc {
+                *a = 0.0;
+            }
+            rb.acc_steps = 0;
+        }
     }
 
     /// Global solid fraction (allreduce over ranks).
@@ -947,7 +1382,7 @@ impl<'r> DistributedSim<'r> {
                 let Some(nb) = self.decomp.block(id).neighbors[face as usize] else {
                     continue;
                 };
-                let nb_rank = self.decomp.rank_of(nb, self.n_ranks);
+                let nb_rank = self.placement[nb];
                 let payload = self.pack_face(li, field, face, plain);
                 if nb_rank == my {
                     // Neighbor is local: deliver directly into its ghosts.
@@ -968,7 +1403,7 @@ impl<'r> DistributedSim<'r> {
                 let Some(nb) = self.decomp.block(id).neighbors[face as usize] else {
                     continue;
                 };
-                let nb_rank = self.decomp.rank_of(nb, self.n_ranks);
+                let nb_rank = self.placement[nb];
                 if nb_rank != my {
                     let tag = self.tag(field, nb, face.opposite());
                     recvs.push((li, face, self.rank.irecv(nb_rank, tag), plain));
@@ -1072,6 +1507,42 @@ where
         sim.init_blocks(|b| init(b));
         sim.step_n(steps);
         (std::mem::take(&mut sim.blocks), sim.timings)
+    })
+}
+
+/// Like [`run_distributed_threaded`] with a dynamic rebalancing policy
+/// attached. Because blocks may finish on a different rank than they
+/// started on, results are returned as `(block id, state)` pairs per rank
+/// together with that rank's [`RebalanceStats`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_rebalanced<F>(
+    params: ModelParams,
+    decomp: Decomposition,
+    n_ranks: usize,
+    threads: usize,
+    steps: usize,
+    cfg: KernelConfig,
+    overlap: OverlapOptions,
+    policy: RebalancePolicy,
+    init: F,
+) -> Vec<(Vec<(usize, BlockState)>, RebalanceStats)>
+where
+    F: Fn(&mut BlockState) + Send + Sync + 'static,
+{
+    let params = std::sync::Arc::new(params);
+    let decomp = std::sync::Arc::new(decomp);
+    let init = std::sync::Arc::new(init);
+    eutectica_comm::Universe::run(n_ranks, move |rank| {
+        let mut sim =
+            DistributedSim::new(&rank, (*params).clone(), (*decomp).clone(), cfg, overlap);
+        sim.set_threads(threads);
+        sim.init_blocks(|b| init(b));
+        sim.set_rebalance_policy(Some(policy.clone()));
+        sim.step_n(steps);
+        let ids = sim.local_block_ids().to_vec();
+        let stats = sim.rebalance_stats().cloned().unwrap_or_default();
+        let blocks = std::mem::take(&mut sim.blocks);
+        (ids.into_iter().zip(blocks).collect(), stats)
     })
 }
 

@@ -48,37 +48,14 @@ pub const DEFAULT_BYTE_BUDGET: u64 = 4 << 30;
 /// buffers of f64.
 const MEM_BYTES_PER_CELL: u64 = ((N_PHASES + N_COMP) * 2 * 8) as u64;
 
-// ---------------------------------------------------------------------------
-// CRC32 (IEEE 802.3, the zlib polynomial) — implemented locally, no deps.
-// ---------------------------------------------------------------------------
-
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xedb8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-/// CRC32 (IEEE) of `data`.
+/// CRC32 (IEEE 802.3, the zlib polynomial) of `data`.
+///
+/// Delegates to the single shared implementation in
+/// [`eutectica_blockgrid::codec`] so checkpoints and migration payloads are
+/// guaranteed to use the same checksum (re-exported here for the existing
+/// checkpoint-format callers).
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xffff_ffffu32;
-    for &b in data {
-        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
-    }
-    c ^ 0xffff_ffff
+    eutectica_blockgrid::codec::crc32(data)
 }
 
 // ---------------------------------------------------------------------------

@@ -48,6 +48,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use eutectica_blockgrid::decomp::{Decomposition, DomainSpec};
+use eutectica_blockgrid::rebalance::RebalancePolicy;
 use eutectica_comm::{FaultPlan, Rank, ReduceOp, Universe, UniverseCfg, UniverseError};
 use eutectica_core::health::{FieldFaultPlan, HealthConfig, HealthMonitor};
 use eutectica_core::kernels::KernelConfig;
@@ -484,6 +485,10 @@ pub struct ResilientOpts {
     pub retain_sets: Option<usize>,
     /// Intra-rank sweep/scan threads per rank (PR 3 hybrid layer).
     pub threads: usize,
+    /// Dynamic load rebalancing policy, attached after init/restore on
+    /// every attempt. Composes with rollback: a restore lands the fields
+    /// onto whatever placement the rebalancer has migrated the blocks to.
+    pub rebalance: Option<RebalancePolicy>,
 }
 
 impl ResilientOpts {
@@ -503,6 +508,7 @@ impl ResilientOpts {
             recovery: RecoveryPolicy::default(),
             retain_sets: None,
             threads: 1,
+            rebalance: None,
         }
     }
 }
@@ -702,6 +708,7 @@ where
             .unwrap_or_default();
         let retain = opts.retain_sets;
         let threads = opts.threads;
+        let rebalance = opts.rebalance.clone();
 
         type RankResult = Result<RankOutcome, RankFailure>;
         let run: Result<Vec<RankResult>, UniverseError> =
@@ -727,6 +734,9 @@ where
                     }
                     RestoreBest::NoSets => sim.init_blocks(|b| init(b)),
                 }
+                // Attach after init/restore: the policy's cold-start priors
+                // classify the actual block contents.
+                sim.set_rebalance_policy(rebalance.clone());
                 let mut sched = cadence.scheduler();
                 let mut rollbacks = 0usize;
                 let mut dt_restore: Option<(usize, f64)> = None;

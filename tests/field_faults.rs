@@ -330,6 +330,58 @@ fn chaos_seeded_fault_recovers_bit_identically() {
     );
 }
 
+#[test]
+fn rebalanced_rollback_restores_onto_the_migrated_placement() {
+    // Dynamic rebalancing composes with the silent-corruption defense: a
+    // forced migration swaps every block between the ranks after step 2, so
+    // all later checkpoints are written by the *new* owners; the NaN
+    // injected before step 9→10 then forces a rollback to the step-8 set,
+    // which must restore onto the migrated placement — and the whole thing
+    // must stay bit-identical to a static run that never migrated and never
+    // faulted.
+    use eutectica_blockgrid::rebalance::RebalancePolicy;
+    let steps = 12;
+
+    let root = tmp_root("rb_static");
+    let mut opts = recovery_opts(root.clone(), 4, 2);
+    opts.ranks = vec![2];
+    let static_clean = run_with(opts, steps).expect("static clean run");
+    let _ = std::fs::remove_dir_all(&root);
+
+    // spec() has 4 blocks placed [0,0,1,1] on 2 ranks; swap them all.
+    let swap = RebalancePolicy::new(0, f64::INFINITY).with_forced_plan(2, vec![1, 1, 0, 0]);
+
+    let root = tmp_root("rb_clean");
+    let mut opts = recovery_opts(root.clone(), 4, 2);
+    opts.ranks = vec![2];
+    opts.rebalance = Some(swap.clone());
+    let clean = run_with(opts, steps).expect("rebalanced clean run");
+    let _ = std::fs::remove_dir_all(&root);
+    assert_eq!(clean.rollbacks, 0);
+    assert_eq!(
+        fingerprint(&static_clean.blocks),
+        fingerprint(&clean.blocks),
+        "migration alone must not change the physics"
+    );
+
+    let root = tmp_root("rb_nan");
+    let mut opts = recovery_opts(root.clone(), 4, 2);
+    opts.ranks = vec![2];
+    opts.rebalance = Some(swap);
+    opts.recovery.field_fault_plans = vec![phi_nan_at(9)];
+    let hurt = run_with(opts, steps).expect("rebalanced recovered run");
+    let _ = std::fs::remove_dir_all(&root);
+
+    assert_eq!(hurt.attempts, 1, "recovery must stay in-flight");
+    assert_eq!(hurt.rollbacks, 1, "exactly one rollback expected");
+    assert_eq!(static_clean.time.to_bits(), hurt.time.to_bits());
+    assert_eq!(
+        fingerprint(&static_clean.blocks),
+        fingerprint(&hurt.blocks),
+        "rollback onto the migrated placement diverged from the static run"
+    );
+}
+
 /// Acceptance gauge: at the default cadence the scan overhead on a 64³
 /// single-rank domain stays under 2 % of step wall time. Wall-clock
 /// dependent, so ignored by default; the chaos CI job runs it explicitly.

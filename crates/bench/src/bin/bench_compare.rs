@@ -1,0 +1,69 @@
+//! Diff two perf trajectories (`BENCH_<name>.json`) and flag regressions.
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json> [--noise-band 0.10] [--report-only]
+//! ```
+//!
+//! Prints a per-key report (REGRESSION / improved / ok / missing / new) and
+//! exits nonzero when any key moved against its `higher_is_better`
+//! direction by more than the noise band — unless `--report-only` is
+//! given, in which case the exit code is always zero (CI smoke mode,
+//! where the runner machine is too noisy to gate on).
+
+use eutectica_obsv::{compare, Trajectory};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut noise_band = 0.10;
+    let mut report_only = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--noise-band" {
+            noise_band = it
+                .next()
+                .expect("--noise-band needs a fraction")
+                .parse()
+                .expect("--noise-band must be a fraction, e.g. 0.10");
+        } else if let Some(v) = a.strip_prefix("--noise-band=") {
+            noise_band = v.parse().expect("--noise-band must be a fraction");
+        } else if a == "--report-only" {
+            report_only = true;
+        } else if a.starts_with("--") {
+            eprintln!("unknown flag: {a}");
+            std::process::exit(2);
+        } else {
+            files.push(a);
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("usage: bench_compare <baseline.json> <current.json> [--noise-band 0.10] [--report-only]");
+        std::process::exit(2);
+    }
+
+    let base = Trajectory::read(&files[0]).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {}: {e}", files[0]);
+        std::process::exit(2);
+    });
+    let cur = Trajectory::read(&files[1]).unwrap_or_else(|e| {
+        eprintln!("cannot read current {}: {e}", files[1]);
+        std::process::exit(2);
+    });
+
+    let cmp = compare(&base, &cur, noise_band);
+    println!(
+        "comparing '{}' (baseline) vs '{}' (current), noise band {:.0}%",
+        base.name,
+        cur.name,
+        noise_band * 100.0
+    );
+    print!("{}", cmp.report());
+
+    if cmp.has_regressions() {
+        if report_only {
+            println!("(report-only: not failing on regressions)");
+        } else {
+            std::process::exit(1);
+        }
+    }
+}

@@ -22,6 +22,35 @@ fn main() {
     println!("Fig. 7 — intranode scaling of the mu-kernel (no shortcuts)");
     println!();
 
+    if let Some(path) = eutectica_bench::bench_out_arg() {
+        let quick = eutectica_bench::quick_arg();
+        println!(
+            "recording perf trajectory ({}) ...",
+            if quick { "quick" } else { "full" }
+        );
+        let traj = eutectica_bench::record_fig7_trajectory("fig7_intranode", quick);
+        let path = path.to_string_lossy();
+        traj.write(&path).expect("write --bench-out trajectory");
+        println!("wrote {path} ({} entries)", traj.entries.len());
+        println!();
+    }
+
+    if let Some(every) = eutectica_bench::observe_every_arg() {
+        println!("observed 2-rank run (20^3 blocks, {threads} sweep thread(s)):");
+        eutectica_bench::run_observed(
+            2,
+            threads,
+            [40, 20, 20],
+            [2, 1, 1],
+            60,
+            eutectica_core::timeloop::OverlapOptions::default(),
+            every,
+            eutectica_bench::metrics_out_arg(),
+            eutectica_bench::serve_arg(),
+        );
+        println!();
+    }
+
     if let Some(dir) = eutectica_bench::trace_out_arg() {
         println!("instrumented 2-rank run (20^3 blocks, 4 steps, {threads} sweep thread(s)):");
         eutectica_bench::run_traced(

@@ -302,6 +302,267 @@ pub fn rebalance_policy_from_args() -> Option<eutectica_blockgrid::rebalance::Re
     })
 }
 
+/// Parse a `--bench-out <path>` flag: record a perf trajectory
+/// (`BENCH_<name>.json`) of this benchmark run to `path`.
+pub fn bench_out_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--bench-out" {
+            return Some(args.next().expect("--bench-out needs a path").into());
+        }
+        if let Some(p) = a.strip_prefix("--bench-out=") {
+            return Some(p.into());
+        }
+    }
+    None
+}
+
+/// Parse a `--quick` flag: shrink benchmark workloads for CI smoke runs.
+pub fn quick_arg() -> bool {
+    std::env::args().skip(1).any(|a| a == "--quick")
+}
+
+/// Parse an `--observe-every <n>` flag: cadence of the in-situ physics
+/// observables (absent = observability plane off, zero overhead).
+pub fn observe_every_arg() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    let parse = |v: String| -> usize {
+        v.parse()
+            .expect("--observe-every must be a non-negative step count")
+    };
+    while let Some(a) = args.next() {
+        if a == "--observe-every" {
+            return Some(parse(
+                args.next().expect("--observe-every needs a step count"),
+            ));
+        }
+        if let Some(v) = a.strip_prefix("--observe-every=") {
+            return Some(parse(v.to_string()));
+        }
+    }
+    None
+}
+
+/// Parse a `--metrics-out <path>` flag: write observable / slice / metrics
+/// frames as NDJSON to `path` (rank 0).
+pub fn metrics_out_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--metrics-out" {
+            return Some(args.next().expect("--metrics-out needs a path"));
+        }
+        if let Some(p) = a.strip_prefix("--metrics-out=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// Parse a `--serve <addr>` flag: bind the live NDJSON subscription
+/// endpoint on `addr` (e.g. `127.0.0.1:7119`; port 0 = OS-assigned).
+pub fn serve_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--serve" {
+            return Some(args.next().expect("--serve needs host:port"));
+        }
+        if let Some(p) = a.strip_prefix("--serve=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// Run a distributed simulation with the in-situ observability plane
+/// attached: cadenced physics observables, optional NDJSON metrics file,
+/// and optional live subscription endpoint on rank 0. Returns rank 0's
+/// observable records.
+#[allow(clippy::too_many_arguments)] // mirrors the figure binaries' flag list
+pub fn run_observed(
+    n_ranks: usize,
+    threads: usize,
+    domain: [usize; 3],
+    blocks: [usize; 3],
+    steps: usize,
+    overlap: eutectica_core::timeloop::OverlapOptions,
+    observe_every: usize,
+    metrics_out: Option<String>,
+    serve: Option<String>,
+) -> Vec<eutectica_obsv::ObservableRecord> {
+    use eutectica_core::timeloop::DistributedSim;
+    use eutectica_obsv::{FrameBus, InSituObserver, LiveServer, ObservablesConfig};
+    use eutectica_telemetry::Telemetry;
+
+    let params = ModelParams::ag_al_cu();
+    let decomp = eutectica_blockgrid::decomp::Decomposition::new(
+        eutectica_blockgrid::decomp::DomainSpec::directional(domain, blocks),
+    );
+    let out = eutectica_comm::Universe::run(n_ranks, move |rank| {
+        let mut sim = DistributedSim::new(
+            &rank,
+            params.clone(),
+            decomp.clone(),
+            KernelConfig::default(),
+            overlap,
+        );
+        sim.set_threads(threads);
+        let tel = Telemetry::new(rank.rank());
+        sim.set_telemetry(tel.clone());
+        sim.init_blocks(|b| eutectica_core::init::init_planar_front(b, 0, 6));
+
+        let mut observer = InSituObserver::new(ObservablesConfig::with_every(observe_every));
+        let mut server = None;
+        if rank.rank() == 0 {
+            if let Some(path) = &metrics_out {
+                observer = observer
+                    .with_output_path(path)
+                    .expect("create --metrics-out file");
+            }
+            if let Some(addr) = &serve {
+                let bus = std::sync::Arc::new(FrameBus::new(64));
+                let srv = LiveServer::bind(addr, bus.clone()).expect("bind --serve address");
+                println!("live endpoint listening on {}", srv.local_addr());
+                observer = observer.with_bus(bus);
+                server = Some(srv);
+            }
+        }
+        sim.step_n_with(steps, |sim| {
+            observer.observe_distributed(sim);
+        });
+        if let Some(mut srv) = server {
+            let stats = srv.bus().stats();
+            println!(
+                "live endpoint: {} connection(s), {} frame(s) published, \
+                 {} delivered, {} dropped (bounded-lag)",
+                srv.connections(),
+                stats.published,
+                stats.sent,
+                stats.dropped
+            );
+            srv.shutdown();
+        }
+        observer.records().to_vec()
+    });
+    let records = out.into_iter().next().unwrap_or_default();
+    if let Some(last) = records.last() {
+        println!(
+            "observables ({} record(s), every {} steps): front {:.2} (rms {:.2}), \
+             velocity {:.4} cells/t, solid {:.3}, lamellae {:?}, undercooling {:.4}",
+            records.len(),
+            observe_every,
+            last.front_mean,
+            last.front_rms,
+            last.front_velocity,
+            last.solid_fraction,
+            last.lamella_count,
+            last.undercooling
+        );
+    }
+    records
+}
+
+/// Record the fig7-workload perf trajectory: per-kernel MLUP/s on the
+/// paper's block sizes, hybrid step rate, ghost-exchange bandwidth, and
+/// health/rebalance overheads — the repo's honesty file about speed
+/// (commit as `BENCH_baseline.json`; compare with `bench_compare`).
+pub fn record_fig7_trajectory(name: &str, quick: bool) -> eutectica_obsv::Trajectory {
+    use eutectica_blockgrid::rebalance::RebalancePolicy;
+    use eutectica_core::health::{HealthConfig, HealthMonitor};
+    use eutectica_core::kernels::OptLevel;
+    use eutectica_core::timeloop::{DistributedSim, OverlapOptions};
+    use eutectica_telemetry::Telemetry;
+
+    let params = ModelParams::ag_al_cu();
+    let cfg = OptLevel::SimdTzBuf.config(); // the fig7 rung (no shortcuts)
+    let (n, reps, steps) = if quick { (20, 2, 8) } else { (40, 5, 16) };
+    let dims = GridDims::cube(n);
+    let mut traj = eutectica_obsv::Trajectory::new(name);
+
+    traj.push(
+        "phi_mlups_simd_tz_buf",
+        phi_mlups(&params, Scenario::Interface, dims, cfg, reps),
+        "MLUP/s",
+        true,
+    );
+    traj.push(
+        "mu_mlups_simd_tz_buf",
+        mu_mlups(&params, Scenario::Interface, dims, cfg, reps),
+        "MLUP/s",
+        true,
+    );
+    traj.push(
+        "step_mlups_threaded2",
+        step_mlups_threaded(
+            &params,
+            Scenario::Interface,
+            GridDims::cube(20),
+            cfg,
+            2,
+            reps,
+        ),
+        "MLUP/s",
+        true,
+    );
+
+    // Distributed leg: 2 ranks with health scans and a rebalance policy
+    // attached, so the overheads are measured in their production setting.
+    let domain = [16, 16, 32];
+    let blocks = [1, 1, 4];
+    let decomp = eutectica_blockgrid::decomp::Decomposition::new(
+        eutectica_blockgrid::decomp::DomainSpec::directional(domain, blocks),
+    );
+    let dist_params = params.clone();
+    let (out, summary) = eutectica_comm::Universe::run_with_stats(2, move |rank| {
+        let mut sim = DistributedSim::new(
+            &rank,
+            dist_params.clone(),
+            decomp.clone(),
+            cfg,
+            OverlapOptions::default(),
+        );
+        let tel = Telemetry::new(rank.rank());
+        sim.set_telemetry(tel.clone());
+        sim.set_health_monitor(Some(HealthMonitor::new(
+            HealthConfig::for_params(&dist_params).with_every(4),
+        )));
+        sim.set_rebalance_policy(Some(RebalancePolicy::new(8, 1.05)));
+        sim.init_blocks(|b| eutectica_core::init::init_planar_front(b, 0, 6));
+        let t = Instant::now();
+        sim.step_n(steps);
+        let wall = t.elapsed().as_secs_f64();
+        let m = tel.sample().metrics;
+        (
+            wall,
+            m.gauges.get("health/scan_frac").copied().unwrap_or(0.0),
+            tel.node_secs("step/rebalance").unwrap_or(0.0),
+            tel.node_secs("step").unwrap_or(0.0),
+        )
+    });
+    let wall = out.iter().map(|o| o.0).fold(0.0, f64::max).max(1e-9);
+    let updates = (domain[0] * domain[1] * domain[2] * steps) as f64;
+    traj.push("step_mlups_2ranks", updates / wall / 1e6, "MLUP/s", true);
+    traj.push(
+        "ghost_exchange_mb_s",
+        summary.total.bytes_sent as f64 / wall / 1e6,
+        "MB/s",
+        true,
+    );
+    let health_pct = out.iter().map(|o| o.1).fold(0.0, f64::max) * 100.0;
+    traj.push("health_scan_overhead_pct", health_pct, "%", false);
+    let (rb_secs, step_secs) = out.iter().fold((0.0, 0.0), |(a, b), o| (a + o.2, b + o.3));
+    traj.push(
+        "rebalance_overhead_pct",
+        if step_secs > 0.0 {
+            100.0 * rb_secs / step_secs
+        } else {
+            0.0
+        },
+        "%",
+        false,
+    );
+    traj
+}
+
 /// Run a fully instrumented distributed simulation and write observability
 /// artifacts into `out_dir`:
 ///

@@ -1234,6 +1234,22 @@ impl<'r> DistributedSim<'r> {
         }
     }
 
+    /// Run `n` steps, invoking `hook` after each one — the attachment
+    /// point for in-situ observers (live metrics export, streamed field
+    /// slices) without coupling the time loop to them.
+    ///
+    /// The hook runs on the rank thread between steps, so it may freely
+    /// read `phi_src`/`mu_src` and issue its own collectives — every rank
+    /// executes it at the same step boundary. Hooks that communicate must
+    /// do so in identical order on all ranks (collective discipline is
+    /// the hook's responsibility).
+    pub fn step_n_with(&mut self, n: usize, mut hook: impl FnMut(&mut Self)) {
+        for _ in 0..n {
+            self.step();
+            hook(self);
+        }
+    }
+
     /// Reset accumulated timings (e.g. after warmup). The telemetry tree
     /// keeps accruing; only the derived [`StepTimings`] view restarts.
     pub fn reset_timings(&mut self) {

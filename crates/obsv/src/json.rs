@@ -1,0 +1,343 @@
+//! Minimal JSON parsing for the observability wire format.
+//!
+//! The workspace has no serde_json; emission goes through
+//! [`eutectica_telemetry::JsonObject`], and this module provides the
+//! matching reader: enough of RFC 8259 to decode observable/slice frames
+//! off the live endpoint and to load perf-trajectory files for the
+//! comparator. Numbers parse as `f64`; `\uXXXX` escapes decode including
+//! surrogate pairs.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always as `f64`).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object (keys in source order are not preserved; lookups by name).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member of an object by key, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as u64, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: `self.get(key)?.as_f64()`.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.get(key)?.as_f64()
+    }
+
+    /// Convenience: `self.get(key)?.as_str()`.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.get(key)?.as_str()
+    }
+}
+
+/// Parse one JSON document; trailing whitespace is allowed, trailing
+/// garbage is an error.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Nesting depth cap: frames are flat, trajectories two levels deep; a
+/// deeply nested (or adversarial) document fails instead of overflowing
+/// the stack.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(out));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX for the low half.
+                                if self.peek() != Some(b'\\') {
+                                    return Err("lone high surrogate".into());
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(cp).ok_or("invalid codepoint")?);
+                        }
+                        other => return Err(format!("invalid escape '\\{}'", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so this is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "invalid \\u escape")?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "invalid \\u escape")?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("invalid number '{s}'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_frames() {
+        let v = parse(r#"{"type":"observable","step":40,"front_mean":12.5,"ok":true}"#).unwrap();
+        assert_eq!(v.str("type"), Some("observable"));
+        assert_eq!(v.get("step").unwrap().as_u64(), Some(40));
+        assert_eq!(v.num("front_mean"), Some(12.5));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn parses_nested_arrays_and_escapes() {
+        let v = parse(r#"{"data":[1,2.5,-3e2],"s":"a\"b\né😀","n":null}"#).unwrap();
+        let arr = v.get("data").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].as_f64(), Some(-300.0));
+        assert_eq!(v.str("s"), Some("a\"b\né😀"));
+        assert_eq!(v.get("n"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn round_trips_json_object_emission() {
+        let line = eutectica_telemetry::JsonObject::new()
+            .str_field("name", "tricky \"quote\"\nline")
+            .int_field("n", u64::MAX)
+            .num_field("x", -0.125)
+            .raw_field("arr", "[1,2,3]")
+            .finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.str("name"), Some("tricky \"quote\"\nline"));
+        assert_eq!(v.num("x"), Some(-0.125));
+        assert_eq!(v.get("arr").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("{}x").is_err());
+        assert!(parse(r#"{"a":}"#).is_err());
+        assert!(parse(&("[".repeat(100) + &"]".repeat(100))).is_err()); // depth cap
+        assert!(parse("").is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Live subscription endpoint: a dependency-free blocking TCP server that
+//! streams NDJSON observability frames to N concurrent subscribers.
+//!
+//! Runs on rank 0 only (the observer reduces everything there). Each
+//! accepted connection gets its own bounded-lag [`Subscription`] off the
+//! shared [`FrameBus`] and a dedicated writer thread, so a slow socket
+//! blocks *its* writer thread, never the accept loop and never the
+//! publisher (the time loop). Slow consumers lose frames — see
+//! [`crate::bus`] — they do not slow the simulation.
+//!
+//! ## Protocol
+//!
+//! Plain TCP clients (e.g. `nc host port`) receive newline-delimited JSON
+//! immediately. If the client's first bytes look like an HTTP request
+//! (`GET ...`), a minimal `HTTP/1.0 200` header with
+//! `Content-Type: application/x-ndjson` is sent first and the stream
+//! follows until the connection closes; this makes
+//! `curl http://host:port/` work. Frame types on the wire:
+//!
+//! - `{"type":"observable",...}` — physics observables ([`crate::observables`])
+//! - `{"type":"slice",...}` — downsampled 2-D field slices ([`crate::slices`])
+//! - `{"type":"metrics",...}` — telemetry counter/gauge samples
+//! - `{"type":"hello",...}` — one greeting frame per connection
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::bus::{FrameBus, Subscription};
+
+/// How long a connection writer waits for the next frame before checking
+/// the shutdown flag again.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Live NDJSON endpoint bound to a TCP port.
+pub struct LiveServer {
+    addr: std::net::SocketAddr,
+    bus: Arc<FrameBus>,
+    stop: Arc<AtomicBool>,
+    connections: Arc<AtomicU64>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LiveServer {
+    /// Bind `addr` (use port 0 for an OS-assigned port) and start the
+    /// accept loop. Frames published to `bus` from now on are streamed to
+    /// every connected client.
+    pub fn bind(addr: &str, bus: Arc<FrameBus>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicU64::new(0));
+        let accept_thread = {
+            let bus = bus.clone();
+            let stop = stop.clone();
+            let connections = connections.clone();
+            std::thread::Builder::new()
+                .name("obsv-accept".into())
+                .spawn(move || accept_loop(listener, bus, stop, connections))
+                .expect("spawn accept thread")
+        };
+        Ok(Self {
+            addr: local,
+            bus,
+            stop,
+            connections,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The frame bus this server streams from.
+    pub fn bus(&self) -> &Arc<FrameBus> {
+        &self.bus
+    }
+
+    /// Total connections ever accepted.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and wake the accept loop; established connections
+    /// drain and close as their writers observe the flag.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop is parked in accept(); poke it with a throwaway
+        // connection so it observes the flag without waiting for a client.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for LiveServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    bus: Arc<FrameBus>,
+    stop: Arc<AtomicBool>,
+    connections: Arc<AtomicU64>,
+) {
+    loop {
+        let Ok((stream, peer)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let n = connections.fetch_add(1, Ordering::Relaxed);
+        let sub = bus.subscribe();
+        let stop = stop.clone();
+        let _ = std::thread::Builder::new()
+            .name(format!("obsv-conn-{n}"))
+            .spawn(move || serve_connection(stream, peer, sub, stop));
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    peer: std::net::SocketAddr,
+    sub: Subscription,
+    stop: Arc<AtomicBool>,
+) {
+    // Sniff for an HTTP request line. Plain TCP subscribers send nothing,
+    // so give them a short window and fall through to raw NDJSON.
+    let mut is_http = false;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut probe = [0u8; 512];
+    if let Ok(n) = stream.read(&mut probe) {
+        is_http = probe[..n].starts_with(b"GET ") || probe[..n].starts_with(b"HEAD ");
+    }
+    let _ = stream.set_read_timeout(None);
+    if is_http
+        && stream
+            .write_all(
+                b"HTTP/1.0 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
+            )
+            .is_err()
+    {
+        return;
+    }
+
+    let hello = eutectica_telemetry::JsonObject::new()
+        .str_field("type", "hello")
+        .str_field("peer", &peer.to_string())
+        .str_field("format", "ndjson")
+        .finish();
+    if write_line(&mut stream, &hello).is_err() {
+        return;
+    }
+
+    loop {
+        match sub.recv_timeout(POLL) {
+            // A failed write means the client went away; Subscription drop
+            // detaches us from the bus.
+            Some(frame) if write_line(&mut stream, &frame).is_err() => return,
+            Some(_) => {}
+            None if stop.load(Ordering::SeqCst) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            None => {}
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    #[test]
+    fn serves_frames_to_tcp_client() {
+        let bus = Arc::new(FrameBus::new(16));
+        let mut server = LiveServer::bind("127.0.0.1:0", bus.clone()).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+
+        let mut hello = String::new();
+        reader.read_line(&mut hello).unwrap();
+        assert!(hello.contains("\"type\":\"hello\""), "got: {hello}");
+
+        // Wait for the connection's subscription to attach before publishing.
+        let t = std::time::Instant::now();
+        while bus.stats().subscribers == 0 && t.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        bus.publish(Arc::from(r#"{"type":"observable","step":1}"#));
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), r#"{"type":"observable","step":1}"#);
+        server.shutdown();
+    }
+
+    #[test]
+    fn http_get_receives_header_then_frames() {
+        let bus = Arc::new(FrameBus::new(16));
+        let mut server = LiveServer::bind("127.0.0.1:0", bus.clone()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream
+            .write_all(b"GET / HTTP/1.0\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("HTTP/1.0 200"), "got: {line}");
+        // Skip headers until the blank line, then expect the hello frame.
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" || line == "\n" {
+                break;
+            }
+        }
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"type\":\"hello\""), "got: {line}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_terminates_promptly() {
+        let bus = Arc::new(FrameBus::new(4));
+        let mut server = LiveServer::bind("127.0.0.1:0", bus).unwrap();
+        let t = std::time::Instant::now();
+        server.shutdown();
+        assert!(t.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,473 @@
+//! Perf-trajectory files (`BENCH_<name>.json`) and their comparator.
+//!
+//! A trajectory records, in a stable schema, what a benchmark run
+//! measured and on what: machine info, build flags, and a flat list of
+//! keyed entries (per-kernel MLUP/s, ghost-exchange bandwidth, overheads).
+//! Committing one per machine class keeps the repo honest about speed —
+//! the comparator diffs two trajectories and flags changes beyond a noise
+//! band, so a perf regression fails review instead of landing silently.
+//!
+//! Schema v1 (`schema_version: 1`):
+//!
+//! ```json
+//! {
+//!   "type": "trajectory", "schema_version": 1, "name": "baseline",
+//!   "created_unix": 1754000000,
+//!   "machine": {"os": "linux", "arch": "x86_64",
+//!               "cpu_model": "...", "logical_cores": 8},
+//!   "build": {"profile": "release", "simd": "avx2,fma"},
+//!   "entries": [
+//!     {"key": "phi_mlups", "value": 7.1, "unit": "MLUP/s",
+//!      "higher_is_better": true}
+//!   ]
+//! }
+//! ```
+//!
+//! Comparisons match entries by `key`; keys present on only one side are
+//! reported but are not regressions (benchmarks grow over time).
+
+use eutectica_telemetry::JsonObject;
+
+use crate::json::{parse, Value};
+
+/// Current schema version written by [`Trajectory::to_json`].
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Host description captured with each trajectory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineInfo {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// CPU model string from `/proc/cpuinfo` (or `"unknown"`).
+    pub cpu_model: String,
+    /// Logical cores visible to the process.
+    pub logical_cores: u64,
+}
+
+impl MachineInfo {
+    /// Probe the current host.
+    pub fn detect() -> Self {
+        let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("model name"))
+                    .and_then(|l| l.split(':').nth(1))
+                    .map(|m| m.trim().to_string())
+            })
+            .unwrap_or_else(|| "unknown".to_string());
+        Self {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpu_model,
+            logical_cores: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Build configuration captured with each trajectory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// `"release"` or `"debug"`.
+    pub profile: String,
+    /// Comma-separated SIMD target features compiled in.
+    pub simd: String,
+}
+
+impl BuildInfo {
+    /// Describe the current build.
+    pub fn detect() -> Self {
+        let mut simd = Vec::new();
+        if cfg!(target_feature = "avx512f") {
+            simd.push("avx512f");
+        }
+        if cfg!(target_feature = "avx2") {
+            simd.push("avx2");
+        }
+        if cfg!(target_feature = "fma") {
+            simd.push("fma");
+        }
+        if cfg!(target_feature = "sse4.2") {
+            simd.push("sse4.2");
+        }
+        if cfg!(target_feature = "neon") {
+            simd.push("neon");
+        }
+        Self {
+            profile: if cfg!(debug_assertions) {
+                "debug".to_string()
+            } else {
+                "release".to_string()
+            },
+            simd: simd.join(","),
+        }
+    }
+}
+
+/// One measured quantity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrajEntry {
+    /// Stable identifier, e.g. `"mu_mlups_simd_tz_buf"`.
+    pub key: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit label, e.g. `"MLUP/s"`, `"MB/s"`, `"%"`.
+    pub unit: String,
+    /// Direction of goodness — drives the regression test.
+    pub higher_is_better: bool,
+}
+
+/// A full perf-trajectory file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trajectory {
+    /// Schema version of the file this was read from / will write.
+    pub schema_version: u64,
+    /// Trajectory name (e.g. `"baseline"`).
+    pub name: String,
+    /// Unix timestamp of the recording run.
+    pub created_unix: u64,
+    /// Host description.
+    pub machine: MachineInfo,
+    /// Build description.
+    pub build: BuildInfo,
+    /// Measured entries, in recording order.
+    pub entries: Vec<TrajEntry>,
+}
+
+impl Trajectory {
+    /// Fresh trajectory for the current host and build, stamped now.
+    pub fn new(name: &str) -> Self {
+        let created_unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        Self {
+            schema_version: SCHEMA_VERSION,
+            name: name.to_string(),
+            created_unix,
+            machine: MachineInfo::detect(),
+            build: BuildInfo::detect(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Append one measurement.
+    pub fn push(&mut self, key: &str, value: f64, unit: &str, higher_is_better: bool) {
+        self.entries.push(TrajEntry {
+            key: key.to_string(),
+            value,
+            unit: unit.to_string(),
+            higher_is_better,
+        });
+    }
+
+    /// Value of the entry with `key`, if present.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.entries.iter().find(|e| e.key == key).map(|e| e.value)
+    }
+
+    /// Serialize (pretty-printed, one entry per line — the file is meant
+    /// to live in git).
+    pub fn to_json(&self) -> String {
+        let machine = JsonObject::new()
+            .str_field("os", &self.machine.os)
+            .str_field("arch", &self.machine.arch)
+            .str_field("cpu_model", &self.machine.cpu_model)
+            .int_field("logical_cores", self.machine.logical_cores)
+            .finish();
+        let build = JsonObject::new()
+            .str_field("profile", &self.build.profile)
+            .str_field("simd", &self.build.simd)
+            .finish();
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"type\": \"trajectory\",\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str(&format!(
+            "  \"name\": \"{}\",\n",
+            eutectica_telemetry::escape(&self.name)
+        ));
+        out.push_str(&format!("  \"created_unix\": {},\n", self.created_unix));
+        out.push_str(&format!("  \"machine\": {machine},\n"));
+        out.push_str(&format!("  \"build\": {build},\n"));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let line = JsonObject::new()
+                .str_field("key", &e.key)
+                .num_field("value", e.value)
+                .str_field("unit", &e.unit)
+                .raw_field(
+                    "higher_is_better",
+                    if e.higher_is_better { "true" } else { "false" },
+                )
+                .finish();
+            out.push_str("    ");
+            out.push_str(&line);
+            if i + 1 < self.entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a trajectory file.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = parse(text)?;
+        let sv = v.num("schema_version").ok_or("missing schema_version")? as u64;
+        if sv == 0 || sv > SCHEMA_VERSION {
+            return Err(format!("unsupported schema_version {sv}"));
+        }
+        let req_str = |obj: &Value, k: &str| -> Result<String, String> {
+            obj.str(k)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string '{k}'"))
+        };
+        let machine = v.get("machine").ok_or("missing machine")?;
+        let build = v.get("build").ok_or("missing build")?;
+        let mut entries = Vec::new();
+        for e in v
+            .get("entries")
+            .and_then(Value::as_arr)
+            .ok_or("missing entries")?
+        {
+            entries.push(TrajEntry {
+                key: req_str(e, "key")?,
+                value: e.num("value").ok_or("entry missing value")?,
+                unit: req_str(e, "unit")?,
+                higher_is_better: matches!(e.get("higher_is_better"), Some(Value::Bool(true))),
+            });
+        }
+        Ok(Self {
+            schema_version: sv,
+            name: req_str(&v, "name")?,
+            created_unix: v.num("created_unix").unwrap_or(0.0) as u64,
+            machine: MachineInfo {
+                os: req_str(machine, "os")?,
+                arch: req_str(machine, "arch")?,
+                cpu_model: req_str(machine, "cpu_model")?,
+                logical_cores: machine.num("logical_cores").unwrap_or(0.0) as u64,
+            },
+            build: BuildInfo {
+                profile: req_str(build, "profile")?,
+                simd: req_str(build, "simd")?,
+            },
+            entries,
+        })
+    }
+
+    /// Write to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Read from `path`.
+    pub fn read(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Self::from_json(&text)
+    }
+}
+
+/// One entry's base-vs-current delta.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Entry key.
+    pub key: String,
+    /// Unit label (from the current side).
+    pub unit: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed relative change in the *goodness* direction: positive is
+    /// better, negative is worse, regardless of `higher_is_better`.
+    pub rel_change: f64,
+}
+
+/// Result of comparing two trajectories.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// Noise band the comparison used.
+    pub noise_band: f64,
+    /// Entries worse than the noise band allows.
+    pub regressions: Vec<Delta>,
+    /// Entries better beyond the noise band.
+    pub improvements: Vec<Delta>,
+    /// Entries within the band.
+    pub unchanged: Vec<Delta>,
+    /// Keys present in the baseline but not the current file.
+    pub missing: Vec<String>,
+    /// Keys present only in the current file (new benchmarks).
+    pub added: Vec<String>,
+}
+
+impl Comparison {
+    /// True if any entry regressed beyond the noise band.
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Human-readable report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let pct = |d: &Delta| format!("{:+.1}%", 100.0 * d.rel_change);
+        out.push_str(&format!(
+            "trajectory comparison (noise band {:.0}%):\n",
+            100.0 * self.noise_band
+        ));
+        for d in &self.regressions {
+            out.push_str(&format!(
+                "  REGRESSION  {:30} {:>12.3} -> {:>12.3} {}  ({})\n",
+                d.key,
+                d.base,
+                d.current,
+                d.unit,
+                pct(d)
+            ));
+        }
+        for d in &self.improvements {
+            out.push_str(&format!(
+                "  improved    {:30} {:>12.3} -> {:>12.3} {}  ({})\n",
+                d.key,
+                d.base,
+                d.current,
+                d.unit,
+                pct(d)
+            ));
+        }
+        for d in &self.unchanged {
+            out.push_str(&format!(
+                "  ok          {:30} {:>12.3} -> {:>12.3} {}  ({})\n",
+                d.key,
+                d.base,
+                d.current,
+                d.unit,
+                pct(d)
+            ));
+        }
+        for k in &self.missing {
+            out.push_str(&format!("  missing     {k:30} (in baseline only)\n"));
+        }
+        for k in &self.added {
+            out.push_str(&format!("  new         {k:30} (no baseline)\n"));
+        }
+        out.push_str(&format!(
+            "{} regression(s), {} improvement(s), {} unchanged\n",
+            self.regressions.len(),
+            self.improvements.len(),
+            self.unchanged.len()
+        ));
+        out
+    }
+}
+
+/// Compare `current` against `base`: an entry regresses when it is worse
+/// than `noise_band` (relative) in its goodness direction.
+pub fn compare(base: &Trajectory, current: &Trajectory, noise_band: f64) -> Comparison {
+    assert!((0.0..1.0).contains(&noise_band), "noise band in [0, 1)");
+    let mut cmp = Comparison {
+        noise_band,
+        ..Comparison::default()
+    };
+    for b in &base.entries {
+        let Some(c) = current.entries.iter().find(|c| c.key == b.key) else {
+            cmp.missing.push(b.key.clone());
+            continue;
+        };
+        // Relative change oriented so that positive == better.
+        let raw = if b.value.abs() > f64::EPSILON {
+            (c.value - b.value) / b.value.abs()
+        } else if c.value == b.value {
+            0.0
+        } else {
+            f64::INFINITY * (c.value - b.value).signum()
+        };
+        let rel_change = if b.higher_is_better { raw } else { -raw };
+        let delta = Delta {
+            key: b.key.clone(),
+            unit: c.unit.clone(),
+            base: b.value,
+            current: c.value,
+            rel_change,
+        };
+        if rel_change < -noise_band {
+            cmp.regressions.push(delta);
+        } else if rel_change > noise_band {
+            cmp.improvements.push(delta);
+        } else {
+            cmp.unchanged.push(delta);
+        }
+    }
+    for c in &current.entries {
+        if !base.entries.iter().any(|b| b.key == c.key) {
+            cmp.added.push(c.key.clone());
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(pairs: &[(&str, f64, bool)]) -> Trajectory {
+        let mut t = Trajectory::new("test");
+        for (k, v, hib) in pairs {
+            t.push(k, *v, "MLUP/s", *hib);
+        }
+        t
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let t = traj(&[("phi_mlups", 7.125, true), ("overhead_pct", 1.5, false)]);
+        let back = Trajectory::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn regression_beyond_band_is_flagged() {
+        let base = traj(&[("mu_mlups", 10.0, true)]);
+        let bad = traj(&[("mu_mlups", 8.0, true)]); // -20%
+        let cmp = compare(&base, &bad, 0.10);
+        assert!(cmp.has_regressions());
+        assert_eq!(cmp.regressions[0].key, "mu_mlups");
+        assert!(cmp.regressions[0].rel_change < -0.15);
+        assert!(cmp.report().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn noise_band_absorbs_small_changes() {
+        let base = traj(&[("mu_mlups", 10.0, true)]);
+        let ok = traj(&[("mu_mlups", 9.5, true)]); // -5%
+        let cmp = compare(&base, &ok, 0.10);
+        assert!(!cmp.has_regressions());
+        assert_eq!(cmp.unchanged.len(), 1);
+    }
+
+    #[test]
+    fn lower_is_better_direction() {
+        let base = traj(&[("overhead_pct", 1.0, false)]);
+        let worse = traj(&[("overhead_pct", 2.0, false)]);
+        let better = traj(&[("overhead_pct", 0.5, false)]);
+        assert!(compare(&base, &worse, 0.10).has_regressions());
+        let cmp = compare(&base, &better, 0.10);
+        assert!(!cmp.has_regressions());
+        assert_eq!(cmp.improvements.len(), 1);
+    }
+
+    #[test]
+    fn missing_and_added_keys_are_not_regressions() {
+        let base = traj(&[("a", 1.0, true), ("b", 2.0, true)]);
+        let cur = traj(&[("a", 1.0, true), ("c", 3.0, true)]);
+        let cmp = compare(&base, &cur, 0.05);
+        assert!(!cmp.has_regressions());
+        assert_eq!(cmp.missing, vec!["b".to_string()]);
+        assert_eq!(cmp.added, vec!["c".to_string()]);
+    }
+}

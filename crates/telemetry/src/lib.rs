@@ -45,7 +45,7 @@ mod metrics;
 mod reduce;
 mod trace;
 
-pub use json::JsonObject;
+pub use json::{escape, JsonObject};
 pub use metrics::{Histogram, MetricsSnapshot, HIST_BUCKETS};
 pub use reduce::{reduce_snapshots, reduce_with, ReducedRow, ReducedTree};
 pub use trace::{
@@ -310,6 +310,23 @@ impl Telemetry {
         }
     }
 
+    /// Add several counter deltas under one shard-lock acquisition, so a
+    /// concurrent [`Telemetry::sample`] sees either none or all of the
+    /// batch — use this for counters with cross-key invariants (e.g.
+    /// "bytes sent" and "messages sent" updated together).
+    pub fn counters_add(&self, deltas: &[(&str, u64)]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let shard = self.shard();
+        let mut st = lock(&shard.state);
+        for (name, delta) in deltas {
+            if *delta > 0 {
+                *st.metrics.counters.entry(name.to_string()).or_insert(0) += delta;
+            }
+        }
+    }
+
     /// Set the named gauge to `value` (last write on this thread wins; on
     /// snapshot merge, the lowest lane that set the gauge wins).
     #[inline]
@@ -353,19 +370,15 @@ impl Telemetry {
     /// Copy of the accumulated metrics, merged across all thread shards:
     /// counters sum, histograms merge, duplicate gauges resolve to the
     /// lowest lane's value.
+    ///
+    /// Shards are visited one at a time, so writers that update *between*
+    /// this call's per-shard locks can skew cross-shard invariants; an
+    /// external sampler polling a live run should use
+    /// [`Telemetry::sample`], which takes one consistent cut.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut out = MetricsSnapshot::default();
         for shard in self.shards_by_lane() {
-            let st = lock(&shard.state);
-            for (k, v) in &st.metrics.counters {
-                *out.counters.entry(k.clone()).or_insert(0) += v;
-            }
-            for (k, v) in &st.metrics.gauges {
-                out.gauges.entry(k.clone()).or_insert(*v);
-            }
-            for (k, h) in &st.metrics.histograms {
-                out.histograms.entry(k.clone()).or_default().merge(h);
-            }
+            merge_metrics_into(&mut out, &lock(&shard.state).metrics);
         }
         out
     }
@@ -378,33 +391,34 @@ impl Telemetry {
         for shard in self.shards_by_lane() {
             merged.merge_from(&lock(&shard.state).tree);
         }
-        let mut rows = Vec::new();
-        fn walk(
-            st: &TreeState,
-            node: usize,
-            prefix: &str,
-            depth: usize,
-            rows: &mut Vec<TimingRow>,
-        ) {
-            for &c in &st.nodes[node].children {
-                let n = &st.nodes[c];
-                let path = if prefix.is_empty() {
-                    n.name.to_string()
-                } else {
-                    format!("{prefix}/{}", n.name)
-                };
-                rows.push(TimingRow {
-                    path: path.clone(),
-                    depth,
-                    cat: n.cat.to_string(),
-                    total_secs: n.total.as_secs_f64(),
-                    count: n.count,
-                });
-                walk(st, c, &path, depth + 1, rows);
-            }
+        tree_rows(&merged)
+    }
+
+    /// One *consistent* cut of metrics and timing tree across every thread
+    /// shard, for external samplers polling a live run (the observability
+    /// plane's metrics frames).
+    ///
+    /// Unlike [`Telemetry::metrics_snapshot`] + [`Telemetry::tree_snapshot`]
+    /// — which take per-shard locks one at a time, twice, and can tear
+    /// cross-shard or tree-vs-metrics invariants when workers write
+    /// mid-merge — this holds *all* shard locks simultaneously while
+    /// merging. Locks are taken in lane order; writers only ever hold their
+    /// own single shard lock, so no ordering deadlock is possible. Writers
+    /// block for the duration of one merge (microseconds at live-export
+    /// cadence).
+    pub fn sample(&self) -> TelemetrySample {
+        let shards = self.shards_by_lane();
+        let guards: Vec<_> = shards.iter().map(|s| lock(&s.state)).collect();
+        let mut metrics = MetricsSnapshot::default();
+        let mut merged = TreeState::new();
+        for st in &guards {
+            merge_metrics_into(&mut metrics, &st.metrics);
+            merged.merge_from(&st.tree);
         }
-        walk(&merged, 0, "", 0, &mut rows);
-        TimingTreeSnapshot { rows }
+        TelemetrySample {
+            metrics,
+            tree: tree_rows(&merged),
+        }
     }
 
     /// Total accrued time of the tree node at `path` ("a/b/c"), if present.
@@ -493,6 +507,55 @@ macro_rules! span {
     ($tel:expr, $name:expr, $cat:expr) => {
         let _span_guard = $tel.span_cat($name, $cat);
     };
+}
+
+/// One consistent cut of a [`Telemetry`] handle's state — see
+/// [`Telemetry::sample`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySample {
+    /// Merged counters / gauges / histograms.
+    pub metrics: MetricsSnapshot,
+    /// Merged timing tree.
+    pub tree: TimingTreeSnapshot,
+}
+
+/// Merge one shard's metrics into an accumulating snapshot: counters sum,
+/// histograms merge, first (lowest-lane) gauge wins.
+fn merge_metrics_into(out: &mut MetricsSnapshot, src: &MetricsSnapshot) {
+    for (k, v) in &src.counters {
+        *out.counters.entry(k.clone()).or_insert(0) += v;
+    }
+    for (k, v) in &src.gauges {
+        out.gauges.entry(k.clone()).or_insert(*v);
+    }
+    for (k, h) in &src.histograms {
+        out.histograms.entry(k.clone()).or_default().merge(h);
+    }
+}
+
+/// Flatten a merged tree into depth-first rows.
+fn tree_rows(merged: &TreeState) -> TimingTreeSnapshot {
+    fn walk(st: &TreeState, node: usize, prefix: &str, depth: usize, rows: &mut Vec<TimingRow>) {
+        for &c in &st.nodes[node].children {
+            let n = &st.nodes[c];
+            let path = if prefix.is_empty() {
+                n.name.to_string()
+            } else {
+                format!("{prefix}/{}", n.name)
+            };
+            rows.push(TimingRow {
+                path: path.clone(),
+                depth,
+                cat: n.cat.to_string(),
+                total_secs: n.total.as_secs_f64(),
+                count: n.count,
+            });
+            walk(st, c, &path, depth + 1, rows);
+        }
+    }
+    let mut rows = Vec::new();
+    walk(merged, 0, "", 0, &mut rows);
+    TimingTreeSnapshot { rows }
 }
 
 /// One flattened timing-tree node.
@@ -705,5 +768,96 @@ mod tests {
     fn telemetry_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Telemetry>();
+    }
+
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn sample_matches_individual_snapshots_when_quiescent() {
+        let tel = Telemetry::new(0);
+        tel.counter_add("cells", 7);
+        tel.gauge_set("mlups", 3.5);
+        {
+            let _s = tel.span("step");
+        }
+        let s = tel.sample();
+        assert_eq!(s.metrics, tel.metrics_snapshot());
+        assert_eq!(s.tree, tel.tree_snapshot());
+        assert_eq!(s.metrics.counters["cells"], 7);
+        assert_eq!(s.tree.rows[0].path, "step");
+    }
+
+    /// Two writer threads bump counters in *different shards* in strict
+    /// alternation (ping then pong), so at every instant
+    /// `ping - pong ∈ {0, 1}`. A sampler using the all-locks-at-once cut
+    /// must never observe anything else; the one-shard-at-a-time
+    /// `metrics_snapshot` can (that is the torn read this guards against).
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn sample_sees_a_consistent_cross_shard_cut() {
+        use std::sync::atomic::AtomicU64;
+
+        let tel = Telemetry::new(0);
+        let turn = AtomicU64::new(0);
+        let rounds: u64 = 500;
+        fn wait(turn: &AtomicU64, want: u64) {
+            while turn.load(Ordering::Acquire) != want {
+                std::thread::yield_now();
+            }
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..rounds {
+                    wait(&turn, 2 * i);
+                    tel.counter_add("ping", 1);
+                    turn.store(2 * i + 1, Ordering::Release);
+                }
+            });
+            s.spawn(|| {
+                for i in 0..rounds {
+                    wait(&turn, 2 * i + 1);
+                    tel.counter_add("pong", 1);
+                    turn.store(2 * i + 2, Ordering::Release);
+                }
+            });
+            let mut observed = 0u64;
+            while turn.load(Ordering::Acquire) < 2 * rounds {
+                let m = tel.sample().metrics;
+                let ping = m.counters.get("ping").copied().unwrap_or(0);
+                let pong = m.counters.get("pong").copied().unwrap_or(0);
+                assert!(
+                    ping == pong || ping == pong + 1,
+                    "torn cross-shard read: ping {ping} pong {pong}"
+                );
+                observed += 1;
+            }
+            assert!(observed > 0);
+        });
+        let m = tel.sample().metrics;
+        assert_eq!(m.counters["ping"], rounds);
+        assert_eq!(m.counters["pong"], rounds);
+    }
+
+    /// `counters_add` batches updates under one lock: a sampler never sees
+    /// half the batch, even within a single shard.
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn batched_counters_are_atomic_under_sampling() {
+        let tel = Telemetry::new(0);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..2_000 {
+                    tel.counters_add(&[("msgs", 1), ("bytes", 1)]);
+                }
+                done.store(true, Ordering::Release);
+            });
+            while !done.load(Ordering::Acquire) {
+                let m = tel.sample().metrics;
+                let a = m.counters.get("msgs").copied().unwrap_or(0);
+                let b = m.counters.get("bytes").copied().unwrap_or(0);
+                assert_eq!(a, b, "sampler saw half a counters_add batch");
+            }
+        });
+        assert_eq!(tel.sample().metrics.counters["msgs"], 2_000);
     }
 }

@@ -10,6 +10,11 @@
 //! ```sh
 //! cargo run --release --example directional_solidification
 //! ```
+//!
+//! Pass `--observe-every N` to sample the in-situ physics observables
+//! (front kinetics, phase fractions, lamellar spacing, undercooling)
+//! every N steps, and `--metrics-out observables.ndjson` to stream the
+//! typed frames to a file.
 
 use eutectica_analysis::correlation::{radial_average, two_point_correlation};
 use eutectica_analysis::front::{front_height_map, front_mean, front_roughness, front_velocity};
@@ -40,9 +45,30 @@ fn main() {
     );
     println!();
 
+    // Optional in-situ observability plane (provably inert when off).
+    let mut observer = eutectica_bench::observe_every_arg().map(|every| {
+        let obs = eutectica_obsv::InSituObserver::new(
+            eutectica_obsv::ObservablesConfig::with_every(every),
+        );
+        match eutectica_bench::metrics_out_arg() {
+            Some(path) => obs
+                .with_output_path(&path)
+                .expect("create --metrics-out file"),
+            None => obs,
+        }
+    });
+
     let mut front_maps: Vec<(f64, Vec<f64>)> = Vec::new();
     for round in 1..=rounds {
-        sim.step_n(steps_per_round);
+        match observer.as_mut() {
+            Some(obs) => {
+                for _ in 0..steps_per_round {
+                    sim.step();
+                    obs.observe_single(&sim);
+                }
+            }
+            None => sim.step_n(steps_per_round),
+        }
         let map = front_height_map(&sim.state);
         println!(
             "step {:5}: solid {:.3}, front z = {:.1} (rms roughness {:.2}), window shifts {}",
@@ -137,4 +163,20 @@ fn main() {
     println!();
     println!("STL meshes are in results/ — load them in ParaView/MeshLab to see the");
     println!("lamellar microstructure (cf. Fig. 10a).");
+
+    if let Some(obs) = &observer {
+        println!();
+        println!("observables sampled: {} record(s)", obs.records().len());
+        if let Some(last) = obs.records().last() {
+            println!(
+                "  last: front z = {:.2}, velocity {:.4} cells/t, lamellae {:?} (λ {:?}), undercooling {:.4}",
+                last.front_mean,
+                last.front_velocity,
+                last.lamella_count,
+                last.lamellar_spacing
+                    .map(|s| (s * 100.0).round() / 100.0),
+                last.undercooling
+            );
+        }
+    }
 }

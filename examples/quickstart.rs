@@ -4,8 +4,13 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Pass `--observe-every N` to sample the in-situ physics observables
+//! every N steps, and `--metrics-out observables.ndjson` to stream them
+//! to a file as NDJSON (one typed frame per line).
 
 use eutectica_core::prelude::*;
+use eutectica_obsv::{InSituObserver, ObservablesConfig};
 use eutectica_thermo::Phase;
 
 fn main() {
@@ -28,12 +33,31 @@ fn main() {
         sim.phase_fractions().map(|f| (f * 1000.0).round() / 1000.0)
     );
 
+    // Optional in-situ observability plane (provably inert when off).
+    let mut observer = eutectica_bench::observe_every_arg().map(|every| {
+        let obs = InSituObserver::new(ObservablesConfig::with_every(every));
+        match eutectica_bench::metrics_out_arg() {
+            Some(path) => obs
+                .with_output_path(&path)
+                .expect("create --metrics-out file"),
+            None => obs,
+        }
+    });
+
     // Run 500 explicit-Euler steps (Algorithm 1 with the fully optimized
     // kernels: explicit SIMD, T(z) precompute, staggered buffers,
     // shortcuts).
     let steps = 500;
     let t = std::time::Instant::now();
-    sim.step_n(steps);
+    match observer.as_mut() {
+        Some(obs) => {
+            for _ in 0..steps {
+                sim.step();
+                obs.observe_single(&sim);
+            }
+        }
+        None => sim.step_n(steps),
+    }
     let dt = t.elapsed().as_secs_f64();
     let cells = 32 * 32 * 64;
     println!();
@@ -50,4 +74,15 @@ fn main() {
         println!("  {:8}: {:.3}", p.name(), sim.phase_fractions()[p as usize]);
     }
     println!("  mean chemical potentials: {:?}", sim.mean_mu());
+
+    if let Some(obs) = &observer {
+        println!();
+        println!("observables sampled: {} record(s)", obs.records().len());
+        if let Some(last) = obs.records().last() {
+            println!(
+                "  last: front z = {:.2} (rms {:.2}), velocity {:.4} cells/t, undercooling {:.4}",
+                last.front_mean, last.front_rms, last.front_velocity, last.undercooling
+            );
+        }
+    }
 }

@@ -61,6 +61,21 @@ fn main() {
         println!();
     }
 
+    // --kill-rank R --kill-step S [--survive] [--shrink-source disk|buddy]:
+    // chaos leg — kill a rank mid-run and either shrink-continue on the
+    // survivors or tear down and restart, with a rank-0 summary line.
+    if let Some(kr) = eutectica_bench::kill_rank_arg() {
+        let ks = eutectica_bench::kill_step_arg().unwrap_or(6);
+        eutectica_bench::shrink_demo(
+            kr,
+            ks,
+            eutectica_bench::survive_arg(),
+            eutectica_bench::shrink_source_arg(),
+            threads,
+        );
+        println!();
+    }
+
     // --- Live end-to-end check of the four overlap combinations (2 ranks).
     println!("live 2-rank run (16^3 blocks, 4 steps each, {threads} sweep thread(s)):");
     let params = ModelParams::ag_al_cu();

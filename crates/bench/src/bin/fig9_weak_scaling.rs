@@ -47,6 +47,21 @@ fn main() {
         println!();
     }
 
+    // --kill-rank R --kill-step S [--survive] [--shrink-source disk|buddy]:
+    // chaos leg — kill a rank mid-run and either shrink-continue on the
+    // survivors or tear down and restart, with a rank-0 summary line.
+    if let Some(kr) = eutectica_bench::kill_rank_arg() {
+        let ks = eutectica_bench::kill_step_arg().unwrap_or(6);
+        eutectica_bench::shrink_demo(
+            kr,
+            ks,
+            eutectica_bench::survive_arg(),
+            eutectica_bench::shrink_source_arg(),
+            threads,
+        );
+        println!();
+    }
+
     // --rebalance-every <k>: run the front-crossing load-imbalance demo and
     // report the measured static vs. dynamically rebalanced max/avg ratio.
     if let Some(every) = eutectica_bench::rebalance_every_arg() {

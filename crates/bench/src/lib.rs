@@ -560,6 +560,16 @@ pub fn record_fig7_trajectory(name: &str, quick: bool) -> eutectica_obsv::Trajec
         "%",
         false,
     );
+    // Shrink-recovery leg: kill a rank mid-run, shrink-continue on the
+    // survivors, and charge the membership-round + re-homing + restore
+    // wall-clock against the whole run.
+    let chaos = shrink_demo(1, 6, true, eutectica_pfio::resilient::ShrinkSource::Disk, 1);
+    traj.push(
+        "recovery_overhead_pct",
+        100.0 * chaos.outcome.shrink_cost.recovery_secs / chaos.total_secs.max(1e-9),
+        "%",
+        false,
+    );
     traj
 }
 
@@ -762,4 +772,150 @@ pub fn rebalance_demo(every: usize, threshold: f64, threads: usize, steps: usize
         rb.rebalances, rb.blocks_sent,
     );
     (static_imb, dynamic_imb)
+}
+
+/// Parse a `--kill-rank <r>` flag: rank to kill in the chaos leg of a
+/// figure binary (absent = no chaos leg).
+pub fn kill_rank_arg() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    let parse = |v: String| -> usize { v.parse().expect("--kill-rank must be a rank id") };
+    while let Some(a) = args.next() {
+        if a == "--kill-rank" {
+            return Some(parse(args.next().expect("--kill-rank needs a rank id")));
+        }
+        if let Some(v) = a.strip_prefix("--kill-rank=") {
+            return Some(parse(v.to_string()));
+        }
+    }
+    None
+}
+
+/// Parse a `--kill-step <s>` flag: step at which the chaos leg kills the
+/// rank named by `--kill-rank` (default 6).
+pub fn kill_step_arg() -> Option<u64> {
+    let mut args = std::env::args().skip(1);
+    let parse = |v: String| -> u64 { v.parse().expect("--kill-step must be a step index") };
+    while let Some(a) = args.next() {
+        if a == "--kill-step" {
+            return Some(parse(args.next().expect("--kill-step needs a step index")));
+        }
+        if let Some(v) = a.strip_prefix("--kill-step=") {
+            return Some(parse(v.to_string()));
+        }
+    }
+    None
+}
+
+/// Parse a `--survive` flag: shrink-continue on the survivors instead of
+/// tearing down and restarting after the injected kill.
+pub fn survive_arg() -> bool {
+    std::env::args().skip(1).any(|a| a == "--survive")
+}
+
+/// Parse a `--shrink-source disk|buddy` flag: where a shrink recovery
+/// sources the dead rank's state from (default: disk checkpoint set).
+pub fn shrink_source_arg() -> eutectica_pfio::resilient::ShrinkSource {
+    use eutectica_pfio::resilient::ShrinkSource;
+    let mut args = std::env::args().skip(1);
+    let parse = |v: String| -> ShrinkSource {
+        match v.as_str() {
+            "disk" => ShrinkSource::Disk,
+            "buddy" => ShrinkSource::Buddy,
+            other => panic!("--shrink-source must be disk or buddy, got {other}"),
+        }
+    };
+    while let Some(a) = args.next() {
+        if a == "--shrink-source" {
+            return parse(args.next().expect("--shrink-source needs disk|buddy"));
+        }
+        if let Some(v) = a.strip_prefix("--shrink-source=") {
+            return parse(v.to_string());
+        }
+    }
+    eutectica_pfio::resilient::ShrinkSource::Disk
+}
+
+/// What [`shrink_demo`] measured, for callers that fold the numbers into a
+/// perf trajectory.
+pub struct ShrinkDemoReport {
+    /// Result of the resilient run.
+    pub outcome: eutectica_pfio::resilient::ResilientOutcome,
+    /// Total wall-clock of the run, including the recovery.
+    pub total_secs: f64,
+}
+
+/// Chaos leg shared by the figure binaries: run a small 3-rank resilient
+/// simulation, kill `kill_rank` at `kill_step`, and either shrink-continue
+/// on the survivors (`survive`, sourcing lost state per `source`) or tear
+/// down and restart classically. Prints a rank-0 summary line — blocks
+/// re-homed, bytes moved, wall-clock recovery cost — and returns the
+/// measurements.
+pub fn shrink_demo(
+    kill_rank: usize,
+    kill_step: u64,
+    survive: bool,
+    source: eutectica_pfio::resilient::ShrinkSource,
+    threads: usize,
+) -> ShrinkDemoReport {
+    use eutectica_core::timeloop::OverlapOptions;
+    use eutectica_pfio::resilient::{run_resilient, Cadence, ResilientOpts, ShrinkPolicy};
+
+    let n_ranks = 3usize;
+    assert!(
+        kill_rank < n_ranks,
+        "--kill-rank must name one of the demo's {n_ranks} ranks"
+    );
+    let steps = 16usize;
+    let spec = eutectica_blockgrid::decomp::DomainSpec::directional([16, 16, 12], [2, 2, 1]);
+    let root = std::env::temp_dir().join(format!("eut_shrink_demo_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut opts = ResilientOpts::new(root.clone());
+    opts.cadence = Cadence::EverySteps(4);
+    opts.ranks = vec![n_ranks];
+    opts.threads = threads;
+    opts.fault_plans = vec![eutectica_comm::FaultPlan::new(42).kill(kill_rank, kill_step)];
+    if survive {
+        opts.max_attempts = 1; // the kill must be absorbed in-flight
+        opts.shrink = Some(ShrinkPolicy::new(source));
+    } else {
+        opts.max_attempts = 2; // classic path: tear down, restore, re-run
+    }
+    let t0 = Instant::now();
+    let outcome = run_resilient(
+        ModelParams::ag_al_cu(),
+        spec,
+        eutectica_core::kernels::KernelConfig::default(),
+        OverlapOptions::default(),
+        steps,
+        opts,
+        |b| eutectica_core::init::init_planar_front(b, 0, 6),
+    )
+    .expect("chaos demo must recover from the injected kill");
+    let total_secs = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&root);
+    if survive {
+        let c = outcome.shrink_cost;
+        println!(
+            "chaos: killed rank {kill_rank} at step {kill_step} ({source:?} restore); \
+             survivors {:?} re-homed {} block(s), moved {} replica byte(s), \
+             recovery {:.2} ms ({:.1}% of the {:.1} ms run)",
+            outcome.survivors,
+            c.blocks_rehomed,
+            c.bytes_moved,
+            c.recovery_secs * 1e3,
+            100.0 * c.recovery_secs / total_secs.max(1e-9),
+            total_secs * 1e3,
+        );
+    } else {
+        println!(
+            "chaos: killed rank {kill_rank} at step {kill_step}; classic restart \
+             recovered in {} attempt(s), {:.1} ms total",
+            outcome.attempts,
+            total_secs * 1e3,
+        );
+    }
+    ShrinkDemoReport {
+        outcome,
+        total_secs,
+    }
 }

@@ -288,6 +288,55 @@ pub fn plan_rebalance(
     MigrationPlan { placement, moves }
 }
 
+/// Re-home the blocks of dead ranks onto the survivors — the
+/// shrink-and-continue planner. Survivors keep every block they already own
+/// (their state is intact or restorable in place; moving it would cost
+/// migrations for no balance reason a later rebalance cannot recover), and
+/// each orphaned block is assigned longest-processing-time-first to the
+/// least-loaded survivor.
+///
+/// Deterministic: orphans are visited heaviest-first with ascending id as
+/// the tie-break, and load ties pick the lowest survivor rank — every
+/// survivor computes the identical plan from the replicated weights, so no
+/// coordinator broadcast is needed during recovery.
+///
+/// # Panics
+/// Panics if `survivors` is empty.
+pub fn plan_shrink(weights: &[f64], current: &[usize], survivors: &[usize]) -> MigrationPlan {
+    assert_eq!(weights.len(), current.len());
+    assert!(!survivors.is_empty(), "cannot shrink to zero ranks");
+    let alive = |r: usize| survivors.contains(&r);
+    let mut placement = current.to_vec();
+    let mut load: BTreeMap<usize, f64> = survivors.iter().map(|&r| (r, 0.0)).collect();
+    for (b, &r) in current.iter().enumerate() {
+        if alive(r) {
+            *load.get_mut(&r).unwrap() += weights[b];
+        }
+    }
+    let mut orphans: Vec<usize> = (0..current.len()).filter(|&b| !alive(current[b])).collect();
+    // Heaviest first, ascending id on weight ties (LPT).
+    orphans.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    for b in orphans {
+        let (&home, _) = load
+            .iter()
+            .min_by(|(ra, la), (rb, lb)| {
+                la.partial_cmp(lb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ra.cmp(rb))
+            })
+            .expect("survivor set is non-empty");
+        placement[b] = home;
+        *load.get_mut(&home).unwrap() += weights[b];
+    }
+    let moves = moves_between(current, &placement);
+    MigrationPlan { placement, moves }
+}
+
 /// Cancel moves from `target` whose reversal keeps the bottleneck within
 /// `(1 + slack)` of the target's own bottleneck. Deterministic: blocks are
 /// visited in ascending id. Never empties a rank.
@@ -447,5 +496,54 @@ mod tests {
         assert_eq!(p.forced_at(3), Some(&[1usize, 0][..]));
         assert_eq!(p.forced_at(5), Some(&[0usize, 1][..]));
         assert_eq!(p.forced_at(4), None);
+    }
+
+    #[test]
+    fn shrink_rehomes_only_orphans_lpt() {
+        // Rank 1 died; its blocks (3, 4, 5) must land on survivors 0 and 2,
+        // heaviest orphan first onto the least-loaded survivor. Survivors'
+        // own blocks never move.
+        let weights = vec![1.0, 1.0, 1.0, 4.0, 2.0, 1.0, 1.0, 1.0, 1.0];
+        let current = vec![0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let plan = plan_shrink(&weights, &current, &[0, 2]);
+        for (b, (&old, &new)) in current.iter().zip(&plan.placement).enumerate() {
+            if old != 1 {
+                assert_eq!(old, new, "survivor block {b} moved");
+            } else {
+                assert!([0, 2].contains(&new), "orphan {b} on dead rank");
+            }
+        }
+        // LPT: block 3 (w=4) → rank 0 (load tie 3=3, lowest rank wins);
+        // block 4 (w=2) → rank 2 (3 < 7); block 5 (w=1) → rank 2 (5 < 7).
+        assert_eq!(plan.placement[3], 0);
+        assert_eq!(plan.placement[4], 2);
+        assert_eq!(plan.placement[5], 2);
+        assert_eq!(plan.moves.len(), 3);
+        assert!(plan.moves.iter().all(|m| m.from == 1));
+    }
+
+    #[test]
+    fn shrink_is_deterministic_and_balances_ties() {
+        let weights = vec![1.0; 8];
+        let current = vec![0, 1, 2, 3, 0, 1, 2, 3];
+        let a = plan_shrink(&weights, &current, &[0, 2, 3]);
+        let b = plan_shrink(&weights, &current, &[0, 2, 3]);
+        assert_eq!(a.placement, b.placement);
+        // The two orphans (rank 1's blocks) split across the least-loaded
+        // survivors; no survivor ends with more than 3 blocks.
+        for r in [0usize, 2, 3] {
+            let n = a.placement.iter().filter(|&&p| p == r).count();
+            assert!((2..=3).contains(&n), "rank {r} owns {n}");
+        }
+        assert!(a.placement.iter().all(|&r| r != 1));
+    }
+
+    #[test]
+    fn shrink_to_single_survivor_takes_everything() {
+        let weights = vec![1.0, 2.0, 3.0, 4.0];
+        let current = vec![0, 1, 2, 3];
+        let plan = plan_shrink(&weights, &current, &[2]);
+        assert_eq!(plan.placement, vec![2, 2, 2, 2]);
+        assert_eq!(plan.moves.len(), 3);
     }
 }

@@ -63,7 +63,7 @@ use eutectica_telemetry::{Histogram, ReducedTree, TimingTreeSnapshot};
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
@@ -73,6 +73,34 @@ pub type Tag = u32;
 /// Tag bit reserved for collectives; user tags must keep it clear. Exposed
 /// so traffic accounting can separate ghost exchange from collectives.
 pub const COLLECTIVE_TAG: Tag = 1 << 31;
+
+/// Tag bit reserved for membership-protocol messages (heartbeats, epoch
+/// installs, flush markers). These are the messages that *change* the
+/// membership epoch, so they are never epoch-stamped themselves; their low
+/// bits carry a round number instead.
+pub const MEMBERSHIP_TAG: Tag = 1 << 30;
+
+/// Bit position of the 6-bit membership-epoch stamp every user and
+/// collective tag carries on the wire. Messages sent before a shrink carry
+/// the old epoch's bits and are fenced out by the stale-message purge of
+/// [`Rank::recover_membership`]; the stamp wraps after 64 epochs, far beyond
+/// any plausible number of in-run shrinks.
+const EPOCH_SHIFT: u32 = 24;
+
+/// Mask of the epoch-stamp bits inside a wire tag.
+const EPOCH_MASK: Tag = 0x3F << EPOCH_SHIFT;
+
+/// Exclusive upper bound on user tags: bits 24 and above are reserved for
+/// the epoch stamp, the membership protocol and collectives.
+pub const MAX_USER_TAG: Tag = 1 << EPOCH_SHIFT;
+
+/// Strip the epoch stamp off a wire tag, recovering the tag the application
+/// passed to [`Rank::send`]. Consumers of [`CommStats::per_tag`] must apply
+/// this before interpreting user tags (collective/membership bits are
+/// preserved so protocol traffic stays distinguishable).
+pub fn user_tag(tag: Tag) -> Tag {
+    tag & !EPOCH_MASK
+}
 
 /// Tag of the internal poison message a dying rank broadcasts to wake
 /// blocked receivers immediately (never surfaced to user code).
@@ -172,6 +200,32 @@ impl std::fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
+/// Typed panic payload raised by the panicking (non-`_checked`) operation
+/// variants. Carrying the [`CommError`] as a structured payload — rather
+/// than a formatted string — lets a recovery driver [`catch_comm`] the
+/// failure and shrink-continue instead of tearing the universe down.
+#[derive(Debug, Clone)]
+pub struct CommPanic {
+    /// The rank whose operation failed.
+    pub rank: usize,
+    /// The underlying communication failure.
+    pub err: CommError,
+}
+
+/// Run `f`, converting a panic raised by a panicking comm operation back
+/// into its typed [`CommError`]. Panics with any other payload — including
+/// injected rank kills — are propagated unchanged, so a killed rank still
+/// dies even when its step loop runs under `catch_comm`.
+pub fn catch_comm<R>(f: impl FnOnce() -> R) -> Result<R, CommError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => match payload.downcast::<CommPanic>() {
+            Ok(p) => Err(p.err),
+            Err(payload) => std::panic::resume_unwind(payload),
+        },
+    }
+}
+
 /// Outcome of [`Universe::run_checked`] when at least one rank died.
 #[derive(Debug, Clone)]
 pub struct UniverseError {
@@ -224,6 +278,12 @@ impl FailureState {
         self.any.load(Ordering::SeqCst)
     }
 
+    /// Total deaths recorded so far (death orders are `0..deaths()`).
+    #[inline]
+    fn deaths(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
     fn is_dead(&self, rank: usize) -> bool {
         self.any() && self.dead.lock()[rank].is_some()
     }
@@ -242,6 +302,43 @@ impl FailureState {
             .map(|(_, r)| r)
     }
 
+    /// Earliest rank whose death order is `>= floor` — the *unfenced* deaths
+    /// a membership epoch has not yet absorbed. `floor = 0` is
+    /// [`FailureState::first_dead`].
+    fn first_dead_since(&self, floor: u64) -> Option<usize> {
+        if self.deaths() <= floor {
+            return None;
+        }
+        self.dead
+            .lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(r, d)| {
+                d.as_ref()
+                    .filter(|(seq, _)| *seq >= floor)
+                    .map(|(seq, _)| (*seq, r))
+            })
+            .min()
+            .map(|(_, r)| r)
+    }
+
+    /// Dead ranks with death order in `[from, to)`, ordered by death.
+    fn dead_in(&self, from: u64, to: u64) -> Vec<(usize, String)> {
+        let mut v: Vec<(u64, usize, String)> = self
+            .dead
+            .lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(r, d)| {
+                d.as_ref()
+                    .filter(|(seq, _)| *seq >= from && *seq < to)
+                    .map(|(seq, msg)| (*seq, r, msg.clone()))
+            })
+            .collect();
+        v.sort();
+        v.into_iter().map(|(_, r, m)| (r, m)).collect()
+    }
+
     /// All dead ranks with their panic messages, in order of death.
     fn dead_ranks(&self) -> Vec<(usize, String)> {
         let mut v: Vec<(u64, usize, String)> = self
@@ -256,22 +353,109 @@ impl FailureState {
     }
 }
 
+/// Shared membership view of a universe: the current epoch, the surviving
+/// rank set, and the fence — the count of deaths already absorbed by a
+/// completed membership round. Installed collectively by
+/// [`Rank::recover_membership`]; epoch 0 with everyone alive until then.
+#[derive(Debug)]
+struct MembershipState {
+    epoch: AtomicU64,
+    /// Deaths with order `< fenced` belong to past epochs and no longer
+    /// abort collectives or fail-fast receives.
+    fenced: AtomicU64,
+    alive: Mutex<Vec<bool>>,
+}
+
+impl MembershipState {
+    fn new(n: usize) -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            fenced: AtomicU64::new(0),
+            alive: Mutex::new(vec![true; n]),
+        }
+    }
+
+    #[inline]
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn fenced(&self) -> u64 {
+        self.fenced.load(Ordering::SeqCst)
+    }
+
+    /// Epoch stamp bits for wire tags.
+    #[inline]
+    fn epoch_bits(&self) -> Tag {
+        ((self.epoch() as Tag) & 0x3F) << EPOCH_SHIFT
+    }
+
+    fn is_alive(&self, rank: usize) -> bool {
+        self.alive.lock()[rank]
+    }
+
+    fn alive_ranks(&self) -> Vec<usize> {
+        self.alive
+            .lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &a)| a.then_some(r))
+            .collect()
+    }
+
+    /// Install a new epoch (idempotent: later or equal epochs win; the
+    /// coordinator installs first and peers re-install harmlessly).
+    fn install(&self, epoch: u64, alive_set: &[usize], fenced: u64) {
+        let mut alive = self.alive.lock();
+        if self.epoch.load(Ordering::SeqCst) >= epoch {
+            return;
+        }
+        for a in alive.iter_mut() {
+            *a = false;
+        }
+        for &r in alive_set {
+            alive[r] = true;
+        }
+        self.fenced.store(fenced, Ordering::SeqCst);
+        self.epoch.store(epoch, Ordering::SeqCst);
+    }
+}
+
+/// The surviving-rank view agreed by one membership round, returned by
+/// [`Rank::recover_membership`].
+#[derive(Debug, Clone)]
+pub struct MembershipChange {
+    /// The epoch just entered (first shrink = epoch 1).
+    pub epoch: u64,
+    /// Surviving ranks, ascending.
+    pub alive: Vec<usize>,
+    /// `(rank, panic message)` of the ranks fenced by this round, in order
+    /// of death.
+    pub newly_dead: Vec<(usize, String)>,
+}
+
 /// Which peer deaths abort a blocked receive: a point-to-point receive only
-/// depends on its source; a collective depends on every rank.
+/// depends on its source; a collective depends on every *unfenced* rank; a
+/// membership round only on deaths newer than its snapshot.
 #[derive(Copy, Clone, Debug)]
 enum DeathScope {
     Rank(usize),
     Any,
+    /// Abort only on deaths with order `>=` the given snapshot — used inside
+    /// a membership round, where the triggering death is expected.
+    NewSince(u64),
 }
 
 impl DeathScope {
-    fn dead_rank(self, failure: &FailureState) -> Option<usize> {
+    fn dead_rank(self, failure: &FailureState, membership: &MembershipState) -> Option<usize> {
         if !failure.any() {
             return None;
         }
         match self {
             DeathScope::Rank(r) => failure.is_dead(r).then_some(r),
-            DeathScope::Any => failure.first_dead(),
+            DeathScope::Any => failure.first_dead_since(membership.fenced()),
+            DeathScope::NewSince(floor) => failure.first_dead_since(floor),
         }
     }
 }
@@ -280,7 +464,8 @@ impl DeathScope {
 /// blocking forever (replacement for `std::sync::Barrier`).
 #[derive(Debug)]
 struct FaultBarrier {
-    n: usize,
+    /// Ranks expected per generation — the alive count after a shrink.
+    expected: AtomicUsize,
     state: StdMutex<(usize, u64)>, // (arrived, generation)
     cvar: Condvar,
 }
@@ -288,19 +473,33 @@ struct FaultBarrier {
 impl FaultBarrier {
     fn new(n: usize) -> Self {
         Self {
-            n,
+            expected: AtomicUsize::new(n),
             state: StdMutex::new((0, 0)),
             cvar: Condvar::new(),
         }
     }
 
+    /// Reset after a membership round: zero partial arrivals (a rank may
+    /// have died *inside* the barrier) and expect only the survivors. Safe
+    /// because no survivor waits in the barrier while the round runs — each
+    /// sent its heartbeat only after erroring out of any blocked operation.
+    fn reset_for_epoch(&self, n_alive: usize) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        self.expected.store(n_alive, Ordering::SeqCst);
+        st.0 = 0;
+        st.1 += 1;
+        self.cvar.notify_all();
+    }
+
     fn wait_checked(
         &self,
         failure: &FailureState,
+        membership: &MembershipState,
         timeout: Duration,
         poll: Duration,
     ) -> Result<(), CommError> {
-        if let Some(rank) = failure.first_dead() {
+        let fenced = membership.fenced();
+        if let Some(rank) = failure.first_dead_since(fenced) {
             return Err(CommError::RankDead {
                 rank,
                 op: "barrier",
@@ -311,7 +510,7 @@ impl FaultBarrier {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let gen = st.1;
         st.0 += 1;
-        if st.0 == self.n {
+        if st.0 == self.expected.load(Ordering::SeqCst) {
             st.0 = 0;
             st.1 += 1;
             self.cvar.notify_all();
@@ -326,7 +525,7 @@ impl FaultBarrier {
             if st.1 != gen {
                 break;
             }
-            if let Some(rank) = failure.first_dead() {
+            if let Some(rank) = failure.first_dead_since(fenced) {
                 return Err(CommError::RankDead {
                     rank,
                     op: "barrier",
@@ -375,13 +574,34 @@ struct MsgRule {
     delay: Duration,
 }
 
+/// Application phases the fault-injection layer can target with a kill —
+/// chosen to hit the protocol windows where a death is hardest to survive:
+/// mid-collective, mid-migration, or inside the recovery round itself.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultPhase {
+    /// Inside a collective field-health scan (announced by the timeloop).
+    HealthScan,
+    /// Inside a block-migration epoch (announced by the timeloop).
+    Migration,
+    /// Inside a collective gather (announced by [`Rank::gather_checked`]
+    /// itself, so observable gathers are covered without instrumentation).
+    Gather,
+    /// Inside a membership-recovery round — the second-death-in-recovery
+    /// window ([`Rank::recover_membership`] announces it on entry).
+    Recovery,
+}
+
 /// Deterministic, seed-driven fault-injection plan.
 ///
-/// Two classes of faults are supported:
+/// Three classes of faults are supported:
 ///
 /// * **rank kills** — [`FaultPlan::kill`] terminates a rank (by panic) when
 ///   the application announces the given step via [`Rank::fault_step`],
 ///   exercising the full failure-detection and restart path;
+/// * **phase kills** — [`FaultPlan::kill_in_phase`] terminates a rank at the
+///   n-th time it enters a [`FaultPhase`] (health scan, migration epoch,
+///   collective gather, recovery round), exercising deaths *inside* the
+///   protocols that are hardest to survive;
 /// * **message faults** — per-tag probabilities of dropping, duplicating,
 ///   corrupting (one bit flip) or delaying each sent message.
 ///
@@ -394,6 +614,7 @@ pub struct FaultPlan {
     /// Seed mixed into every per-message fault decision.
     pub seed: u64,
     kills: Vec<(usize, u64)>,
+    phase_kills: Vec<(usize, FaultPhase, u64)>,
     rules: Vec<MsgRule>,
 }
 
@@ -420,6 +641,14 @@ impl FaultPlan {
     /// Kill `rank` when it announces `step` via [`Rank::fault_step`].
     pub fn kill(mut self, rank: usize, step: u64) -> Self {
         self.kills.push((rank, step));
+        self
+    }
+
+    /// Kill `rank` the `occurrence`-th time (0-based) it enters `phase`
+    /// (announced via [`Rank::fault_phase`]; [`FaultPhase::Gather`] and
+    /// [`FaultPhase::Recovery`] are announced by the comm layer itself).
+    pub fn kill_in_phase(mut self, rank: usize, phase: FaultPhase, occurrence: u64) -> Self {
+        self.phase_kills.push((rank, phase, occurrence));
         self
     }
 
@@ -481,6 +710,18 @@ impl FaultPlan {
     /// Does the plan kill `rank` at `step`?
     pub fn kills_at(&self, rank: usize, step: u64) -> bool {
         self.kills.iter().any(|&(r, s)| r == rank && s == step)
+    }
+
+    /// Does the plan kill `rank` at the given occurrence of `phase`?
+    pub fn kills_in_phase(&self, rank: usize, phase: FaultPhase, occurrence: u64) -> bool {
+        self.phase_kills
+            .iter()
+            .any(|&(r, p, o)| r == rank && p == phase && o == occurrence)
+    }
+
+    /// True if the plan contains any phase-targeted kills.
+    pub fn has_phase_kills(&self) -> bool {
+        !self.phase_kills.is_empty()
     }
 
     /// True if the plan contains any message-fault rules.
@@ -562,7 +803,11 @@ pub struct CommStats {
     /// Sends whose destination rank had already terminated (the message is
     /// lost, as with MPI to a failed process).
     pub sends_to_dead: u64,
-    /// Traffic broken down by message tag (collective tags included).
+    /// Stale messages purged by a membership round: sent under a previous
+    /// epoch (or by a now-dead rank) and fenced out instead of delivered.
+    pub fenced_messages: u64,
+    /// Traffic broken down by message tag (collective tags included; user
+    /// tags carry the epoch stamp — strip with [`user_tag`]).
     pub per_tag: BTreeMap<Tag, TagStats>,
 }
 
@@ -578,6 +823,7 @@ impl CommStats {
         self.recv_wait_hist.merge(&other.recv_wait_hist);
         self.aborted_receives += other.aborted_receives;
         self.sends_to_dead += other.sends_to_dead;
+        self.fenced_messages += other.fenced_messages;
         for (tag, t) in &other.per_tag {
             let e = self.per_tag.entry(*tag).or_default();
             e.bytes_sent += t.bytes_sent;
@@ -647,12 +893,19 @@ pub struct Rank {
     pending: RefCell<HashMap<(usize, Tag), VecDeque<Bytes>>>,
     barrier: Arc<FaultBarrier>,
     failure: Arc<FailureState>,
+    membership: Arc<MembershipState>,
     timeout: Duration,
     poll: Duration,
+    /// Fail point-to-point receives on *any* unfenced death, not just the
+    /// awaited source — prompt entry into a membership round for every
+    /// survivor (the shrink driver enables this).
+    fail_fast: bool,
     faults: Option<Arc<FaultPlan>>,
     /// Per-(dst, tag) sent-message counters driving deterministic fault
     /// decisions.
     fault_counters: RefCell<HashMap<(usize, Tag), u64>>,
+    /// Per-phase entry counters driving deterministic phase kills.
+    phase_counters: RefCell<HashMap<FaultPhase, u64>>,
     stats: RefCell<CommStats>,
     /// Where to deposit the final stats when the rank thread finishes
     /// (set by [`Universe::run_with_stats`]).
@@ -686,6 +939,34 @@ impl Rank {
         self.timeout
     }
 
+    /// Current membership epoch (0 until the first shrink).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.membership.epoch()
+    }
+
+    /// Surviving ranks of the current membership epoch, ascending.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        self.membership.alive_ranks()
+    }
+
+    /// Is `rank` alive in the current membership epoch?
+    pub fn is_alive(&self, rank: usize) -> bool {
+        self.membership.is_alive(rank)
+    }
+
+    /// Number of surviving ranks in the current membership epoch.
+    pub fn n_alive(&self) -> usize {
+        self.membership.alive_ranks().len()
+    }
+
+    /// Stamp a tag with the current epoch bits (applied to every user and
+    /// collective tag on both the send and the receive side).
+    #[inline]
+    fn stamp(&self, tag: Tag) -> Tag {
+        tag | self.membership.epoch_bits()
+    }
+
     /// Announce the application step to the fault-injection layer: if the
     /// universe's [`FaultPlan`] kills this rank at `step`, this call panics
     /// (simulating a crash) and the universe reaps the rank.
@@ -700,11 +981,38 @@ impl Rank {
         }
     }
 
+    /// Announce entry into an application/protocol phase to the
+    /// fault-injection layer: if the universe's [`FaultPlan`] kills this
+    /// rank at this occurrence of `phase`, this call panics (simulating a
+    /// crash inside the phase). Occurrences are counted per rank only while
+    /// a plan with phase kills is attached, so they are deterministic.
+    pub fn fault_phase(&self, phase: FaultPhase) {
+        if let Some(plan) = &self.faults {
+            if plan.has_phase_kills() {
+                let occurrence = {
+                    let mut c = self.phase_counters.borrow_mut();
+                    let e = c.entry(phase).or_insert(0);
+                    let v = *e;
+                    *e += 1;
+                    v
+                };
+                if plan.kills_in_phase(self.rank, phase, occurrence) {
+                    panic!(
+                        "fault injection: rank {} killed in phase {:?} (occurrence {}, seed {})",
+                        self.rank, phase, occurrence, plan.seed
+                    );
+                }
+            }
+        }
+    }
+
     /// Send `payload` to rank `dst` with `tag` (buffered; returns
-    /// immediately, like MPI standard mode with a buffered payload).
+    /// immediately, like MPI standard mode with a buffered payload). The
+    /// wire tag is stamped with the current membership epoch, so stragglers'
+    /// messages from before a shrink are fenced out of post-shrink receives.
     pub fn send(&self, dst: usize, tag: Tag, payload: Bytes) {
-        assert!(tag & COLLECTIVE_TAG == 0, "tag reserved for collectives");
-        self.send_raw(dst, tag, payload);
+        assert!(tag < MAX_USER_TAG, "user tags must stay below 1 << 24");
+        self.send_raw(dst, self.stamp(tag), payload);
     }
 
     fn send_raw(&self, dst: usize, tag: Tag, payload: Bytes) {
@@ -770,9 +1078,15 @@ impl Rank {
         self.send(dst, tag, payload);
     }
 
-    /// Post a nonblocking receive for a message from `src` with `tag`.
+    /// Post a nonblocking receive for a message from `src` with `tag`. The
+    /// request matches the epoch current at post time, like the matching
+    /// send.
     pub fn irecv(&self, src: usize, tag: Tag) -> RecvRequest {
-        RecvRequest { src, tag }
+        assert!(tag < MAX_USER_TAG, "user tags must stay below 1 << 24");
+        RecvRequest {
+            src,
+            tag: self.stamp(tag),
+        }
     }
 
     /// Complete a posted receive, blocking until the message arrives.
@@ -796,20 +1110,24 @@ impl Rank {
     /// Panics with the [`CommError`] diagnostic if the source rank dies or
     /// the timeout expires; use [`Rank::recv_checked`] to handle failures.
     pub fn recv(&self, src: usize, tag: Tag) -> Bytes {
-        assert!(tag & COLLECTIVE_TAG == 0, "tag reserved for collectives");
-        self.unwrap_comm(self.recv_matched(src, tag, DeathScope::Rank(src), "recv"))
+        assert!(tag < MAX_USER_TAG, "user tags must stay below 1 << 24");
+        self.unwrap_comm(self.recv_matched(src, self.stamp(tag), DeathScope::Rank(src), "recv"))
     }
 
     /// Blocking receive that returns [`CommError`] instead of hanging when
     /// the source rank dies or the timeout expires.
     pub fn recv_checked(&self, src: usize, tag: Tag) -> Result<Bytes, CommError> {
-        assert!(tag & COLLECTIVE_TAG == 0, "tag reserved for collectives");
-        self.recv_matched(src, tag, DeathScope::Rank(src), "recv")
+        assert!(tag < MAX_USER_TAG, "user tags must stay below 1 << 24");
+        self.recv_matched(src, self.stamp(tag), DeathScope::Rank(src), "recv")
     }
 
-    #[track_caller]
     fn unwrap_comm<T>(&self, r: Result<T, CommError>) -> T {
-        r.unwrap_or_else(|e| panic!("rank {}: {e}", self.rank))
+        r.unwrap_or_else(|e| {
+            std::panic::panic_any(CommPanic {
+                rank: self.rank,
+                err: e,
+            })
+        })
     }
 
     /// Account for one message pulled off the wire (on arrival, whether it
@@ -844,6 +1162,21 @@ impl Rank {
     fn abort_receive(&self, err: CommError) -> Result<Bytes, CommError> {
         self.stats.borrow_mut().aborted_receives += 1;
         Err(err)
+    }
+
+    /// The death that should abort a receive under `scope`, widened to any
+    /// unfenced death when fail-fast mode is on (point-to-point scopes
+    /// only — membership rounds must tolerate the death they are fencing).
+    fn aborting_death(&self, scope: DeathScope) -> Option<usize> {
+        scope
+            .dead_rank(&self.failure, &self.membership)
+            .or_else(|| {
+                if self.fail_fast && matches!(scope, DeathScope::Rank(_)) {
+                    DeathScope::Any.dead_rank(&self.failure, &self.membership)
+                } else {
+                    None
+                }
+            })
     }
 
     /// Source-and-tag-matched receive with failure detection: completes, or
@@ -888,7 +1221,7 @@ impl Rank {
                     }
                 }
             }
-            if let Some(rank) = scope.dead_rank(&self.failure) {
+            if let Some(rank) = self.aborting_death(scope) {
                 return self.abort_receive(CommError::RankDead { rank, op });
             }
             let now = Instant::now();
@@ -930,7 +1263,7 @@ impl Rank {
     /// forever if any rank dies or the timeout expires.
     pub fn barrier_checked(&self) -> Result<(), CommError> {
         self.barrier
-            .wait_checked(&self.failure, self.timeout, self.poll)
+            .wait_checked(&self.failure, &self.membership, self.timeout, self.poll)
     }
 
     /// All-reduce a single f64 over all ranks.
@@ -948,18 +1281,24 @@ impl Rank {
 
     /// Fallible [`Rank::allreduce_f64`]: returns [`CommError`] instead of
     /// hanging when any participating rank dies or the timeout expires.
+    ///
+    /// Membership-aware: only the surviving ranks of the current epoch
+    /// participate, rooted at the lowest survivor (identical to the
+    /// gather-to-0 pattern until a shrink happens).
     pub fn allreduce_f64_checked(&self, value: f64, op: ReduceOp) -> Result<f64, CommError> {
-        let tag = COLLECTIVE_TAG | 1;
-        if self.rank == 0 {
+        let tag = self.stamp(COLLECTIVE_TAG | 1);
+        let members = self.membership.alive_ranks();
+        let root = members[0];
+        if self.rank == root {
             let mut acc = value;
-            for src in 1..self.size {
+            for &src in members.iter().filter(|&&r| r != root) {
                 let b = self.recv_matched(src, tag, DeathScope::Any, "allreduce")?;
                 acc = op.apply(
                     acc,
                     f64::from_bits(u64::from_le_bytes(b[..8].try_into().unwrap())),
                 );
             }
-            for dst in 1..self.size {
+            for &dst in members.iter().filter(|&&r| r != root) {
                 self.send_raw(
                     dst,
                     tag,
@@ -969,11 +1308,11 @@ impl Rank {
             Ok(acc)
         } else {
             self.send_raw(
-                0,
+                root,
                 tag,
                 Bytes::copy_from_slice(&value.to_bits().to_le_bytes()),
             );
-            let b = self.recv_matched(0, tag, DeathScope::Any, "allreduce")?;
+            let b = self.recv_matched(root, tag, DeathScope::Any, "allreduce")?;
             Ok(f64::from_bits(u64::from_le_bytes(
                 b[..8].try_into().unwrap(),
             )))
@@ -995,7 +1334,7 @@ impl Rank {
     /// Fallible [`Rank::allreduce_u64s`]: returns [`CommError`] instead of
     /// hanging when any participating rank dies or the timeout expires.
     pub fn allreduce_u64s_checked(&self, values: &[u64]) -> Result<Vec<u64>, CommError> {
-        let tag = COLLECTIVE_TAG | 4;
+        let tag = self.stamp(COLLECTIVE_TAG | 4);
         let encode = |vals: &[u64]| {
             let mut payload = Vec::with_capacity(vals.len() * 8);
             for v in vals {
@@ -1003,9 +1342,11 @@ impl Rank {
             }
             Bytes::from(payload)
         };
-        if self.rank == 0 {
+        let members = self.membership.alive_ranks();
+        let root = members[0];
+        if self.rank == root {
             let mut acc = values.to_vec();
-            for src in 1..self.size {
+            for &src in members.iter().filter(|&&r| r != root) {
                 let b = self.recv_matched(src, tag, DeathScope::Any, "allreduce_u64s")?;
                 assert_eq!(
                     b.len(),
@@ -1017,13 +1358,13 @@ impl Rank {
                 }
             }
             let payload = encode(&acc);
-            for dst in 1..self.size {
+            for &dst in members.iter().filter(|&&r| r != root) {
                 self.send_raw(dst, tag, payload.clone());
             }
             Ok(acc)
         } else {
-            self.send_raw(0, tag, encode(values));
-            let b = self.recv_matched(0, tag, DeathScope::Any, "allreduce_u64s")?;
+            self.send_raw(root, tag, encode(values));
+            let b = self.recv_matched(root, tag, DeathScope::Any, "allreduce_u64s")?;
             assert_eq!(b.len(), values.len() * 8, "allreduce_u64s length mismatch");
             Ok(b.chunks_exact(8)
                 .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
@@ -1043,19 +1384,30 @@ impl Rank {
 
     /// Fallible [`Rank::gather`]: returns [`CommError`] instead of hanging
     /// when any participating rank dies or the timeout expires.
+    ///
+    /// Membership-aware: only survivors participate, and a dead requested
+    /// root is remapped to the lowest survivor so root-pinned protocols
+    /// (manifest election, rebalance planning) keep working after a shrink.
+    /// The returned vector is still indexed by *original* rank id; dead
+    /// ranks' slots are empty.
     pub fn gather_checked(
         &self,
         root: usize,
         payload: Bytes,
     ) -> Result<Option<Vec<Bytes>>, CommError> {
-        let tag = COLLECTIVE_TAG | 2;
+        self.fault_phase(FaultPhase::Gather);
+        let tag = self.stamp(COLLECTIVE_TAG | 2);
+        let members = self.membership.alive_ranks();
+        let root = if members.contains(&root) {
+            root
+        } else {
+            members[0]
+        };
         if self.rank == root {
             let mut out = vec![Bytes::new(); self.size];
             out[root] = payload;
-            for src in 0..self.size {
-                if src != root {
-                    out[src] = self.recv_matched(src, tag, DeathScope::Any, "gather")?;
-                }
+            for &src in members.iter().filter(|&&r| r != root) {
+                out[src] = self.recv_matched(src, tag, DeathScope::Any, "gather")?;
             }
             Ok(Some(out))
         } else {
@@ -1075,13 +1427,20 @@ impl Rank {
 
     /// Fallible [`Rank::broadcast`]: returns [`CommError`] instead of
     /// hanging when the root dies or the timeout expires.
+    ///
+    /// Membership-aware: a dead requested root is remapped to the lowest
+    /// survivor (see [`Rank::gather_checked`]).
     pub fn broadcast_checked(&self, root: usize, payload: Bytes) -> Result<Bytes, CommError> {
-        let tag = COLLECTIVE_TAG | 3;
+        let tag = self.stamp(COLLECTIVE_TAG | 3);
+        let members = self.membership.alive_ranks();
+        let root = if members.contains(&root) {
+            root
+        } else {
+            members[0]
+        };
         if self.rank == root {
-            for dst in 0..self.size {
-                if dst != root {
-                    self.send_raw(dst, tag, payload.clone());
-                }
+            for &dst in members.iter().filter(|&&r| r != root) {
+                self.send_raw(dst, tag, payload.clone());
             }
             Ok(payload)
         } else {
@@ -1108,6 +1467,132 @@ impl Rank {
                 .map(|bufs| bufs.iter().map(|b| b.to_vec()).collect())
         })
     }
+
+    /// Collective membership round: after one or more peer deaths, the
+    /// survivors agree on the new surviving-rank set, bump the epoch, fence
+    /// the observed deaths, and purge stale pre-shrink messages. Returns
+    /// `Ok(None)` when there is nothing to recover from (all deaths already
+    /// fenced — e.g. a retry after a round that completed).
+    ///
+    /// Protocol (all on reserved `MEMBERSHIP_TAG` wire tags, which are
+    /// *not* epoch-stamped):
+    ///
+    /// 1. Every survivor snapshots the death count and derives the same
+    ///    candidate set = previous alive minus currently dead; the lowest
+    ///    candidate coordinates.
+    /// 2. Non-coordinators send a heartbeat keyed by the snapshot and wait
+    ///    for the coordinator's install-ack carrying the new epoch + alive
+    ///    set. The coordinator collects heartbeats from every candidate,
+    ///    installs the epoch, resets the barrier for the shrunken count,
+    ///    and acks.
+    /// 3. All survivors exchange flush markers keyed by the *new* epoch.
+    ///    The per-rank mailbox is a single FIFO, so once every flush marker
+    ///    has arrived, every stale pre-shrink message has too — the pending
+    ///    store is then purged of dead-source and stale-epoch entries
+    ///    (counted in [`CommStats::fenced_messages`]).
+    ///
+    /// Every blocking wait inside the round uses a [`DeathScope`] floored at
+    /// the snapshot: the deaths being fenced are expected, but a *new* death
+    /// during recovery surfaces as a typed [`CommError::RankDead`], never a
+    /// hang. The snapshot-keyed heartbeat tags make driver-level retries
+    /// converge — a retry re-snapshots a higher death count and the round
+    /// restarts on fresh tags, while stale heartbeats stay parked in
+    /// pending (bounded by the number of recoveries).
+    pub fn recover_membership(&self) -> Result<Option<MembershipChange>, CommError> {
+        self.fault_phase(FaultPhase::Recovery);
+        let fenced = self.membership.fenced();
+        let snapshot = self.failure.deaths();
+        if snapshot == fenced {
+            return Ok(None);
+        }
+        let candidates: Vec<usize> = self
+            .membership
+            .alive_ranks()
+            .into_iter()
+            .filter(|&r| !self.failure.is_dead(r))
+            .collect();
+        debug_assert!(candidates.contains(&self.rank));
+        let coordinator = candidates[0];
+        let scope = DeathScope::NewSince(snapshot);
+        let round = ((snapshot as Tag) & 0xFFFF) << 8;
+        let hb_tag = MEMBERSHIP_TAG | round | 1;
+        let ack_tag = MEMBERSHIP_TAG | round | 2;
+
+        let (new_epoch, alive) = if self.rank == coordinator {
+            for &src in candidates.iter().filter(|&&r| r != coordinator) {
+                let b = self.recv_matched(src, hb_tag, scope, "membership heartbeat")?;
+                let peer_snapshot = u64::from_le_bytes(b[..8].try_into().unwrap());
+                if peer_snapshot != snapshot {
+                    // A death raced the round: escalate typed, the driver
+                    // retries with the higher snapshot.
+                    let rank = self.failure.first_dead_since(snapshot).unwrap_or(src);
+                    return Err(CommError::RankDead {
+                        rank,
+                        op: "membership heartbeat",
+                    });
+                }
+            }
+            let new_epoch = self.membership.epoch() + 1;
+            self.membership.install(new_epoch, &candidates, snapshot);
+            self.barrier.reset_for_epoch(candidates.len());
+            let mut payload = Vec::with_capacity(8 + 8 * candidates.len());
+            payload.extend_from_slice(&new_epoch.to_le_bytes());
+            for &r in &candidates {
+                payload.extend_from_slice(&(r as u64).to_le_bytes());
+            }
+            let payload = Bytes::from(payload);
+            for &dst in candidates.iter().filter(|&&r| r != coordinator) {
+                self.send_raw(dst, ack_tag, payload.clone());
+            }
+            (new_epoch, candidates)
+        } else {
+            self.send_raw(
+                coordinator,
+                hb_tag,
+                Bytes::copy_from_slice(&snapshot.to_le_bytes()),
+            );
+            let b = self.recv_matched(coordinator, ack_tag, scope, "membership ack")?;
+            let new_epoch = u64::from_le_bytes(b[..8].try_into().unwrap());
+            let alive: Vec<usize> = b[8..]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()) as usize)
+                .collect();
+            self.membership.install(new_epoch, &alive, snapshot);
+            (new_epoch, alive)
+        };
+
+        // Flush round on the new epoch's key: FIFO ordering guarantees every
+        // stale message precedes these markers, so after the round the
+        // pending store holds everything there is to purge.
+        let flush_tag = MEMBERSHIP_TAG | (((new_epoch as Tag) & 0xFFFF) << 8) | 3;
+        for &dst in alive.iter().filter(|&&r| r != self.rank) {
+            self.send_raw(dst, flush_tag, Bytes::new());
+        }
+        for &src in alive.iter().filter(|&&r| r != self.rank) {
+            self.recv_matched(src, flush_tag, scope, "membership flush")?;
+        }
+
+        let epoch_bits = self.membership.epoch_bits();
+        let mut purged = 0u64;
+        self.pending.borrow_mut().retain(|(src, tag), q| {
+            // Keep in-flight membership traffic (retries must still match)
+            // and current-epoch messages from survivors — fast peers may
+            // already have sent post-shrink traffic before our purge runs.
+            let keep = (tag & MEMBERSHIP_TAG != 0 && tag & COLLECTIVE_TAG == 0)
+                || (self.membership.is_alive(*src) && (tag & EPOCH_MASK) == epoch_bits);
+            if !keep {
+                purged += q.len() as u64;
+            }
+            keep
+        });
+        self.stats.borrow_mut().fenced_messages += purged;
+
+        Ok(Some(MembershipChange {
+            epoch: new_epoch,
+            alive,
+            newly_dead: self.failure.dead_in(fenced, snapshot),
+        }))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1126,6 +1611,12 @@ pub struct UniverseCfg {
     pub poll: Duration,
     /// Deterministic fault-injection plan, if any.
     pub faults: Option<FaultPlan>,
+    /// Abort point-to-point receives on *any* unfenced death instead of only
+    /// the awaited source, so every survivor promptly reaches the membership
+    /// round of a shrink-and-continue driver. Off by default: without a
+    /// recovery driver, a death unrelated to the awaited source should not
+    /// fail an otherwise satisfiable receive.
+    pub fail_fast_on_death: bool,
 }
 
 impl Default for UniverseCfg {
@@ -1134,6 +1625,7 @@ impl Default for UniverseCfg {
             timeout: Duration::from_secs(300),
             poll: Duration::from_millis(2),
             faults: None,
+            fail_fast_on_death: false,
         }
     }
 }
@@ -1152,11 +1644,29 @@ impl UniverseCfg {
         self.faults = Some(plan);
         self
     }
+
+    /// Enable fail-fast receives (see [`UniverseCfg::fail_fast_on_death`]).
+    pub fn with_fail_fast(mut self) -> Self {
+        self.fail_fast_on_death = true;
+        self
+    }
 }
 
 /// A set of ranks executing the same function — the analog of
 /// `mpirun -np N`.
 pub struct Universe;
+
+/// Per-rank results of a [`Universe::run_surviving`] execution: `results[r]`
+/// is `Some` iff rank `r` returned normally; `dead` lists the ranks that
+/// panicked (injected kill or otherwise) with their messages, in order of
+/// death.
+#[derive(Debug)]
+pub struct SurvivalOutcome<T> {
+    /// Per-rank return values; `None` for ranks that died.
+    pub results: Vec<Option<T>>,
+    /// `(rank, panic message)` of every dead rank, in order of death.
+    pub dead: Vec<(usize, String)>,
+}
 
 /// Everything `run_inner` learns about one execution.
 struct RunOutcome<T> {
@@ -1226,6 +1736,24 @@ impl Universe {
         }
     }
 
+    /// Like [`Universe::run_checked`], but deaths do not discard the
+    /// survivors' work: every rank's return value (or `None` if it died) is
+    /// reported alongside the dead set, so a shrink-and-continue driver can
+    /// decide success from the survivors' outputs. Non-injected panics with
+    /// non-[`CommError`] payloads still poison the whole universe through
+    /// the failure state, but their *survivors'* results remain available.
+    pub fn run_surviving<T, F>(n: usize, cfg: UniverseCfg, f: F) -> SurvivalOutcome<T>
+    where
+        T: Send + 'static,
+        F: Fn(Rank) -> T + Send + Sync + 'static,
+    {
+        let out = Self::run_inner(n, f, None, cfg);
+        SurvivalOutcome {
+            results: out.results,
+            dead: out.dead,
+        }
+    }
+
     fn finish_infallible<T>(out: RunOutcome<T>) -> Vec<T> {
         if let Some(first) = out.first_dead {
             let mut payloads = out.payloads;
@@ -1261,6 +1789,7 @@ impl Universe {
         let txs = Arc::new(txs);
         let barrier = Arc::new(FaultBarrier::new(n));
         let failure = Arc::new(FailureState::new(n));
+        let membership = Arc::new(MembershipState::new(n));
         let faults = cfg.faults.map(Arc::new);
         let f = Arc::new(f);
         let results: Arc<Mutex<Vec<Option<T>>>> =
@@ -1278,10 +1807,13 @@ impl Universe {
                 pending: RefCell::new(HashMap::new()),
                 barrier: Arc::clone(&barrier),
                 failure: Arc::clone(&failure),
+                membership: Arc::clone(&membership),
                 timeout: cfg.timeout,
                 poll: cfg.poll,
+                fail_fast: cfg.fail_fast_on_death,
                 faults: faults.clone(),
                 fault_counters: RefCell::new(HashMap::new()),
+                phase_counters: RefCell::new(HashMap::new()),
                 stats: RefCell::new(CommStats::default()),
                 stats_sink: stats_sink.clone(),
             };
@@ -1344,6 +1876,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(p) = payload.downcast_ref::<CommPanic>() {
+        format!("rank {}: {}", p.rank, p.err)
     } else {
         "<non-string panic payload>".to_string()
     }
@@ -1817,5 +2351,159 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(got.dead[0].0, 0);
+    }
+
+    /// Drive [`Rank::recover_membership`] to completion, retrying typed
+    /// second-death errors like a shrink driver would.
+    fn recover(r: &Rank) -> MembershipChange {
+        for _ in 0..16 {
+            match r.recover_membership() {
+                Ok(Some(change)) => return change,
+                Ok(None) => panic!("recover called with nothing to fence"),
+                Err(CommError::RankDead { .. }) => continue,
+                Err(e) => panic!("membership round failed: {e}"),
+            }
+        }
+        panic!("membership round did not converge");
+    }
+
+    #[test]
+    fn shrink_recovery_installs_epoch_and_survivors_continue() {
+        let plan = FaultPlan::new(9).kill(2, 1);
+        let cfg = UniverseCfg::with_timeout(Duration::from_secs(10)).with_faults(plan);
+        let out = Universe::run_surviving(3, cfg, |r| {
+            for step in 0..4u64 {
+                r.fault_step(step);
+                if catch_comm(|| r.allreduce_f64(1.0, ReduceOp::Sum)).is_err() {
+                    let change = recover(&r);
+                    assert_eq!(change.epoch, 1);
+                    assert_eq!(change.alive, vec![0, 1]);
+                    assert_eq!(change.newly_dead.len(), 1);
+                    assert_eq!(change.newly_dead[0].0, 2);
+                }
+            }
+            // Post-shrink point-to-point (epoch-stamped tags) + collective.
+            let peer = 1 - r.rank();
+            r.send(peer, 11, f64s_to_bytes(&[r.rank() as f64]));
+            let got = bytes_to_f64s(&r.recv(peer, 11))[0];
+            (r.epoch(), r.allreduce_f64(got, ReduceOp::Sum))
+        });
+        assert_eq!(out.dead.len(), 1);
+        assert_eq!(out.dead[0].0, 2);
+        for rank in [0, 1] {
+            let (epoch, sum) = out.results[rank].expect("survivor result");
+            assert_eq!(epoch, 1);
+            assert_eq!(sum, 1.0); // 0 + 1 over the survivors
+        }
+        assert!(out.results[2].is_none());
+    }
+
+    #[test]
+    fn second_death_inside_recovery_is_typed_and_retry_converges() {
+        // Rank 3 dies at step 1; rank 2 dies the moment it enters the
+        // membership round. Survivors must see a typed error (never a hang)
+        // and converge on retry.
+        let plan = FaultPlan::new(4)
+            .kill(3, 1)
+            .kill_in_phase(2, FaultPhase::Recovery, 0);
+        let cfg = UniverseCfg::with_timeout(Duration::from_secs(10)).with_faults(plan);
+        let out = Universe::run_surviving(4, cfg, |r| {
+            for step in 0..3u64 {
+                r.fault_step(step);
+                if catch_comm(|| r.barrier()).is_err() {
+                    recover(&r);
+                }
+            }
+            (r.epoch(), r.alive_ranks())
+        });
+        let dead: Vec<usize> = out.dead.iter().map(|d| d.0).collect();
+        assert_eq!(dead.len(), 2);
+        assert!(dead.contains(&2) && dead.contains(&3));
+        for rank in [0, 1] {
+            let (epoch, alive) = out.results[rank].clone().expect("survivor result");
+            assert_eq!(epoch, 1);
+            assert_eq!(alive, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn post_shrink_collectives_remap_dead_root() {
+        let plan = FaultPlan::new(3).kill(0, 1);
+        let cfg = UniverseCfg::with_timeout(Duration::from_secs(10)).with_faults(plan);
+        let out = Universe::run_surviving(3, cfg, |r| {
+            for step in 0..2u64 {
+                r.fault_step(step);
+                if catch_comm(|| r.barrier()).is_err() {
+                    recover(&r);
+                }
+            }
+            // Requested root 0 is dead: the lowest survivor takes over, so
+            // root-pinned protocols keep working after the shrink.
+            let gathered = r.gather(0, f64s_to_bytes(&[r.rank() as f64]));
+            let bc = bytes_to_f64s(&r.broadcast(0, f64s_to_bytes(&[r.rank() as f64 * 10.0])))[0];
+            (gathered.map(|g| bytes_to_f64s(&g[2])[0]), bc)
+        });
+        assert_eq!(out.dead[0].0, 0);
+        let (g1, bc1) = out.results[1].expect("rank 1 result");
+        let (g2, bc2) = out.results[2].expect("rank 2 result");
+        assert_eq!(g1, Some(2.0), "rank 1 acts as gather root");
+        assert_eq!(g2, None);
+        assert_eq!(bc1, 10.0, "rank 1's payload is broadcast");
+        assert_eq!(bc2, 10.0);
+    }
+
+    #[test]
+    fn stale_pre_shrink_messages_are_fenced() {
+        let plan = FaultPlan::new(5).kill(2, 1);
+        let cfg = UniverseCfg::with_timeout(Duration::from_secs(10)).with_faults(plan);
+        let out = Universe::run_surviving(3, cfg, |r| {
+            if r.rank() == 0 {
+                // Epoch-0 message that is never received before the shrink.
+                r.send(1, 5, f64s_to_bytes(&[1.0]));
+            }
+            for step in 0..2u64 {
+                r.fault_step(step);
+                if catch_comm(|| r.barrier()).is_err() {
+                    recover(&r);
+                }
+            }
+            if r.rank() == 0 {
+                r.send(1, 5, f64s_to_bytes(&[99.0]));
+                0.0
+            } else {
+                // The epoch-1 receive must match only the post-shrink send;
+                // the stale epoch-0 message was purged by the flush round.
+                let v = bytes_to_f64s(&r.recv(0, 5))[0];
+                assert!(
+                    r.stats().fenced_messages >= 1,
+                    "stale pre-shrink message was not fenced"
+                );
+                v
+            }
+        });
+        assert_eq!(out.dead[0].0, 2);
+        assert_eq!(out.results[1], Some(99.0));
+    }
+
+    #[test]
+    fn fail_fast_aborts_receives_unrelated_to_the_dead_rank() {
+        // Without fail-fast, a receive from a live-but-silent source waits
+        // out the full timeout even though a third rank died; the shrink
+        // driver needs every survivor at the membership round promptly.
+        let cfg = UniverseCfg::with_timeout(Duration::from_secs(30)).with_fail_fast();
+        let out = Universe::run_surviving(3, cfg, |r| {
+            if r.rank() == 2 {
+                panic!("boom");
+            }
+            let start = Instant::now();
+            let err = r.recv_checked(1 - r.rank(), 1).unwrap_err();
+            assert!(
+                matches!(err, CommError::RankDead { rank: 2, .. }),
+                "expected typed death, got {err}"
+            );
+            start.elapsed() < Duration::from_secs(10)
+        });
+        assert_eq!(out.results[0], Some(true));
+        assert_eq!(out.results[1], Some(true));
     }
 }

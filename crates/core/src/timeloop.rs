@@ -32,7 +32,8 @@ use eutectica_blockgrid::rebalance::{
 };
 use eutectica_blockgrid::Face;
 use eutectica_comm::{
-    bytes_to_f64s_into, f64s_to_bytes, CommStats, Rank, RecvRequest, TagStats, COLLECTIVE_TAG,
+    bytes_to_f64s_into, f64s_to_bytes, user_tag, CommStats, FaultPhase, Rank, RecvRequest,
+    TagStats, COLLECTIVE_TAG, MEMBERSHIP_TAG,
 };
 use eutectica_telemetry::{StepRecord, Telemetry};
 
@@ -602,6 +603,9 @@ impl<'r> DistributedSim<'r> {
     fn do_health_scan(&mut self) -> Option<HealthReport> {
         let cfg = self.health.as_ref()?.cfg;
         let _g = self.telemetry.span_cat("health_scan", "health");
+        // Fault-injection window: a rank can be killed *inside* the
+        // collective scan, exercising death during its reductions.
+        self.rank.fault_phase(FaultPhase::HealthScan);
         let mut local = ScanStats::default();
         for (li, b) in self.blocks.iter().enumerate() {
             let s = health::scan_block_pooled(&self.pool, b, &cfg, self.local_ids[li] as u64);
@@ -994,6 +998,9 @@ impl<'r> DistributedSim<'r> {
     /// the *new* placement on every rank) before any kernel reads them.
     fn execute_migration(&mut self, new_placement: Vec<usize>) {
         let _g = self.telemetry.span_cat("migration", "rebalance");
+        // Fault-injection window: a rank can be killed *inside* the
+        // migration epoch, between the plan broadcast and the p2p shipping.
+        self.rank.fault_phase(FaultPhase::Migration);
         let my = self.rank.rank();
         let nb = new_placement.len();
         // Ghost tags occupy [0, 4·6·nb); migration tags sit just above.
@@ -1069,6 +1076,48 @@ impl<'r> DistributedSim<'r> {
         // race a straggling migration payload, and migration tags can be
         // reused by later epochs.
         self.rank.barrier();
+    }
+
+    /// Adopt a new block→rank placement *without* shipping any state — the
+    /// shrink-and-continue recovery path. Every local block is rebuilt
+    /// empty from its descriptor (dims, origin, boundary specs derived from
+    /// the static decomposition), ready to be filled by a checkpoint or
+    /// buddy-replica restore. Placement-derived caches (`local_block_ids`,
+    /// interior cell count, rebalancer measurement window) are refreshed;
+    /// re-attach the rebalance policy after the restore for fresh cost
+    /// priors. Not collective by itself, but every survivor must adopt the
+    /// identical placement before the collective restore that follows.
+    pub fn adopt_placement(&mut self, new_placement: Vec<usize>) {
+        assert_eq!(
+            new_placement.len(),
+            self.placement.len(),
+            "placement length must equal block count"
+        );
+        let my = self.rank.rank();
+        self.placement = new_placement;
+        self.local_ids = (0..self.placement.len())
+            .filter(|&id| self.placement[id] == my)
+            .collect();
+        self.blocks = self
+            .local_ids
+            .iter()
+            .map(|&id| {
+                let desc = self.decomp.block(id);
+                let mut st = BlockState::new(desc.dims(1), desc.origin);
+                st.bc_phi = block_bc::<N_PHASES>(desc.neighbors, PHI_LIQUID);
+                st.bc_mu = block_bc::<N_COMP>(desc.neighbors, [0.0; N_COMP]);
+                st
+            })
+            .collect();
+        self.interior_cells = self
+            .blocks
+            .iter()
+            .map(|b| (b.dims.nx * b.dims.ny * b.dims.nz) as u64)
+            .sum();
+        if let Some(rb) = &mut self.rebalance {
+            rb.acc = vec![0.0; self.local_ids.len()];
+            rb.acc_steps = 0;
+        }
     }
 
     /// Fold the telemetry tree back into the legacy [`StepTimings`] view,
@@ -1214,9 +1263,12 @@ impl<'r> DistributedSim<'r> {
     }
 
     fn field_of_tag(&self, tag: u32) -> Option<&'static str> {
-        if tag & COLLECTIVE_TAG != 0 {
+        if tag & (COLLECTIVE_TAG | MEMBERSHIP_TAG) != 0 {
             return None;
         }
+        // Wire tags carry the membership-epoch stamp in their high bits;
+        // strip it to recover the application tag.
+        let tag = user_tag(tag);
         let nb = self.decomp.blocks().len() as u32;
         match tag / (nb * 6) {
             0 => Some("phi_src"),

@@ -34,7 +34,7 @@ pub mod slices;
 pub mod trajectory;
 
 pub use bus::{BusStats, FrameBus, Subscription};
-pub use observables::{InSituObserver, ObservableRecord, ObservablesConfig};
+pub use observables::{InSituObserver, ObservableRecord, ObservablesConfig, RecoveryRecord};
 pub use server::LiveServer;
 pub use slices::{gather_slice, SliceField, SliceFrame};
 pub use trajectory::{compare, Comparison, Trajectory};

@@ -194,6 +194,79 @@ impl ObservableRecord {
     }
 }
 
+/// One shrink-recovery event: a rank death absorbed in-flight by the
+/// membership-epoch protocol. Published on the live NDJSON plane as a
+/// `{"type":"recovery"}` frame so dashboards can annotate the perf and
+/// physics trajectories with the exact step a shrink happened.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryRecord {
+    /// Step at which the death was detected.
+    pub step: usize,
+    /// Membership epoch installed by the recovery round.
+    pub epoch: u64,
+    /// Ranks newly declared dead in this round.
+    pub dead_ranks: Vec<u64>,
+    /// Surviving rank count after the shrink.
+    pub survivors: u64,
+    /// Blocks re-homed off the dead ranks.
+    pub blocks_rehomed: u64,
+    /// Replica frame bytes moved over the wire (0 for disk restores).
+    pub bytes_moved: u64,
+    /// Lost-state source: `"disk"` or `"buddy"`.
+    pub source: String,
+    /// Step the survivors resumed from.
+    pub restored_step: usize,
+    /// Wall-clock cost of the recovery in seconds.
+    pub recovery_secs: f64,
+}
+
+impl RecoveryRecord {
+    /// NDJSON wire form: `{"type":"recovery",...}`.
+    pub fn to_json(&self) -> String {
+        let dead: Vec<String> = self.dead_ranks.iter().map(|r| r.to_string()).collect();
+        JsonObject::new()
+            .str_field("type", "recovery")
+            .int_field("step", self.step as u64)
+            .int_field("epoch", self.epoch)
+            .raw_field("dead_ranks", &format!("[{}]", dead.join(",")))
+            .int_field("survivors", self.survivors)
+            .int_field("blocks_rehomed", self.blocks_rehomed)
+            .int_field("bytes_moved", self.bytes_moved)
+            .str_field("source", &self.source)
+            .int_field("restored_step", self.restored_step as u64)
+            .num_field("recovery_secs", self.recovery_secs)
+            .finish()
+    }
+
+    /// Parse a wire frame back into a record (the smoke client / tests).
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let v = crate::json::parse(line)?;
+        if v.str("type") != Some("recovery") {
+            return Err("not a recovery frame".into());
+        }
+        let num = |k: &str| v.num(k).ok_or_else(|| format!("missing field '{k}'"));
+        let int = |k: &str| -> Result<u64, String> { num(k).map(|x| x as u64) };
+        let dead_ranks = v
+            .get("dead_ranks")
+            .and_then(Value::as_arr)
+            .ok_or("missing array 'dead_ranks'")?
+            .iter()
+            .filter_map(Value::as_u64)
+            .collect();
+        Ok(Self {
+            step: int("step")? as usize,
+            epoch: int("epoch")?,
+            dead_ranks,
+            survivors: int("survivors")?,
+            blocks_rehomed: int("blocks_rehomed")?,
+            bytes_moved: int("bytes_moved")?,
+            source: v.str("source").unwrap_or_default().to_string(),
+            restored_step: int("restored_step")? as usize,
+            recovery_secs: num("recovery_secs")?,
+        })
+    }
+}
+
 /// Rank-local partial sums, reduced to rank 0 in one gather.
 struct Partials {
     /// Smallest block origin z (lab frame) — the domain bottom.
@@ -720,5 +793,25 @@ mod tests {
         assert!(obs.due(40));
         let off = InSituObserver::new(ObservablesConfig::with_every(0));
         assert!(!off.due(20));
+    }
+
+    #[test]
+    fn recovery_record_round_trips_through_ndjson() {
+        let rec = RecoveryRecord {
+            step: 6,
+            epoch: 2,
+            dead_ranks: vec![1, 3],
+            survivors: 2,
+            blocks_rehomed: 3,
+            bytes_moved: 269_346,
+            source: "buddy".into(),
+            restored_step: 4,
+            recovery_secs: 0.0025,
+        };
+        let line = rec.to_json();
+        assert!(line.starts_with("{\"type\":\"recovery\""), "{line}");
+        let back = RecoveryRecord::from_json(&line).expect("parse");
+        assert_eq!(back, rec);
+        assert!(RecoveryRecord::from_json("{\"type\":\"metrics\"}").is_err());
     }
 }

@@ -581,6 +581,14 @@ pub struct RetryPolicy {
     pub attempts: u32,
     /// Delay before the first retry; doubles per retry, capped at 500 ms.
     pub backoff: Duration,
+    /// Fraction of each delay that is randomized (0 = pure exponential,
+    /// 1 = anywhere in `(0, delay]`). Seeded jitter spreads N ranks
+    /// hammering a shared filesystem so they don't retry in lockstep.
+    pub jitter: f64,
+    /// Seed of the deterministic jitter stream; derive it from something
+    /// rank- or block-unique (e.g. the global block id) so peers draw
+    /// different schedules while reruns stay reproducible.
+    pub seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -588,29 +596,62 @@ impl Default for RetryPolicy {
         Self {
             attempts: 3,
             backoff: Duration::from_millis(5),
+            jitter: 0.5,
+            seed: 0,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// Same policy with the jitter stream re-seeded.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
 /// Cap on the exponential backoff delay.
 const MAX_BACKOFF: Duration = Duration::from_millis(500);
 
-/// Run `f`, retrying on [`CkptError::Io`] with bounded exponential backoff.
-/// Non-I/O errors (corruption, incompatibility) are returned immediately —
-/// retrying cannot fix them.
+/// SplitMix64 — the same tiny deterministic generator the fault-injection
+/// layer uses; good enough to decorrelate retry schedules.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Delay before retry `attempt` (0-based) under `policy`: exponential base
+/// `backoff · 2^attempt` capped at 500 ms, with the top `jitter` fraction
+/// scaled by a seeded uniform draw. Pure — `(policy, attempt)` fully
+/// determines the delay, so the whole schedule is reproducible and
+/// unit-testable without sleeping.
+pub fn retry_delay(policy: RetryPolicy, attempt: u32) -> Duration {
+    let base = policy.backoff.as_secs_f64() * 2f64.powi(attempt.min(20) as i32);
+    let base = base.min(MAX_BACKOFF.as_secs_f64());
+    let j = policy.jitter.clamp(0.0, 1.0);
+    // Uniform in [0, 1) from the (seed, attempt) pair.
+    let draw = splitmix64(policy.seed ^ splitmix64(attempt as u64 + 1));
+    let u = (draw >> 11) as f64 / (1u64 << 53) as f64;
+    Duration::from_secs_f64(base * (1.0 - j * u))
+}
+
+/// Run `f`, retrying on [`CkptError::Io`] with bounded exponential backoff
+/// and deterministic seeded jitter (see [`retry_delay`]). Non-I/O errors
+/// (corruption, incompatibility) are returned immediately — retrying cannot
+/// fix them.
 pub fn retry_io<T>(
     policy: RetryPolicy,
     mut f: impl FnMut() -> Result<T, CkptError>,
 ) -> Result<T, CkptError> {
     let attempts = policy.attempts.max(1);
-    let mut delay = policy.backoff;
     let mut attempt = 0;
     loop {
         match f() {
             Err(CkptError::Io(e)) if attempt + 1 < attempts => {
+                std::thread::sleep(retry_delay(policy, attempt));
                 attempt += 1;
-                std::thread::sleep(delay);
-                delay = (delay * 2).min(MAX_BACKOFF);
                 let _ = e;
             }
             other => return other,
@@ -645,10 +686,13 @@ pub fn write_block_file(
 ) -> Result<BlockEntry, CkptError> {
     let bytes = encode_block(state, id, time, precision);
     let crc = crc32(&bytes);
+    // Seed the retry jitter by block id: every writer in a set draws a
+    // different schedule, so a transient filesystem brown-out doesn't get
+    // re-hit by all ranks at the same instant.
     atomic_write_retry(
         &dir.join(block_file_name(id)),
         &bytes,
-        RetryPolicy::default(),
+        RetryPolicy::default().with_seed(id),
     )?;
     Ok(BlockEntry {
         id,
@@ -1117,6 +1161,7 @@ mod tests {
         let policy = RetryPolicy {
             attempts: 3,
             backoff: Duration::from_millis(1),
+            ..RetryPolicy::default()
         };
         // Transient: two Io failures, then success.
         let calls = Cell::new(0u32);
@@ -1148,5 +1193,60 @@ mod tests {
         });
         assert!(matches!(out, Err(CkptError::BadMagic { .. })));
         assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn retry_delay_schedule_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default().with_seed(7);
+        let schedule: Vec<Duration> = (0..8).map(|a| retry_delay(p, a)).collect();
+        // Reproducible: the same (policy, attempt) pairs give the same
+        // schedule on every call.
+        let again: Vec<Duration> = (0..8).map(|a| retry_delay(p, a)).collect();
+        assert_eq!(schedule, again);
+        // Bounded: each delay lies in ((1-jitter)·base, base] of the capped
+        // exponential envelope, and is never zero.
+        for (a, d) in schedule.iter().enumerate() {
+            let base =
+                (p.backoff.as_secs_f64() * 2f64.powi(a as i32)).min(MAX_BACKOFF.as_secs_f64());
+            assert!(
+                d.as_secs_f64() <= base + 1e-12,
+                "attempt {a} above envelope"
+            );
+            assert!(
+                d.as_secs_f64() >= base * (1.0 - p.jitter) - 1e-12,
+                "attempt {a} below the jitter floor"
+            );
+            assert!(d.as_secs_f64() > 0.0);
+        }
+        // The envelope caps: far-out attempts saturate at MAX_BACKOFF.
+        let zero_jitter = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(retry_delay(zero_jitter, 30), MAX_BACKOFF);
+        // Zero jitter reduces to the pure doubling schedule.
+        for a in 0..4 {
+            assert_eq!(
+                retry_delay(zero_jitter, a),
+                Duration::from_secs_f64(
+                    (zero_jitter.backoff.as_secs_f64() * 2f64.powi(a as i32))
+                        .min(MAX_BACKOFF.as_secs_f64())
+                )
+            );
+        }
+    }
+
+    #[test]
+    fn retry_delay_seeds_decorrelate_ranks() {
+        // Different seeds (block ids) must produce different schedules —
+        // that is the whole point: no filesystem retry lockstep.
+        let a: Vec<Duration> = (0..6)
+            .map(|at| retry_delay(RetryPolicy::default().with_seed(1), at))
+            .collect();
+        let b: Vec<Duration> = (0..6)
+            .map(|at| retry_delay(RetryPolicy::default().with_seed(2), at))
+            .collect();
+        assert_ne!(a, b);
+        assert!(a.iter().zip(&b).any(|(x, y)| x != y));
     }
 }

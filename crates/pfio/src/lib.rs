@@ -7,15 +7,18 @@
 //! implements exactly that checkpoint format, plus a legacy-VTK writer for
 //! visual inspection of fields.
 //!
-//! Fault tolerance lives in two submodules: [`ckpt`] defines multi-block
+//! Fault tolerance lives in three submodules: [`ckpt`] defines multi-block
 //! *checkpoint sets* (per-block files + CRC-verified manifest, atomic
-//! writes, OOM-hardened readers) and [`resilient`] wires them into
-//! `DistributedSim` with an auto-cadence scheduler and the
-//! [`resilient::run_resilient`] restart driver.
+//! writes, OOM-hardened readers), [`replica`] mirrors block state into
+//! buddy ranks' RAM for diskless shrink recovery, and [`resilient`] wires
+//! both into `DistributedSim` with an auto-cadence scheduler, the
+//! [`resilient::run_resilient`] restart driver and its shrink-and-continue
+//! recovery path.
 
 #![deny(missing_docs)]
 
 pub mod ckpt;
+pub mod replica;
 pub mod resilient;
 
 use std::io::{Read, Write};

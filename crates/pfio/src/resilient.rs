@@ -48,8 +48,11 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use eutectica_blockgrid::decomp::{Decomposition, DomainSpec};
-use eutectica_blockgrid::rebalance::RebalancePolicy;
-use eutectica_comm::{FaultPlan, Rank, ReduceOp, Universe, UniverseCfg, UniverseError};
+use eutectica_blockgrid::rebalance::{plan_shrink, RebalancePolicy};
+use eutectica_comm::{
+    catch_comm, CommError, CommPanic, FaultPlan, Rank, ReduceOp, Universe, UniverseCfg,
+    UniverseError,
+};
 use eutectica_core::health::{FieldFaultPlan, HealthConfig, HealthMonitor};
 use eutectica_core::kernels::KernelConfig;
 use eutectica_core::params::ModelParams;
@@ -57,6 +60,7 @@ use eutectica_core::state::BlockState;
 use eutectica_core::timeloop::{DistributedSim, OverlapOptions};
 
 use crate::ckpt::{self, BlockEntry, CkptError, Manifest, Precision, DEFAULT_BYTE_BUDGET};
+use crate::replica::ReplicaStore;
 
 /// Checkpoint-set operations on a distributed simulation.
 pub trait SimCheckpointExt {
@@ -385,6 +389,47 @@ impl RecoveryPolicy {
     }
 }
 
+/// Where shrink recovery re-sources the lost (and rolled-back) block state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShrinkSource {
+    /// Re-read the newest healthy checkpoint set from disk (per-block
+    /// `EUTECKP2` files are rank-count-agnostic).
+    Disk,
+    /// Restore from in-RAM buddy replicas captured at checkpoint cadence —
+    /// no disk round-trip (see [`crate::replica`]).
+    Buddy,
+}
+
+/// Shrink-and-continue policy: survive rank deaths in-flight by fencing the
+/// dead rank behind a membership epoch, re-homing its blocks onto the
+/// survivors and resuming from the newest consistent state — instead of
+/// tearing the universe down for a full restart.
+#[derive(Clone, Debug)]
+pub struct ShrinkPolicy {
+    /// Rank deaths survived in place per attempt; one more escalates with
+    /// [`RankFailure::ShrinkExhausted`]. A death *during* recovery burns an
+    /// additional unit of this budget.
+    pub max_shrinks: usize,
+    /// Where lost block state is restored from.
+    pub source: ShrinkSource,
+}
+
+impl ShrinkPolicy {
+    /// Survive one rank death per attempt from the given source.
+    pub fn new(source: ShrinkSource) -> Self {
+        Self {
+            max_shrinks: 1,
+            source,
+        }
+    }
+
+    /// Same policy with a different per-attempt death budget.
+    pub fn with_max_shrinks(mut self, n: usize) -> Self {
+        self.max_shrinks = n;
+        self
+    }
+}
+
 /// Typed per-rank failure inside a [`run_resilient`] attempt — distinguishes
 /// recovery-path failures from a killed rank ([`UniverseError`]).
 #[derive(Clone, Debug)]
@@ -411,6 +456,26 @@ pub enum RankFailure {
         /// The unhealthy report.
         detail: String,
     },
+    /// The shrink budget ([`ShrinkPolicy::max_shrinks`]) was exhausted —
+    /// one rank death too many, or a second death inside the recovery
+    /// window with no budget left.
+    ShrinkExhausted {
+        /// Deaths this attempt tried to absorb (including the fatal one).
+        shrinks: usize,
+        /// Step at which the budget ran out.
+        step: usize,
+        /// The communication failure that triggered the final shrink.
+        detail: String,
+    },
+    /// Shrink recovery could not rebuild a consistent resumable state
+    /// (no membership change behind the failure, no restorable checkpoint,
+    /// or lost buddy frames).
+    ShrinkRecovery {
+        /// Step at which recovery gave up.
+        step: usize,
+        /// Human-readable cause.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RankFailure {
@@ -427,6 +492,17 @@ impl std::fmt::Display for RankFailure {
             ),
             RankFailure::NoRollbackTarget { step, detail } => {
                 write!(f, "no rollback target at step {step}: {detail}")
+            }
+            RankFailure::ShrinkExhausted {
+                shrinks,
+                step,
+                detail,
+            } => write!(
+                f,
+                "shrink budget exhausted ({shrinks} deaths) at step {step}: {detail}"
+            ),
+            RankFailure::ShrinkRecovery { step, detail } => {
+                write!(f, "shrink recovery failed at step {step}: {detail}")
             }
         }
     }
@@ -489,6 +565,10 @@ pub struct ResilientOpts {
     /// every attempt. Composes with rollback: a restore lands the fields
     /// onto whatever placement the rebalancer has migrated the blocks to.
     pub rebalance: Option<RebalancePolicy>,
+    /// Shrink-and-continue rank-failure survival. `None` keeps the classic
+    /// behavior: a rank death tears the attempt down and the next attempt
+    /// restarts from the newest checkpoint.
+    pub shrink: Option<ShrinkPolicy>,
 }
 
 impl ResilientOpts {
@@ -509,6 +589,7 @@ impl ResilientOpts {
             retain_sets: None,
             threads: 1,
             rebalance: None,
+            shrink: None,
         }
     }
 }
@@ -530,6 +611,28 @@ pub struct ResilientOutcome {
     /// Poisoned/corrupt checkpoint sets skipped while searching for a
     /// rollback or resume target during the successful attempt.
     pub restore_skips: usize,
+    /// Rank deaths absorbed in-flight (membership shrinks) during the
+    /// successful attempt.
+    pub shrinks: usize,
+    /// Original rank ids still alive at the end of the successful attempt.
+    pub survivors: Vec<usize>,
+    /// Aggregate cost of the shrink recoveries in the successful attempt
+    /// (all zero when no shrink happened).
+    pub shrink_cost: ShrinkCost,
+}
+
+/// Aggregate cost of the shrink recoveries absorbed by a successful
+/// attempt — the numbers behind a figure binary's rank-0 summary line.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShrinkCost {
+    /// Blocks re-homed off dead ranks. The plan is replicated, so every
+    /// survivor reports the same count (aggregated as max over ranks).
+    pub blocks_rehomed: u64,
+    /// Buddy-replica frame bytes shipped over the wire during restores,
+    /// summed over survivors (zero for disk-sourced recoveries).
+    pub bytes_moved: u64,
+    /// Wall-clock spent inside recovery (max over survivors).
+    pub recovery_secs: f64,
 }
 
 /// Failure of [`run_resilient`].
@@ -649,6 +752,119 @@ struct RankOutcome {
     blocks: Vec<(usize, BlockState)>,
     rollbacks: usize,
     restore_skips: usize,
+    shrinks: usize,
+    cost: ShrinkCost,
+}
+
+/// Shrink recovery: fence the dead rank(s) behind a new membership epoch,
+/// re-home their blocks onto the survivors with the migration-minimizing
+/// planner, and restore a consistent state from disk or buddy replicas.
+///
+/// Comm failures inside this routine (a *second* death mid-recovery) panic
+/// through the comm layer — the caller runs it under [`catch_comm`] and
+/// retries against the new, larger dead set.
+#[allow(clippy::too_many_arguments)]
+fn recover_and_rehome(
+    sim: &mut DistributedSim<'_>,
+    replica: Option<&ReplicaStore>,
+    source: ShrinkSource,
+    root: &Path,
+    budget: u64,
+    validate: bool,
+    restore_skips: &mut usize,
+    trigger: &CommError,
+) -> Result<(), RankFailure> {
+    let tel = sim.telemetry().clone();
+    let recovery_start = Instant::now();
+    let _span = tel.span_cat("shrink_recovery", "recovery");
+    let step = sim.step_index();
+    // 1. Membership round: agree on the survivor set, install the next
+    // epoch, fence stale pre-death messages.
+    let change = match sim.comm_rank().recover_membership() {
+        Ok(Some(c)) => c,
+        Ok(None) => {
+            // The failure was not a death (e.g. a timeout with every peer
+            // alive) — there is nothing to shrink away from.
+            return Err(RankFailure::ShrinkRecovery {
+                step,
+                detail: format!("comm failure without a membership change: {trigger}"),
+            });
+        }
+        Err(e) => {
+            // A death raced the round; re-raise through the comm panic so
+            // the caller's catch_comm retries with the larger dead set.
+            std::panic::panic_any(CommPanic {
+                rank: sim.comm_rank().rank(),
+                err: e,
+            })
+        }
+    };
+    tel.set_epoch(change.epoch);
+    tel.gauge_set("membership/epoch", change.epoch as f64);
+    tel.counter_add("shrink/ranks_lost", change.newly_dead.len() as u64);
+    // 2. Agree on the pre-death placement. A death mid-migration can leave
+    // survivor views divergent (some applied the migration epoch, some
+    // aborted first); the fields are fully restored below anyway, so the
+    // coordinator's view is as good as any — it just has to be *shared*.
+    let current: Vec<usize> = {
+        let rank = sim.comm_rank();
+        let mine: Vec<u8> = sim
+            .placement()
+            .iter()
+            .flat_map(|&r| (r as u32).to_le_bytes())
+            .collect();
+        rank.broadcast(change.alive[0], Bytes::from(mine))
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()) as usize)
+            .collect()
+    };
+    // 3. Re-home the dead ranks' blocks. Weights come from the descriptors
+    // (deterministic and replicated), so every survivor computes the same
+    // plan with no extra coordination.
+    let weights: Vec<f64> = (0..current.len())
+        .map(|id| {
+            let d = sim.decomp().block(id).dims(0);
+            (d.nx * d.ny * d.nz) as f64
+        })
+        .collect();
+    let plan = plan_shrink(&weights, &current, &change.alive);
+    let rehomed = plan.moves.len();
+    sim.adopt_placement(plan.placement);
+    // 4. Restore a consistent global state at the shrunken rank count.
+    match source {
+        ShrinkSource::Disk => match restore_best(sim, root, budget, validate, restore_skips)? {
+            RestoreBest::Restored(s) => {
+                sim.telemetry().gauge_set("shrink/restored_step", s as f64);
+            }
+            RestoreBest::NoSets => {
+                return Err(RankFailure::ShrinkRecovery {
+                    step,
+                    detail: "no checkpoint set to re-home from".into(),
+                });
+            }
+        },
+        ShrinkSource::Buddy => {
+            let rep = replica.expect("buddy shrink source allocates a replica store");
+            match rep.restore(sim) {
+                Ok(r) => {
+                    tel.counter_add("shrink/replica_bytes_moved", r.bytes_moved);
+                    tel.gauge_set("shrink/restored_step", r.step as f64);
+                }
+                Err(e) => {
+                    return Err(RankFailure::ShrinkRecovery {
+                        step,
+                        detail: format!("buddy restore failed: {e}"),
+                    });
+                }
+            }
+        }
+    }
+    tel.counter_add("shrink/blocks_rehomed", rehomed as u64);
+    tel.counter_add(
+        "shrink/recovery_wall_ns",
+        recovery_start.elapsed().as_nanos() as u64,
+    );
+    Ok(())
 }
 
 /// Run `target_steps` of a distributed simulation to completion despite
@@ -681,6 +897,7 @@ where
     assert!(opts.max_attempts > 0 && !opts.ranks.is_empty());
     let params = Arc::new(params);
     let init = Arc::new(init);
+    let nb_total = spec.num_blocks();
     let mut failures: Vec<AttemptFailure> = Vec::new();
 
     for attempt in 0..opts.max_attempts {
@@ -692,6 +909,12 @@ where
         let mut ucfg = UniverseCfg::with_timeout(opts.op_timeout);
         if let Some(plan) = opts.fault_plans.get(attempt) {
             ucfg = ucfg.with_faults(plan.clone());
+        }
+        if opts.shrink.is_some() {
+            // Fail fast: a survivor blocked on a live-but-stuck peer aborts
+            // on *any* unfenced death, so the whole survivor set converges
+            // on the membership round instead of waiting out the op timeout.
+            ucfg = ucfg.with_fail_fast();
         }
 
         let params = Arc::clone(&params);
@@ -709,38 +932,85 @@ where
         let retain = opts.retain_sets;
         let threads = opts.threads;
         let rebalance = opts.rebalance.clone();
+        let shrink_cfg = opts.shrink.clone();
 
         type RankResult = Result<RankOutcome, RankFailure>;
-        let run: Result<Vec<RankResult>, UniverseError> =
-            Universe::run_checked(n_ranks, ucfg, move |rank| -> RankResult {
-                let mut sim = DistributedSim::new(
-                    &rank,
-                    (*params).clone(),
-                    Decomposition::new(spec),
-                    cfg,
-                    overlap,
-                );
-                sim.set_threads(threads);
-                let validate = recovery.health.is_some();
-                if let Some(hc) = recovery.health {
-                    sim.set_health_monitor(Some(
-                        HealthMonitor::new(hc).with_faults(field_plan.clone()),
-                    ));
+        let rank_main = move |rank: Rank| -> RankResult {
+            let mut sim = DistributedSim::new(
+                &rank,
+                (*params).clone(),
+                Decomposition::new(spec),
+                cfg,
+                overlap,
+            );
+            sim.set_threads(threads);
+            let validate = recovery.health.is_some();
+            if let Some(hc) = recovery.health {
+                sim.set_health_monitor(Some(
+                    HealthMonitor::new(hc).with_faults(field_plan.clone()),
+                ));
+            }
+            let mut restore_skips = 0usize;
+            match restore_best(&mut sim, &root, budget, validate, &mut restore_skips)? {
+                RestoreBest::Restored(step) => {
+                    sim.telemetry().gauge_set("ckpt/resumed_step", step as f64);
                 }
-                let mut restore_skips = 0usize;
-                match restore_best(&mut sim, &root, budget, validate, &mut restore_skips)? {
-                    RestoreBest::Restored(step) => {
-                        sim.telemetry().gauge_set("ckpt/resumed_step", step as f64);
+                RestoreBest::NoSets => sim.init_blocks(|b| init(b)),
+            }
+            // Attach after init/restore: the policy's cold-start priors
+            // classify the actual block contents.
+            sim.set_rebalance_policy(rebalance.clone());
+            let mut sched = cadence.scheduler();
+            let mut rollbacks = 0usize;
+            let mut shrinks = 0usize;
+            let mut dt_restore: Option<(usize, f64)> = None;
+            let mut replica = match &shrink_cfg {
+                Some(sp) if sp.source == ShrinkSource::Buddy => Some(ReplicaStore::new(budget)),
+                _ => None,
+            };
+            let mut pending_failure: Option<CommError> = None;
+            while sim.step_index() < target_steps {
+                if let Some(err) = pending_failure.take() {
+                    let sp = shrink_cfg
+                        .as_ref()
+                        .expect("comm failures are only caught in shrink mode");
+                    shrinks += 1;
+                    sim.telemetry().counter_add("shrink/deaths_detected", 1);
+                    if shrinks > sp.max_shrinks {
+                        return Err(RankFailure::ShrinkExhausted {
+                            shrinks,
+                            step: sim.step_index(),
+                            detail: err.to_string(),
+                        });
                     }
-                    RestoreBest::NoSets => sim.init_blocks(|b| init(b)),
+                    match catch_comm(|| {
+                        recover_and_rehome(
+                            &mut sim,
+                            replica.as_ref(),
+                            sp.source,
+                            &root,
+                            budget,
+                            validate,
+                            &mut restore_skips,
+                            &err,
+                        )
+                    }) {
+                        Ok(Ok(())) => {
+                            // Recovered: re-attach the rebalancer onto
+                            // the adopted placement, like after any
+                            // init/restore.
+                            sim.set_rebalance_policy(rebalance.clone());
+                            sim.telemetry().counter_add("shrink/recoveries", 1);
+                        }
+                        Ok(Err(rf)) => return Err(rf),
+                        // Another death mid-recovery: loop back, burn
+                        // another unit of the shrink budget, retry the
+                        // membership round against the larger dead set.
+                        Err(e2) => pending_failure = Some(e2),
+                    }
+                    continue;
                 }
-                // Attach after init/restore: the policy's cold-start priors
-                // classify the actual block contents.
-                sim.set_rebalance_policy(rebalance.clone());
-                let mut sched = cadence.scheduler();
-                let mut rollbacks = 0usize;
-                let mut dt_restore: Option<(usize, f64)> = None;
-                while sim.step_index() < target_steps {
+                let one_step = || -> Result<(), RankFailure> {
                     if let Some((until, dt0)) = dt_restore {
                         if sim.step_index() >= until {
                             sim.params.dt = dt0;
@@ -752,9 +1022,9 @@ where
                     sim.step();
                     sched.observe_step(t0.elapsed());
                     if let Some(report) = sim.take_unhealthy_report() {
-                        // Unhealthy verdicts come from an allreduce, so every
-                        // rank takes this branch at the same step and the
-                        // rollback collectives stay in lockstep.
+                        // Unhealthy verdicts come from an allreduce, so
+                        // every rank takes this branch at the same step
+                        // and the rollback collectives stay in lockstep.
                         rollbacks += 1;
                         sim.telemetry().counter_add("health/rollbacks", 1);
                         let detail = report.describe();
@@ -792,7 +1062,7 @@ where
                             }
                             sim.params.dt *= dr.factor;
                         }
-                        continue;
+                        return Ok(());
                     }
                     if sim.step_index() < target_steps && sched.due(sim.step_index()) {
                         let t0 = Instant::now();
@@ -801,62 +1071,165 @@ where
                                 sched.observe_checkpoint(&rank, t0.elapsed(), sim.step_index());
                                 if let (Some(keep), 0) = (retain, rank.rank()) {
                                     // Collectives serialize rank 0 against
-                                    // restores, so pruning cannot race a set
-                                    // being read.
+                                    // restores, so pruning cannot race a
+                                    // set being read.
                                     if let Ok(n) = ckpt::prune_checkpoint_sets(&root, keep, None) {
                                         sim.telemetry().counter_add("ckpt/sets_pruned", n as u64);
                                     }
                                 }
+                                if let Some(rep) = replica.as_mut() {
+                                    // Mirror the just-checkpointed state
+                                    // into buddy RAM so a shrink can
+                                    // restore it without touching disk.
+                                    rep.capture(&sim);
+                                    sim.telemetry().counter_add("replica/captures", 1);
+                                    sim.telemetry()
+                                        .gauge_set("replica/bytes_held", rep.bytes_held() as f64);
+                                }
                             }
                             Err(_) => {
-                                // The votes made this error consistent across
-                                // ranks and the set has no manifest, so it is
-                                // invisible to restores. Keep running — the
-                                // scheduler stays due and retries next step.
+                                // The votes made this error consistent
+                                // across ranks and the set has no
+                                // manifest, so it is invisible to
+                                // restores. Keep running — the scheduler
+                                // stays due and retries next step.
                                 sim.telemetry().counter_add("ckpt/write_failures", 1);
                             }
                         }
                     }
+                    Ok(())
+                };
+                match catch_comm(one_step) {
+                    Ok(Ok(())) => {}
+                    Ok(Err(rf)) => return Err(rf),
+                    Err(err) => match &shrink_cfg {
+                        Some(_) => pending_failure = Some(err),
+                        // Classic mode keeps the PR 2 contract: the comm
+                        // failure unwinds this rank and the attempt tears
+                        // down for a full restart.
+                        None => std::panic::panic_any(CommPanic {
+                            rank: rank.rank(),
+                            err,
+                        }),
+                    },
                 }
-                let ids = sim.local_block_ids().to_vec();
-                let blocks = std::mem::take(&mut sim.blocks);
-                Ok(RankOutcome {
-                    time: sim.time(),
-                    blocks: ids.into_iter().zip(blocks).collect(),
+            }
+            let snap = sim.telemetry().metrics_snapshot();
+            let ctr = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+            let cost = ShrinkCost {
+                blocks_rehomed: ctr("shrink/blocks_rehomed"),
+                bytes_moved: ctr("shrink/replica_bytes_moved"),
+                recovery_secs: ctr("shrink/recovery_wall_ns") as f64 / 1e9,
+            };
+            let ids = sim.local_block_ids().to_vec();
+            let blocks = std::mem::take(&mut sim.blocks);
+            Ok(RankOutcome {
+                time: sim.time(),
+                blocks: ids.into_iter().zip(blocks).collect(),
+                rollbacks,
+                restore_skips,
+                shrinks,
+                cost,
+            })
+        };
+
+        if opts.shrink.is_some() {
+            // Shrink mode: deaths are survivable, so run under the
+            // surviving harness and accept an attempt where every block is
+            // accounted for by the survivors.
+            let out = Universe::run_surviving(n_ranks, ucfg, rank_main);
+            let mut oks: Vec<(usize, RankOutcome)> = Vec::new();
+            let mut errs: Vec<RankFailure> = Vec::new();
+            for (r, res) in out.results.into_iter().enumerate() {
+                match res {
+                    Some(Ok(o)) => oks.push((r, o)),
+                    Some(Err(e)) => errs.push(e),
+                    // A dead rank simply has no result; its blocks must
+                    // resurface on a survivor for the coverage check below.
+                    None => {}
+                }
+            }
+            let mut ids: Vec<usize> = oks
+                .iter()
+                .flat_map(|(_, o)| o.blocks.iter().map(|(id, _)| *id))
+                .collect();
+            ids.sort_unstable();
+            let covered = ids.iter().copied().eq(0..nb_total);
+            if errs.is_empty() && covered && !oks.is_empty() {
+                let time = oks[0].1.time;
+                let rollbacks = oks.iter().map(|(_, o)| o.rollbacks).max().unwrap_or(0);
+                let restore_skips = oks.iter().map(|(_, o)| o.restore_skips).max().unwrap_or(0);
+                let shrinks = oks.iter().map(|(_, o)| o.shrinks).max().unwrap_or(0);
+                let survivors: Vec<usize> = oks.iter().map(|(r, _)| *r).collect();
+                let shrink_cost = ShrinkCost {
+                    blocks_rehomed: oks
+                        .iter()
+                        .map(|(_, o)| o.cost.blocks_rehomed)
+                        .max()
+                        .unwrap_or(0),
+                    bytes_moved: oks.iter().map(|(_, o)| o.cost.bytes_moved).sum(),
+                    recovery_secs: oks
+                        .iter()
+                        .map(|(_, o)| o.cost.recovery_secs)
+                        .fold(0.0, f64::max),
+                };
+                let mut tagged: Vec<(usize, BlockState)> =
+                    oks.into_iter().flat_map(|(_, o)| o.blocks).collect();
+                tagged.sort_by_key(|(id, _)| *id);
+                return Ok(ResilientOutcome {
+                    blocks: tagged.into_iter().map(|(_, b)| b).collect(),
+                    time,
+                    attempts: attempt + 1,
+                    failures,
                     rollbacks,
                     restore_skips,
-                })
-            });
-
-        match run {
-            Ok(per_rank) => {
-                let mut oks: Vec<RankOutcome> = Vec::new();
-                let mut errs: Vec<RankFailure> = Vec::new();
-                for r in per_rank {
-                    match r {
-                        Ok(o) => oks.push(o),
-                        Err(e) => errs.push(e),
-                    }
-                }
-                if errs.is_empty() {
-                    let time = oks[0].time;
-                    let rollbacks = oks.iter().map(|o| o.rollbacks).max().unwrap_or(0);
-                    let restore_skips = oks.iter().map(|o| o.restore_skips).max().unwrap_or(0);
-                    let mut tagged: Vec<(usize, BlockState)> =
-                        oks.into_iter().flat_map(|o| o.blocks).collect();
-                    tagged.sort_by_key(|(id, _)| *id);
-                    return Ok(ResilientOutcome {
-                        blocks: tagged.into_iter().map(|(_, b)| b).collect(),
-                        time,
-                        attempts: attempt + 1,
-                        failures,
-                        rollbacks,
-                        restore_skips,
-                    });
-                }
+                    shrinks,
+                    survivors,
+                    shrink_cost,
+                });
+            }
+            if errs.is_empty() {
+                failures.push(AttemptFailure::Universe(UniverseError { dead: out.dead }));
+            } else {
                 failures.push(AttemptFailure::Ranks(errs));
             }
-            Err(e) => failures.push(AttemptFailure::Universe(e)),
+        } else {
+            let run: Result<Vec<RankResult>, UniverseError> =
+                Universe::run_checked(n_ranks, ucfg, rank_main);
+            match run {
+                Ok(per_rank) => {
+                    let mut oks: Vec<RankOutcome> = Vec::new();
+                    let mut errs: Vec<RankFailure> = Vec::new();
+                    for r in per_rank {
+                        match r {
+                            Ok(o) => oks.push(o),
+                            Err(e) => errs.push(e),
+                        }
+                    }
+                    if errs.is_empty() {
+                        let time = oks[0].time;
+                        let rollbacks = oks.iter().map(|o| o.rollbacks).max().unwrap_or(0);
+                        let restore_skips = oks.iter().map(|o| o.restore_skips).max().unwrap_or(0);
+                        let shrinks = oks.iter().map(|o| o.shrinks).max().unwrap_or(0);
+                        let mut tagged: Vec<(usize, BlockState)> =
+                            oks.into_iter().flat_map(|o| o.blocks).collect();
+                        tagged.sort_by_key(|(id, _)| *id);
+                        return Ok(ResilientOutcome {
+                            blocks: tagged.into_iter().map(|(_, b)| b).collect(),
+                            time,
+                            attempts: attempt + 1,
+                            failures,
+                            rollbacks,
+                            restore_skips,
+                            shrinks,
+                            survivors: (0..n_ranks).collect(),
+                            shrink_cost: ShrinkCost::default(),
+                        });
+                    }
+                    failures.push(AttemptFailure::Ranks(errs));
+                }
+                Err(e) => failures.push(AttemptFailure::Universe(e)),
+            }
         }
     }
     Err(ResilientError::Exhausted {

@@ -53,7 +53,7 @@ pub use trace::{
 };
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, Weak};
 use std::time::{Duration, Instant};
 
@@ -165,6 +165,8 @@ struct Inner {
     rank: usize,
     trace_on: AtomicBool,
     next_lane: AtomicU32,
+    /// Membership epoch stamped onto samples (see [`Telemetry::set_epoch`]).
+    membership_epoch: AtomicU64,
     shards: Mutex<Vec<Arc<Shard>>>,
 }
 
@@ -207,6 +209,7 @@ impl Telemetry {
                 rank,
                 trace_on: AtomicBool::new(false),
                 next_lane: AtomicU32::new(0),
+                membership_epoch: AtomicU64::new(0),
                 shards: Mutex::new(Vec::new()),
             }),
         };
@@ -255,6 +258,20 @@ impl Telemetry {
         let mut shards = lock(&self.inner.shards).clone();
         shards.sort_by_key(|s| s.lane);
         shards
+    }
+
+    /// Set the membership epoch stamped onto every subsequent
+    /// [`Telemetry::sample`]. A shrink-recovery driver bumps this right
+    /// after a membership round installs a new epoch, so external samplers
+    /// can attribute counters recorded between a failed collective and the
+    /// recovery barrier to the correct rank set.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.inner.membership_epoch.store(epoch, Ordering::SeqCst);
+    }
+
+    /// The membership epoch currently stamped onto samples.
+    pub fn membership_epoch(&self) -> u64 {
+        self.inner.membership_epoch.load(Ordering::SeqCst)
     }
 
     /// Start buffering per-span trace events for Chrome trace export.
@@ -409,6 +426,10 @@ impl Telemetry {
     pub fn sample(&self) -> TelemetrySample {
         let shards = self.shards_by_lane();
         let guards: Vec<_> = shards.iter().map(|s| lock(&s.state)).collect();
+        // Read the epoch while every shard lock is held: a recovery driver
+        // bumps it before resuming metric writes, so a sample can never pair
+        // post-recovery counters with the pre-recovery epoch.
+        let epoch = self.membership_epoch();
         let mut metrics = MetricsSnapshot::default();
         let mut merged = TreeState::new();
         for st in &guards {
@@ -416,6 +437,7 @@ impl Telemetry {
             merged.merge_from(&st.tree);
         }
         TelemetrySample {
+            epoch,
             metrics,
             tree: tree_rows(&merged),
         }
@@ -513,6 +535,9 @@ macro_rules! span {
 /// [`Telemetry::sample`].
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TelemetrySample {
+    /// Membership epoch in effect when the sample was cut (0 until a
+    /// shrink recovery installs a later one via [`Telemetry::set_epoch`]).
+    pub epoch: u64,
     /// Merged counters / gauges / histograms.
     pub metrics: MetricsSnapshot,
     /// Merged timing tree.
@@ -835,6 +860,57 @@ mod tests {
         let m = tel.sample().metrics;
         assert_eq!(m.counters["ping"], rounds);
         assert_eq!(m.counters["pong"], rounds);
+    }
+
+    /// A ping/pong across a simulated shrink recovery: the writer bumps the
+    /// membership epoch *before* recording any post-recovery counter, so a
+    /// sample whose counters include post-recovery pongs must carry the new
+    /// epoch — counters can never be attributed to the pre-recovery epoch.
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn samples_tag_counters_with_the_membership_epoch_across_recovery() {
+        use std::sync::atomic::AtomicU64;
+
+        let tel = Telemetry::new(0);
+        assert_eq!(tel.sample().epoch, 0, "samples start at epoch 0");
+        let turn = AtomicU64::new(0);
+        let rounds: u64 = 200;
+        fn wait(turn: &AtomicU64, want: u64) {
+            while turn.load(Ordering::Acquire) != want {
+                std::thread::yield_now();
+            }
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..rounds {
+                    wait(&turn, 2 * i);
+                    tel.counter_add("ping", 1);
+                    turn.store(2 * i + 1, Ordering::Release);
+                }
+            });
+            s.spawn(|| {
+                for i in 0..rounds {
+                    wait(&turn, 2 * i + 1);
+                    // Simulated recovery boundary: install the epoch first,
+                    // then record the first post-recovery counter.
+                    tel.set_epoch(i + 1);
+                    tel.counter_add("pong", 1);
+                    turn.store(2 * i + 2, Ordering::Release);
+                }
+            });
+            while turn.load(Ordering::Acquire) < 2 * rounds {
+                let s = tel.sample();
+                let pong = s.metrics.counters.get("pong").copied().unwrap_or(0);
+                assert!(
+                    s.epoch >= pong,
+                    "sample holds {pong} post-recovery pongs but is tagged epoch {}",
+                    s.epoch
+                );
+            }
+        });
+        let s = tel.sample();
+        assert_eq!(s.epoch, rounds);
+        assert_eq!(s.metrics.counters["pong"], rounds);
     }
 
     /// `counters_add` batches updates under one lock: a sampler never sees

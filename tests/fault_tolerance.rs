@@ -6,10 +6,12 @@
 //! within its configured budget over a long run.
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use eutectica_blockgrid::decomp::{Decomposition, DomainSpec};
-use eutectica_comm::{FaultPlan, Universe};
+use eutectica_blockgrid::rebalance::RebalancePolicy;
+use eutectica_comm::{FaultPhase, FaultPlan, Universe};
+use eutectica_core::health::HealthConfig;
 use eutectica_core::kernels::KernelConfig;
 use eutectica_core::params::ModelParams;
 use eutectica_core::state::BlockState;
@@ -17,9 +19,36 @@ use eutectica_core::timeloop::{DistributedSim, OverlapOptions};
 use eutectica_core::{N_COMP, N_PHASES};
 use eutectica_pfio::ckpt::Precision;
 use eutectica_pfio::resilient::{
-    run_resilient, AttemptFailure, Cadence, CheckpointCadence, ResilientOpts, ResilientOutcome,
-    SimCheckpointExt,
+    run_resilient, AttemptFailure, Cadence, CheckpointCadence, RankFailure, RecoveryPolicy,
+    ResilientError, ResilientOpts, ResilientOutcome, ShrinkPolicy, ShrinkSource, SimCheckpointExt,
 };
+
+/// Run `f` on a helper thread and panic if it neither returns nor panics
+/// within `secs` — turning a would-be hang (the failure mode these tests
+/// exist to rule out) into a loud, attributable test failure.
+fn with_watchdog<T: Send + 'static>(
+    secs: u64,
+    name: &str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let h = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(v) => {
+            let _ = h.join();
+            v
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => match h.join() {
+            Ok(_) => unreachable!("sender dropped without sending or panicking"),
+            Err(p) => std::panic::resume_unwind(p),
+        },
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{name}: watchdog expired after {secs}s — the run hung instead of failing");
+        }
+    }
+}
 
 /// Unwrap an attempt failure that must be a universe (rank-death) failure
 /// and return its dead-rank list.
@@ -145,6 +174,171 @@ fn restore_onto_different_rank_count_is_bit_identical() {
         fingerprint(&killed.blocks),
         "restore onto a different rank count diverged"
     );
+}
+
+/// A rank killed *inside* a collective health scan (PR 4's allreduce) must
+/// surface as a typed universe failure on the survivors — not a hang — and
+/// the classic restart path must still complete the run.
+#[test]
+fn rank_death_during_health_scan_is_a_typed_error_not_a_hang() {
+    with_watchdog(120, "health-scan kill", || {
+        let spec = DomainSpec::directional([16, 16, 12], [2, 2, 1]);
+        let root = tmp_root("phase_hs");
+        let mut opts = ResilientOpts::new(root.clone());
+        opts.cadence = Cadence::EverySteps(4);
+        opts.ranks = vec![2];
+        let mut health = HealthConfig::for_params(&ModelParams::ag_al_cu());
+        health.every = 3;
+        opts.recovery = RecoveryPolicy::with_health(health);
+        opts.fault_plans = vec![FaultPlan::new(11).kill_in_phase(1, FaultPhase::HealthScan, 0)];
+        let out = run_resilient(
+            ModelParams::ag_al_cu(),
+            spec,
+            KernelConfig::default(),
+            OverlapOptions::default(),
+            12,
+            opts,
+            init,
+        )
+        .expect("restart after a mid-scan death must recover");
+        let _ = std::fs::remove_dir_all(&root);
+        assert_eq!(out.attempts, 2, "the mid-scan kill must force one restart");
+        let (dead, msg) = &universe_dead(&out.failures[0])[0];
+        assert_eq!(*dead, 1, "rank 1 died in the scan, got: {msg}");
+        assert!(msg.contains("fault injection"), "unexpected death: {msg}");
+    });
+}
+
+/// A rank killed *inside* a PR 5 migration epoch must likewise surface as a
+/// typed universe failure within the watchdog, and the restart (which
+/// replays the same forced migration fault-free) must complete.
+#[test]
+fn rank_death_during_migration_epoch_is_a_typed_error_not_a_hang() {
+    with_watchdog(120, "migration kill", || {
+        let spec = DomainSpec::directional([16, 16, 12], [2, 2, 1]);
+        let root = tmp_root("phase_mig");
+        let mut opts = ResilientOpts::new(root.clone());
+        opts.cadence = Cadence::EverySteps(4);
+        opts.ranks = vec![2];
+        // Static placement is [0,0,1,1]; the forced swap at step 2 opens a
+        // migration epoch for every block.
+        opts.rebalance =
+            Some(RebalancePolicy::new(0, f64::INFINITY).with_forced_plan(2, vec![1, 1, 0, 0]));
+        opts.fault_plans = vec![FaultPlan::new(17).kill_in_phase(1, FaultPhase::Migration, 0)];
+        let out = run_resilient(
+            ModelParams::ag_al_cu(),
+            spec,
+            KernelConfig::default(),
+            OverlapOptions::default(),
+            12,
+            opts,
+            init,
+        )
+        .expect("restart after a mid-migration death must recover");
+        let _ = std::fs::remove_dir_all(&root);
+        assert_eq!(out.attempts, 2);
+        let (dead, msg) = &universe_dead(&out.failures[0])[0];
+        assert_eq!(*dead, 1, "rank 1 died mid-migration, got: {msg}");
+        assert!(msg.contains("fault injection"), "unexpected death: {msg}");
+    });
+}
+
+/// The tentpole property: a run that loses a rank mid-flight and
+/// shrink-continues on the survivors is bit-identical to the uninterrupted
+/// run — across kill steps, fault seeds, and both lost-state sources (disk
+/// checkpoint set, buddy RAM replicas). Since bit-identity is placement-
+/// and rank-count-invariant (pinned by the restore tests above), this also
+/// certifies equality with a clean restart from the same checkpoint at the
+/// survivor rank count.
+#[test]
+fn shrink_and_continue_is_bit_identical_to_the_clean_run() {
+    let spec = DomainSpec::directional([16, 16, 12], [2, 2, 1]);
+    let steps = 12;
+    let clean = run_case("shrink_clean", spec, steps, vec![3], Vec::new());
+    assert_eq!(clean.attempts, 1);
+
+    for source in [ShrinkSource::Disk, ShrinkSource::Buddy] {
+        for (seed, kill_step) in [(5u64, 6u64), (9, 10)] {
+            let tag = format!("shrink_{source:?}_{seed}_{kill_step}").to_lowercase();
+            let name = tag.clone();
+            let inner_name = tag.clone();
+            let clean_time = clean.time;
+            let clean_fp = fingerprint(&clean.blocks);
+            let out = with_watchdog(180, &name, move || {
+                let root = tmp_root(&tag);
+                let mut opts = ResilientOpts::new(root.clone());
+                opts.cadence = Cadence::EverySteps(4);
+                opts.ranks = vec![3];
+                opts.max_attempts = 1; // recovery must happen *within* the attempt
+                opts.fault_plans = vec![FaultPlan::new(seed).kill(1, kill_step)];
+                opts.shrink = Some(ShrinkPolicy::new(source));
+                let out = run_resilient(
+                    ModelParams::ag_al_cu(),
+                    spec,
+                    KernelConfig::default(),
+                    OverlapOptions::default(),
+                    steps,
+                    opts,
+                    init,
+                )
+                .unwrap_or_else(|e| panic!("{inner_name} must shrink-continue: {e}"));
+                let _ = std::fs::remove_dir_all(&root);
+                out
+            });
+            assert_eq!(out.attempts, 1, "{name}: no restart allowed");
+            assert_eq!(out.shrinks, 1, "{name}: exactly one death absorbed");
+            assert_eq!(out.survivors, vec![0, 2], "{name}: rank 1 was killed");
+            assert_eq!(clean_time.to_bits(), out.time.to_bits(), "{name}: time");
+            assert_eq!(
+                clean_fp,
+                fingerprint(&out.blocks),
+                "{name}: shrink-continued state diverged from the clean run"
+            );
+        }
+    }
+}
+
+/// A second death injected *inside* the membership-recovery round, with a
+/// shrink budget of one, must escalate with a typed
+/// [`RankFailure::ShrinkExhausted`] — never a hang.
+#[test]
+fn second_death_inside_recovery_escalates_with_a_typed_error() {
+    with_watchdog(120, "second death in recovery", || {
+        let spec = DomainSpec::directional([16, 16, 12], [2, 2, 1]);
+        let root = tmp_root("shrink_double");
+        let mut opts = ResilientOpts::new(root.clone());
+        opts.cadence = Cadence::EverySteps(4);
+        opts.ranks = vec![3];
+        opts.max_attempts = 1;
+        opts.fault_plans =
+            vec![FaultPlan::new(13)
+                .kill(1, 6)
+                .kill_in_phase(2, FaultPhase::Recovery, 0)];
+        opts.shrink = Some(ShrinkPolicy::new(ShrinkSource::Disk)); // max_shrinks = 1
+        let err = run_resilient(
+            ModelParams::ag_al_cu(),
+            spec,
+            KernelConfig::default(),
+            OverlapOptions::default(),
+            12,
+            opts,
+            init,
+        )
+        .expect_err("a second death must exhaust the shrink budget");
+        let _ = std::fs::remove_dir_all(&root);
+        let ResilientError::Exhausted { failures, .. } = err else {
+            panic!("expected exhaustion, got: {err}");
+        };
+        let AttemptFailure::Ranks(ranks) = &failures[0] else {
+            panic!("expected typed rank failures, got: {}", failures[0]);
+        };
+        assert!(
+            ranks
+                .iter()
+                .any(|r| matches!(r, RankFailure::ShrinkExhausted { shrinks: 2, .. })),
+            "expected ShrinkExhausted with 2 deaths, got: {ranks:?}"
+        );
+    });
 }
 
 #[test]

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use eutectica_blockgrid::GridDims;
 use eutectica_core::kernels::{
-    mu_sweep, phi_sweep, KernelConfig, MuPart, MuVariant, OptLevel, PhiVariant,
+    mu_sweep, phi_sweep, KernelConfig, MuPart, MuVariant, OptLevel, PhiVariant, SimdIsa,
 };
 use eutectica_core::params::ModelParams;
 use eutectica_core::regions::{build_scenario, Scenario};
@@ -25,6 +25,7 @@ fn bench_phi_variants(c: &mut Criterion) {
         let cfg = KernelConfig {
             phi: variant,
             mu: MuVariant::Scalar,
+            isa: SimdIsa::Auto,
             tz_precompute: true,
             staggered_buffer: variant != PhiVariant::SimdFourCell
                 && variant != PhiVariant::Reference,
@@ -53,6 +54,7 @@ fn bench_mu_variants(c: &mut Criterion) {
         let cfg = KernelConfig {
             phi: PhiVariant::Scalar,
             mu: variant,
+            isa: SimdIsa::Auto,
             tz_precompute: true,
             staggered_buffer: variant != MuVariant::Reference,
             shortcuts: false,

@@ -2,10 +2,15 @@
 //! SuperMUC core, block size chosen as 60³" — φ-kernel MLUP/s for the
 //! cellwise, cellwise-with-shortcuts and four-cell strategies in the
 //! interface, liquid and solid scenarios.
+//!
+//! `--backend <name>` pins the ISA instantiation the strategies run on
+//! (e.g. `simd-portable` to quantify the benefit of explicit AVX2
+//! vectorization, or `simd-avx2` to *require* it — a typed error on hosts
+//! without AVX2+FMA instead of a silent scalar fallback).
 
-use eutectica_bench::{f2, phi_mlups, ResultTable};
+use eutectica_bench::{backend_arg, f2, phi_mlups, resolve_backend_or_exit, ResultTable};
 use eutectica_blockgrid::GridDims;
-use eutectica_core::kernels::{KernelConfig, MuVariant, PhiVariant};
+use eutectica_core::kernels::{backend, KernelConfig, MuVariant, PhiVariant};
 use eutectica_core::params::ModelParams;
 use eutectica_core::regions::Scenario;
 
@@ -13,10 +18,17 @@ fn main() {
     let params = ModelParams::ag_al_cu();
     let dims = GridDims::cube(60);
     let reps = 5;
+    let isa = resolve_backend_or_exit(&backend_arg().unwrap_or_else(|| "simd".into())).isa;
     println!(
         "Fig. 5 — phi-kernel vectorization strategies, block 60^3, SIMD backend: {}",
-        eutectica_simd::BACKEND
+        isa.resolved_name()
     );
+    if isa.resolved_name() != backend::active_simd_backend() {
+        println!(
+            "(host's best backend is {}; pinned by --backend)",
+            backend::active_simd_backend()
+        );
+    }
     println!();
 
     let variants: [(&str, PhiVariant, bool); 3] = [
@@ -34,6 +46,7 @@ fn main() {
             let cfg = KernelConfig {
                 phi: variant,
                 mu: MuVariant::SimdFourCell,
+                isa,
                 tz_precompute: true,
                 staggered_buffer: variant == PhiVariant::SimdCellwise,
                 shortcuts,

@@ -3,7 +3,16 @@
 //! general-purpose code → basic implementation → +SIMD → +T(z) → +staggered
 //! buffer → +shortcuts.
 
-use eutectica_bench::{f2, mu_mlups, phi_mlups, ResultTable};
+//!
+//! `--backend <name>` pins the ISA instantiation of the explicitly
+//! vectorized rungs (`simd`, `simd-avx2`, `simd-portable`); `--autotune`
+//! appends the per-block autotuner's chosen-variant summary and its step
+//! rate against the best hardcoded rung.
+
+use eutectica_bench::{
+    autotune_arg, autotune_step_report, backend_arg, f2, mu_mlups, phi_mlups,
+    resolve_backend_or_exit, threads_arg, ResultTable,
+};
 use eutectica_blockgrid::GridDims;
 use eutectica_core::kernels::OptLevel;
 use eutectica_core::params::ModelParams;
@@ -12,9 +21,10 @@ use eutectica_core::regions::Scenario;
 fn main() {
     let params = ModelParams::ag_al_cu();
     let dims = GridDims::cube(60);
+    let isa = resolve_backend_or_exit(&backend_arg().unwrap_or_else(|| "simd".into())).isa;
     println!(
         "Fig. 6 — optimization ladder, block 60^3, SIMD backend: {}",
-        eutectica_simd::BACKEND
+        isa.resolved_name()
     );
     println!();
 
@@ -24,7 +34,8 @@ fn main() {
             &["rung", "interface", "liquid", "solid"],
         );
         for rung in OptLevel::LADDER {
-            let cfg = rung.config();
+            let mut cfg = rung.config();
+            cfg.isa = isa;
             let reps = if rung == OptLevel::Reference { 2 } else { 5 };
             let mut row = vec![rung.label().to_string()];
             for sc in [Scenario::Interface, Scenario::Liquid, Scenario::Solid] {
@@ -43,4 +54,9 @@ fn main() {
     }
     println!("Expected shape (paper): every rung improves; staggered buffer ~2x on mu;");
     println!("shortcuts fastest in liquid (phi) and solid (mu).");
+
+    if autotune_arg() {
+        println!();
+        autotune_step_report(true, threads_arg()).print();
+    }
 }

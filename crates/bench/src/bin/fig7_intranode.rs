@@ -17,10 +17,29 @@ use eutectica_perfmodel::machines::{intranode_scaling, supermuc};
 
 fn main() {
     let params = ModelParams::ag_al_cu();
-    let cfg = OptLevel::SimdTzBuf.config(); // no shortcuts, as in the paper
+    let mut cfg = OptLevel::SimdTzBuf.config(); // no shortcuts, as in the paper
+    if let Some(name) = eutectica_bench::backend_arg() {
+        // Pin the ISA of the paper rung's SIMD kernels (`simd-avx2` errors
+        // on an incapable host instead of silently measuring scalar code).
+        cfg.isa = eutectica_bench::resolve_backend_or_exit(&name).isa;
+    }
     let threads = eutectica_bench::threads_arg();
-    println!("Fig. 7 — intranode scaling of the mu-kernel (no shortcuts)");
+    let autotune = eutectica_bench::autotune_arg();
+    println!(
+        "Fig. 7 — intranode scaling of the mu-kernel (no shortcuts), SIMD backend: {}",
+        cfg.isa.resolved_name()
+    );
     println!();
+
+    // Per-block autotuning: tune, report the chosen variants, and measure
+    // the tuned step rate against the best hardcoded rung (also recorded
+    // into the --bench-out trajectory below as `step_mlups_autotuned`).
+    let report = autotune.then(|| {
+        let r = eutectica_bench::autotune_step_report(eutectica_bench::quick_arg(), threads);
+        r.print();
+        println!();
+        r
+    });
 
     if let Some(path) = eutectica_bench::bench_out_arg() {
         let quick = eutectica_bench::quick_arg();
@@ -28,7 +47,10 @@ fn main() {
             "recording perf trajectory ({}) ...",
             if quick { "quick" } else { "full" }
         );
-        let traj = eutectica_bench::record_fig7_trajectory("fig7_intranode", quick);
+        let mut traj = eutectica_bench::record_fig7_trajectory("fig7_intranode", quick);
+        if let Some(r) = &report {
+            traj.push("step_mlups_autotuned", r.tuned_mlups, "MLUP/s", true);
+        }
         let path = path.to_string_lossy();
         traj.write(&path).expect("write --bench-out trajectory");
         println!("wrote {path} ({} entries)", traj.entries.len());

@@ -322,6 +322,39 @@ pub fn quick_arg() -> bool {
     std::env::args().skip(1).any(|a| a == "--quick")
 }
 
+/// Parse a `--backend <name>` flag: a kernel-backend registry name
+/// (`family[+tz][+buf][+sc]`, see `eutectica_core::kernels::backend`).
+pub fn backend_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--backend" {
+            return Some(args.next().expect("--backend needs a registry name"));
+        }
+        if let Some(v) = a.strip_prefix("--backend=") {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Resolve a registry backend name to its kernel configuration, exiting
+/// with the typed registry error on failure — `simd-avx2` on a host
+/// without AVX2+FMA is a hard error here, never a silent fallback.
+pub fn resolve_backend_or_exit(name: &str) -> KernelConfig {
+    match eutectica_core::kernels::backend::resolve(name) {
+        Ok(b) => b.config(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse an `--autotune` flag: per-block kernel-variant autotuning.
+pub fn autotune_arg() -> bool {
+    std::env::args().skip(1).any(|a| a == "--autotune")
+}
+
 /// Parse an `--observe-every <n>` flag: cadence of the in-situ physics
 /// observables (absent = observability plane off, zero overhead).
 pub fn observe_every_arg() -> Option<usize> {
@@ -571,6 +604,133 @@ pub fn record_fig7_trajectory(name: &str, quick: bool) -> eutectica_obsv::Trajec
         false,
     );
     traj
+}
+
+/// Result of an autotuned step benchmark: the per-block chosen-variant
+/// census plus the measured step rate of the tuned run against the best
+/// hardcoded ladder rung on the identical workload.
+pub struct AutotuneReport {
+    /// Step MLUP/s of the autotuned run (measured after every block
+    /// pinned its winner).
+    pub tuned_mlups: f64,
+    /// Step MLUP/s with the best hardcoded rung pinned globally.
+    pub pinned_mlups: f64,
+    /// Label of that hardcoded rung.
+    pub pinned_label: &'static str,
+    /// `variant name → blocks pinned to it`.
+    pub summary: Vec<(String, usize)>,
+    /// Per-block view: `(block id, variant, pinned?)`.
+    pub per_block: Vec<(usize, String, bool)>,
+    /// Steps the warmup took until every block pinned.
+    pub tune_steps: usize,
+    /// Pin events observed.
+    pub pins: u64,
+}
+
+impl AutotuneReport {
+    /// Print the rank-0 chosen-variant summary (the lines the CI autotune
+    /// smoke job asserts on).
+    pub fn print(&self) {
+        println!(
+            "autotune chosen variants ({} pins in {} steps):",
+            self.pins, self.tune_steps
+        );
+        for (name, count) in &self.summary {
+            println!("  {count:>3} block(s) -> {name}");
+        }
+        for (id, name, pinned) in &self.per_block {
+            println!(
+                "  block {id}: {name}{}",
+                if *pinned { "" } else { " (still warming up)" }
+            );
+        }
+        println!(
+            "autotuned step rate: {:.2} MLUP/s vs {:.2} MLUP/s pinned '{}'",
+            self.tuned_mlups, self.pinned_mlups, self.pinned_label
+        );
+    }
+}
+
+/// Run the autotuned step benchmark: a single-rank distributed simulation
+/// over a planar-front column (front + liquid blocks, so different regions
+/// can pin different variants), tuned with the bit-exact candidate policy,
+/// then timed and compared against the best hardcoded rung on the same
+/// workload.
+pub fn autotune_step_report(quick: bool, threads: usize) -> AutotuneReport {
+    use eutectica_core::kernels::backend::AutotunePolicy;
+    use eutectica_core::kernels::OptLevel;
+    use eutectica_core::timeloop::{DistributedSim, OverlapOptions};
+
+    let domain = if quick { [16, 16, 32] } else { [24, 24, 48] };
+    let blocks = [1, 1, 4];
+    let measure_steps = if quick { 6 } else { 12 };
+    let best = OptLevel::SimdTzBufShortcuts;
+    let updates = (domain[0] * domain[1] * domain[2] * measure_steps) as f64;
+    let make_decomp = || {
+        eutectica_blockgrid::decomp::Decomposition::new(
+            eutectica_blockgrid::decomp::DomainSpec::directional(domain, blocks),
+        )
+    };
+
+    let params = ModelParams::ag_al_cu();
+    let decomp = make_decomp();
+    let (mut tuned, _) = eutectica_comm::Universe::run_with_stats(1, move |rank| {
+        let mut sim = DistributedSim::new(
+            &rank,
+            params.clone(),
+            decomp.clone(),
+            best.config(),
+            OverlapOptions::default(),
+        );
+        sim.set_threads(threads);
+        sim.init_blocks(|b| eutectica_core::init::init_planar_front(b, 0, 6));
+        sim.set_autotune_policy(Some(AutotunePolicy::bit_exact()));
+        let mut tune_steps = 0usize;
+        while !sim.autotuner().unwrap().all_pinned() && tune_steps < 512 {
+            sim.step();
+            tune_steps += 1;
+        }
+        let t = Instant::now();
+        sim.step_n(measure_steps);
+        let wall = t.elapsed().as_secs_f64().max(1e-9);
+        let tuner = sim.autotuner().unwrap();
+        (
+            wall,
+            tuner.pinned_summary().into_iter().collect::<Vec<_>>(),
+            tuner.per_block(),
+            tune_steps,
+            tuner.stats().pins,
+        )
+    });
+    let (tuned_wall, summary, per_block, tune_steps, pins) = tuned.remove(0);
+
+    let params = ModelParams::ag_al_cu();
+    let decomp = make_decomp();
+    let (pinned, _) = eutectica_comm::Universe::run_with_stats(1, move |rank| {
+        let mut sim = DistributedSim::new(
+            &rank,
+            params.clone(),
+            decomp.clone(),
+            best.config(),
+            OverlapOptions::default(),
+        );
+        sim.set_threads(threads);
+        sim.init_blocks(|b| eutectica_core::init::init_planar_front(b, 0, 6));
+        sim.step_n(2); // same warm caches as the tuned leg's measured phase
+        let t = Instant::now();
+        sim.step_n(measure_steps);
+        t.elapsed().as_secs_f64().max(1e-9)
+    });
+
+    AutotuneReport {
+        tuned_mlups: updates / tuned_wall / 1e6,
+        pinned_mlups: updates / pinned[0] / 1e6,
+        pinned_label: best.label(),
+        summary,
+        per_block,
+        tune_steps,
+        pins,
+    }
 }
 
 /// Run a fully instrumented distributed simulation and write observability

@@ -151,6 +151,16 @@ impl CostModel {
         self.entries.insert(block, entry);
     }
 
+    /// Replace `block`'s cold-start prior, keeping any measurement. Lets a
+    /// caller with better rate knowledge (e.g. a kernel autotuner's warmup
+    /// measurements) re-seed stale priors before a planning epoch; a no-op
+    /// for untracked blocks.
+    pub fn set_prior(&mut self, block: usize, prior: f64) {
+        if let Some(e) = self.entries.get_mut(&block) {
+            e.prior = prior;
+        }
+    }
+
     /// Fold a new measurement (sweep seconds per step) into the EWMA.
     pub fn observe(&mut self, block: usize, seconds: f64) {
         if let Some(e) = self.entries.get_mut(&block) {

@@ -20,7 +20,17 @@
 //! [`crate::model`]; `tests/kernel_equivalence.rs` pins them against each
 //! other ("a regularly running test suite checks all kernel versions for
 //! equivalence").
+//!
+//! The explicitly vectorized variants are additionally generic over the ISA
+//! backend and dispatched at **runtime**: [`SimdIsa`] selects between the
+//! AVX2+FMA instantiation (gated on `is_x86_feature_detected!`, so a build
+//! without `-C target-cpu=native` still runs real AVX2 code) and the
+//! portable instantiation. Both produce bit-identical results, so the
+//! selection — including the autotuner's mid-run switches — never changes
+//! physics. [`backend`] packages the whole ladder behind an object-safe
+//! [`backend::KernelBackend`] trait with a named registry.
 
+pub mod backend;
 pub mod reference;
 pub mod scalar_mu;
 pub mod scalar_phi;
@@ -69,6 +79,46 @@ pub enum MuPart {
     NeighborOnly,
 }
 
+/// ISA backend selector for the explicitly vectorized kernel variants.
+///
+/// Resolution happens at **runtime** (`is_x86_feature_detected!`), not at
+/// compile time, so a binary built without `-C target-cpu=native` still
+/// selects the AVX2+FMA instantiation on a capable host. The two
+/// instantiations are bit-identical (the `eutectica-simd` backends assert
+/// bit-exact semantics op-by-op), so the choice only affects speed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum SimdIsa {
+    /// Best ISA selectable at runtime: AVX2+FMA when detected, else the
+    /// portable backend.
+    #[default]
+    Auto,
+    /// Portable backend (scalar emulation of the 4-lane ops).
+    Portable,
+    /// AVX2+FMA backend. Falls back to the (bit-identical) portable
+    /// instantiation when the host lacks the features or `force-scalar` is
+    /// enabled; the [`backend`] registry reports a typed
+    /// [`backend::BackendError::Unavailable`] instead of falling back.
+    Avx2,
+}
+
+impl SimdIsa {
+    /// Whether this selection resolves to the AVX2+FMA instantiation on
+    /// this host (always `false` under the `force-scalar` feature).
+    #[inline]
+    pub fn use_avx2(self) -> bool {
+        self != SimdIsa::Portable && eutectica_simd::avx2_available()
+    }
+
+    /// The resolved backend name (`"avx2"` or `"portable"`).
+    pub fn resolved_name(self) -> &'static str {
+        if self.use_avx2() {
+            "avx2"
+        } else {
+            "portable"
+        }
+    }
+}
+
 /// Full kernel configuration.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct KernelConfig {
@@ -76,6 +126,9 @@ pub struct KernelConfig {
     pub phi: PhiVariant,
     /// µ-kernel implementation.
     pub mu: MuVariant,
+    /// ISA instantiation for the explicit-SIMD variants (ignored by the
+    /// reference and scalar variants).
+    pub isa: SimdIsa,
     /// Precompute temperature-dependent terms once per z-slice.
     pub tz_precompute: bool,
     /// Buffer staggered face values and reuse them (3 instead of 6 face
@@ -132,6 +185,7 @@ impl OptLevel {
             OptLevel::Reference => KernelConfig {
                 phi: PhiVariant::Reference,
                 mu: MuVariant::Reference,
+                isa: SimdIsa::Auto,
                 tz_precompute: false,
                 staggered_buffer: false,
                 shortcuts: false,
@@ -139,6 +193,7 @@ impl OptLevel {
             OptLevel::Basic => KernelConfig {
                 phi: PhiVariant::Scalar,
                 mu: MuVariant::Scalar,
+                isa: SimdIsa::Auto,
                 tz_precompute: false,
                 staggered_buffer: false,
                 shortcuts: false,
@@ -146,6 +201,7 @@ impl OptLevel {
             OptLevel::Simd => KernelConfig {
                 phi: PhiVariant::SimdCellwise,
                 mu: MuVariant::SimdFourCell,
+                isa: SimdIsa::Auto,
                 tz_precompute: false,
                 staggered_buffer: false,
                 shortcuts: false,
@@ -205,25 +261,64 @@ pub fn phi_sweep_range(
             z0,
             z1,
         ),
-        PhiVariant::SimdCellwise => simd_phi::phi_sweep_cellwise_range(
-            params,
-            state,
-            time,
-            cfg.tz_precompute,
-            cfg.staggered_buffer,
-            cfg.shortcuts,
-            z0,
-            z1,
-        ),
-        PhiVariant::SimdFourCell => simd_phi::phi_sweep_fourcell_range(
-            params,
-            state,
-            time,
-            cfg.tz_precompute,
-            cfg.shortcuts,
-            z0,
-            z1,
-        ),
+        PhiVariant::SimdCellwise => {
+            #[cfg(target_arch = "x86_64")]
+            if cfg.isa.use_avx2() {
+                // SAFETY: `use_avx2()` verified AVX2+FMA at runtime.
+                unsafe {
+                    avx2_entry::phi_cellwise(
+                        params,
+                        state,
+                        time,
+                        cfg.tz_precompute,
+                        cfg.staggered_buffer,
+                        cfg.shortcuts,
+                        z0,
+                        z1,
+                    );
+                }
+                return;
+            }
+            simd_phi::phi_sweep_cellwise_range_v::<Portable>(
+                params,
+                state,
+                time,
+                cfg.tz_precompute,
+                cfg.staggered_buffer,
+                cfg.shortcuts,
+                z0,
+                z1,
+            )
+        }
+        PhiVariant::SimdFourCell => {
+            #[cfg(target_arch = "x86_64")]
+            if cfg.isa.use_avx2() {
+                // SAFETY: `use_avx2()` verified AVX2+FMA at runtime.
+                unsafe {
+                    avx2_entry::phi_fourcell(
+                        params,
+                        state,
+                        time,
+                        cfg.tz_precompute,
+                        cfg.staggered_buffer,
+                        cfg.shortcuts,
+                        z0,
+                        z1,
+                    );
+                }
+                return;
+            }
+            simd_phi::phi_sweep_fourcell_range_v::<Portable>(
+                params,
+                state,
+                time,
+                cfg.tz_precompute,
+                cfg.staggered_buffer,
+                cfg.shortcuts,
+                z0,
+                z1,
+            )
+        }
     }
 }
 
@@ -267,17 +362,108 @@ pub fn mu_sweep_range(
             z0,
             z1,
         ),
-        MuVariant::SimdFourCell => simd_mu::mu_sweep_fourcell_range(
-            params,
-            state,
-            time,
-            part,
-            cfg.tz_precompute,
-            cfg.staggered_buffer,
-            cfg.shortcuts,
-            z0,
-            z1,
-        ),
+        MuVariant::SimdFourCell => {
+            #[cfg(target_arch = "x86_64")]
+            if cfg.isa.use_avx2() {
+                // SAFETY: `use_avx2()` verified AVX2+FMA at runtime.
+                unsafe {
+                    avx2_entry::mu_fourcell(
+                        params,
+                        state,
+                        time,
+                        part,
+                        cfg.tz_precompute,
+                        cfg.staggered_buffer,
+                        cfg.shortcuts,
+                        z0,
+                        z1,
+                    );
+                }
+                return;
+            }
+            simd_mu::mu_sweep_fourcell_range_v::<Portable>(
+                params,
+                state,
+                time,
+                part,
+                cfg.tz_precompute,
+                cfg.staggered_buffer,
+                cfg.shortcuts,
+                z0,
+                z1,
+            )
+        }
+    }
+}
+
+/// The portable ISA instantiation: the scalar backend's 4-lane type, whose
+/// semantics mirror the AVX2 backend bit-for-bit.
+type Portable = eutectica_simd::scalar::F64x4;
+
+/// Monomorphic AVX2+FMA instantiations of the vectorized kernels.
+///
+/// The `#[target_feature]` wrappers let the compiler generate real AVX2+FMA
+/// code for the inlined kernels even when the crate itself is built without
+/// those target features. This only works because the whole generic call
+/// chain (`*_range_v` → const-dispatched kernel → vector helpers) is
+/// `#[inline(always)]`: the feature attribute applies per LLVM function,
+/// so any kernel left out-of-line would compile featureless and every
+/// intrinsic inside it would degrade to an un-inlinable libcall (~20x
+/// slower, measured). Calling one without checking
+/// [`eutectica_simd::avx2_available`] first is undefined behavior, hence
+/// the `unsafe` at the call sites.
+#[cfg(target_arch = "x86_64")]
+mod avx2_entry {
+    use super::{simd_mu, simd_phi, ModelParams, MuPart};
+    use crate::state::BlockState;
+    use eutectica_simd::avx2::F64x4 as Avx2V;
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn phi_cellwise(
+        params: &ModelParams,
+        state: &mut BlockState,
+        time: f64,
+        tz: bool,
+        stag: bool,
+        sc: bool,
+        z0: usize,
+        z1: usize,
+    ) {
+        simd_phi::phi_sweep_cellwise_range_v::<Avx2V>(params, state, time, tz, stag, sc, z0, z1);
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn phi_fourcell(
+        params: &ModelParams,
+        state: &mut BlockState,
+        time: f64,
+        tz: bool,
+        stag: bool,
+        sc: bool,
+        z0: usize,
+        z1: usize,
+    ) {
+        simd_phi::phi_sweep_fourcell_range_v::<Avx2V>(params, state, time, tz, stag, sc, z0, z1);
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn mu_fourcell(
+        params: &ModelParams,
+        state: &mut BlockState,
+        time: f64,
+        part: MuPart,
+        tz: bool,
+        stag: bool,
+        sc: bool,
+        z0: usize,
+        z1: usize,
+    ) {
+        simd_mu::mu_sweep_fourcell_range_v::<Avx2V>(
+            params, state, time, part, tz, stag, sc, z0, z1,
+        );
     }
 }
 

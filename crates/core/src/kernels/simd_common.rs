@@ -1,21 +1,26 @@
 //! Shared helpers for the explicitly vectorized kernels.
+//!
+//! Everything here is generic over the ISA backend `V:`[`SimdF64x4`], so the
+//! vectorized kernels can be instantiated per ISA and dispatched at runtime
+//! (see [`super::backend`]). The crate-level `eutectica_simd::F64x4` alias
+//! remains the compile-time default instantiation.
 
 use crate::temperature::SliceCtx;
 use crate::{N_COMP, N_PHASES};
-use eutectica_simd::F64x4;
+use eutectica_simd::{SimdF64x4, SimdMask4};
 
 /// Gather the 4 phase values of one cell from the SoA planes into a vector
 /// (lane α = φ_α). This is the cost of running the cellwise φ-kernel on a
 /// SoA field; the paper measured it to be negligible thanks to the kernel's
 /// high arithmetic intensity (Sec. 5.1.1).
 #[inline(always)]
-pub fn gather_cell4(comps: &[&[f64]; N_PHASES], i: usize) -> F64x4 {
-    F64x4::from_array([comps[0][i], comps[1][i], comps[2][i], comps[3][i]])
+pub fn gather_cell4<V: SimdF64x4>(comps: &[&[f64]; N_PHASES], i: usize) -> V {
+    V::from_array([comps[0][i], comps[1][i], comps[2][i], comps[3][i]])
 }
 
 /// Scatter a phase vector back to the SoA planes.
 #[inline(always)]
-pub fn scatter_cell4(comps: &mut [&mut [f64]; N_PHASES], i: usize, v: F64x4) {
+pub fn scatter_cell4<V: SimdF64x4>(comps: &mut [&mut [f64]; N_PHASES], i: usize, v: V) {
     let a = v.to_array();
     comps[0][i] = a[0];
     comps[1][i] = a[1];
@@ -28,7 +33,7 @@ pub fn scatter_cell4(comps: &mut [&mut [f64]; N_PHASES], i: usize, v: F64x4) {
 /// (`vpermpd`) — the "various permute or rotate operations" the cellwise
 /// strategy pays for (Sec. 5.1.1).
 #[inline(always)]
-pub fn matvec(cols: &[F64x4; N_PHASES], v: F64x4) -> F64x4 {
+pub fn matvec<V: SimdF64x4>(cols: &[V; N_PHASES], v: V) -> V {
     let r = cols[0] * v.broadcast_lane::<0>();
     let r = cols[1].mul_add(v.broadcast_lane::<1>(), r);
     let r = cols[2].mul_add(v.broadcast_lane::<2>(), r);
@@ -36,40 +41,40 @@ pub fn matvec(cols: &[F64x4; N_PHASES], v: F64x4) -> F64x4 {
 }
 
 /// γ matrix as column vectors (symmetric, so columns = rows).
-#[inline]
-pub fn gamma_cols(gamma: &[[f64; N_PHASES]; N_PHASES]) -> [F64x4; N_PHASES] {
-    core::array::from_fn(|b| F64x4::from_array(core::array::from_fn(|a| gamma[a][b])))
+#[inline(always)]
+pub fn gamma_cols<V: SimdF64x4>(gamma: &[[f64; N_PHASES]; N_PHASES]) -> [V; N_PHASES] {
+    core::array::from_fn(|b| V::from_array(core::array::from_fn(|a| gamma[a][b])))
 }
 
 /// Per-slice thermodynamic constants in lane-per-phase layout for the
 /// cellwise φ-kernel.
 #[derive(Copy, Clone, Debug)]
-pub struct SliceCtxV {
+pub struct SliceCtxV<V: SimdF64x4> {
     /// c^eq_α per component, lane α = phase.
-    pub c_eq: [F64x4; N_COMP],
+    pub c_eq: [V; N_COMP],
     /// Grand-potential offsets X_α, lane α = phase.
-    pub offset: F64x4,
+    pub offset: V,
     /// 1/(4k_α,i(T)) per component, lane α = phase.
-    pub inv4k: [F64x4; N_COMP],
+    pub inv4k: [V; N_COMP],
     /// T·ε.
     pub pref_grad: f64,
     /// 16T/(π²ε).
     pub pref_obst: f64,
 }
 
-impl SliceCtxV {
+impl<V: SimdF64x4> SliceCtxV<V> {
     /// Convert a scalar slice context.
-    #[inline]
+    #[inline(always)]
     pub fn from_ctx(ctx: &SliceCtx) -> Self {
         Self {
             c_eq: [
-                F64x4::from_array(core::array::from_fn(|a| ctx.c_eq[a][0])),
-                F64x4::from_array(core::array::from_fn(|a| ctx.c_eq[a][1])),
+                V::from_array(core::array::from_fn(|a| ctx.c_eq[a][0])),
+                V::from_array(core::array::from_fn(|a| ctx.c_eq[a][1])),
             ],
-            offset: F64x4::from_array(ctx.offset),
+            offset: V::from_array(ctx.offset),
             inv4k: [
-                F64x4::from_array(core::array::from_fn(|a| ctx.inv4k[a][0])),
-                F64x4::from_array(core::array::from_fn(|a| ctx.inv4k[a][1])),
+                V::from_array(core::array::from_fn(|a| ctx.inv4k[a][0])),
+                V::from_array(core::array::from_fn(|a| ctx.inv4k[a][1])),
             ],
             pref_grad: ctx.pref_grad,
             pref_obst: ctx.pref_obst,
@@ -79,7 +84,7 @@ impl SliceCtxV {
 
 /// Lanewise equality mask via `ge ∧ le` (no dedicated eq in the API).
 #[inline(always)]
-pub fn eq_mask(a: F64x4, b: F64x4) -> eutectica_simd::Mask4 {
+pub fn eq_mask<V: SimdF64x4>(a: V, b: V) -> V::Mask {
     a.ge(b).and(a.le(b))
 }
 
@@ -88,10 +93,10 @@ pub fn eq_mask(a: F64x4, b: F64x4) -> eutectica_simd::Mask4 {
 /// [`crate::simplex::project_to_simplex`] with compare/select instead of
 /// branches.
 #[inline(always)]
-pub fn project_simplex_lanes(phi: [F64x4; N_PHASES]) -> [F64x4; N_PHASES] {
+pub fn project_simplex_lanes<V: SimdF64x4>(phi: [V; N_PHASES]) -> [V; N_PHASES] {
     // Sorting network (descending) across the four phase registers.
     #[inline(always)]
-    fn cswap(a: F64x4, b: F64x4) -> (F64x4, F64x4) {
+    fn cswap<V: SimdF64x4>(a: V, b: V) -> (V, V) {
         (a.max(b), a.min(b))
     }
     let [p0, p1, p2, p3] = phi;
@@ -102,13 +107,13 @@ pub fn project_simplex_lanes(phi: [F64x4; N_PHASES]) -> [F64x4; N_PHASES] {
     let (u1, u2) = cswap(u1, u2);
     let sorted = [u0, u1, u2, u3];
 
-    let one = F64x4::splat(1.0);
-    let zero = F64x4::zero();
+    let one = V::splat(1.0);
+    let zero = V::zero();
     let mut cumsum = zero;
     let mut lambda = zero;
     for (j, u) in sorted.iter().enumerate() {
         cumsum += *u;
-        let l = (one - cumsum) * F64x4::splat(1.0 / (j as f64 + 1.0));
+        let l = (one - cumsum) * V::splat(1.0 / (j as f64 + 1.0));
         let mask = (*u + l).gt(zero);
         lambda = mask.select(l, lambda);
     }
@@ -118,11 +123,12 @@ pub fn project_simplex_lanes(phi: [F64x4; N_PHASES]) -> [F64x4; N_PHASES] {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eutectica_simd::F64x4;
 
     #[test]
     fn matvec_matches_scalar() {
         let gamma = crate::params::ModelParams::ag_al_cu().gamma;
-        let cols = gamma_cols(&gamma);
+        let cols = gamma_cols::<F64x4>(&gamma);
         let v = F64x4::from_array([0.1, 0.2, 0.3, 0.4]);
         let got = matvec(&cols, v).to_array();
         for a in 0..4 {

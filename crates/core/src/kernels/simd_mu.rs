@@ -12,6 +12,9 @@
 //! Shortcuts can only trigger when the condition holds for **all four
 //! cells** of a group (the four-cell limitation the paper measures in
 //! Fig. 5's discussion).
+//!
+//! The kernel is generic over the ISA backend `V:`[`SimdF64x4`]; see
+//! [`super::simd_phi`] for the instantiation scheme.
 
 use crate::kernels::scalar_mu::SweepCtx;
 use crate::kernels::simd_common::eq_mask;
@@ -21,9 +24,9 @@ use crate::params::ModelParams;
 use crate::state::BlockState;
 use crate::temperature::{SliceCtx, SliceTable};
 use crate::{LIQ, N_COMP, N_PHASES};
-use eutectica_simd::F64x4;
+use eutectica_simd::{F64x4, SimdF64x4, SimdMask4};
 
-/// Entry point.
+/// Entry point (compile-time default backend).
 pub fn mu_sweep_fourcell(
     params: &ModelParams,
     state: &mut BlockState,
@@ -52,30 +55,48 @@ pub fn mu_sweep_fourcell_range(
     z0: usize,
     z1: usize,
 ) {
+    mu_sweep_fourcell_range_v::<F64x4>(params, state, time, part, tz, stag, shortcuts, z0, z1);
+}
+
+/// Backend-generic four-cell µ range sweep; instantiated per ISA by the
+/// runtime dispatcher in [`super`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub fn mu_sweep_fourcell_range_v<V: SimdF64x4>(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    part: MuPart,
+    tz: bool,
+    stag: bool,
+    shortcuts: bool,
+    z0: usize,
+    z1: usize,
+) {
     match (tz, stag, shortcuts) {
-        (false, false, false) => sweep::<false, false, false>(params, state, time, part, z0, z1),
-        (false, false, true) => sweep::<false, false, true>(params, state, time, part, z0, z1),
-        (false, true, false) => sweep::<false, true, false>(params, state, time, part, z0, z1),
-        (false, true, true) => sweep::<false, true, true>(params, state, time, part, z0, z1),
-        (true, false, false) => sweep::<true, false, false>(params, state, time, part, z0, z1),
-        (true, false, true) => sweep::<true, false, true>(params, state, time, part, z0, z1),
-        (true, true, false) => sweep::<true, true, false>(params, state, time, part, z0, z1),
-        (true, true, true) => sweep::<true, true, true>(params, state, time, part, z0, z1),
+        (false, false, false) => sweep::<V, false, false, false>(params, state, time, part, z0, z1),
+        (false, false, true) => sweep::<V, false, false, true>(params, state, time, part, z0, z1),
+        (false, true, false) => sweep::<V, false, true, false>(params, state, time, part, z0, z1),
+        (false, true, true) => sweep::<V, false, true, true>(params, state, time, part, z0, z1),
+        (true, false, false) => sweep::<V, true, false, false>(params, state, time, part, z0, z1),
+        (true, false, true) => sweep::<V, true, false, true>(params, state, time, part, z0, z1),
+        (true, true, false) => sweep::<V, true, true, false>(params, state, time, part, z0, z1),
+        (true, true, true) => sweep::<V, true, true, true>(params, state, time, part, z0, z1),
     }
 }
 
 /// `[carry, v0, v1, v2]` — slide a face-flux vector one lane to reuse the
 /// overlapping x-faces of the previous group.
 #[inline(always)]
-fn shift_in(carry: f64, v: F64x4) -> F64x4 {
+fn shift_in<V: SimdF64x4>(carry: f64, v: V) -> V {
     v.permute::<3, 0, 1, 2>().replace(0, carry)
 }
 
-struct VCtx<'a> {
+struct VCtx<'a, V: SimdF64x4> {
     #[allow(dead_code)]
     params: &'a ModelParams,
-    inv_dx: F64x4,
-    inv_dt: F64x4,
+    inv_dx: V,
+    inv_dt: V,
     dc_dt: [[f64; N_COMP]; N_PHASES],
     atc_pref: f64,
     sy: usize,
@@ -84,7 +105,7 @@ struct VCtx<'a> {
     with_jat: bool,
 }
 
-impl VCtx<'_> {
+impl<V: SimdF64x4> VCtx<'_, V> {
     #[inline(always)]
     fn trans(&self, axis: usize) -> (usize, usize) {
         match axis {
@@ -107,19 +128,19 @@ impl VCtx<'_> {
         il: usize,
         ir: usize,
         axis: usize,
-    ) -> [F64x4; N_COMP] {
-        let half = F64x4::splat(0.5);
-        let zero = F64x4::zero();
-        let phi_l: [F64x4; N_PHASES] = core::array::from_fn(|a| F64x4::load(ps[a], il));
-        let phi_r: [F64x4; N_PHASES] = core::array::from_fn(|a| F64x4::load(ps[a], ir));
-        let mu_l = [F64x4::load(ms[0], il), F64x4::load(ms[1], il)];
-        let mu_r = [F64x4::load(ms[0], ir), F64x4::load(ms[1], ir)];
+    ) -> [V; N_COMP] {
+        let half = V::splat(0.5);
+        let zero = V::zero();
+        let phi_l: [V; N_PHASES] = core::array::from_fn(|a| V::load(ps[a], il));
+        let phi_r: [V; N_PHASES] = core::array::from_fn(|a| V::load(ps[a], ir));
+        let mu_l = [V::load(ms[0], il), V::load(ms[1], il)];
+        let mu_r = [V::load(ms[0], ir), V::load(ms[1], ir)];
         let mut flux = [zero; N_COMP];
         if self.with_grad {
             for i in 0..N_COMP {
                 let mut m = zero;
                 for a in 0..N_PHASES {
-                    m += (phi_l[a] + phi_r[a]) * half * F64x4::splat(ctx_face.mob[a][i]);
+                    m += (phi_l[a] + phi_r[a]) * half * V::splat(ctx_face.mob[a][i]);
                 }
                 flux[i] = m * (mu_r[i] - mu_l[i]) * self.inv_dx;
             }
@@ -136,19 +157,19 @@ impl VCtx<'_> {
                 // Shortcut: bulk liquid at all four faces.
                 return flux;
             }
-            let minpos = F64x4::splat(f64::MIN_POSITIVE);
-            let one = F64x4::splat(1.0);
+            let minpos = V::splat(f64::MIN_POSITIVE);
+            let one = V::splat(1.0);
             let ind_l = pl.gt(zero).and(nl2.gt(zero));
             let inv_nl = one / nl2.max(minpos).sqrt();
             let inv_pl = one / pl.max(minpos);
-            let pf: [F64x4; N_PHASES] = core::array::from_fn(|a| (phi_l[a] + phi_r[a]) * half);
+            let pf: [V; N_PHASES] = core::array::from_fn(|a| (phi_l[a] + phi_r[a]) * half);
             let mut s_f = zero;
             for p in &pf {
                 s_f += *p * *p;
             }
             let h_l = pl * pl / s_f;
             let mu_f = [(mu_l[0] + mu_r[0]) * half, (mu_l[1] + mu_r[1]) * half];
-            let pref = F64x4::splat(self.atc_pref);
+            let pref = V::splat(self.atc_pref);
             for a in 0..LIQ {
                 let pa = pf[a];
                 let ga = self.face_gradient(ps, il, ir, axis, a);
@@ -156,16 +177,15 @@ impl VCtx<'_> {
                 let ind = ind_l.and(pa.gt(zero)).and(na2.gt(zero));
                 let inv_na = one / na2.max(minpos).sqrt();
                 let weight = h_l * (pa.max(zero) * inv_pl).sqrt();
-                let dphidt = ((F64x4::load(pd[a], il) - phi_l[a])
-                    + (F64x4::load(pd[a], ir) - phi_r[a]))
+                let dphidt = ((V::load(pd[a], il) - phi_l[a]) + (V::load(pd[a], ir) - phi_r[a]))
                     * half
                     * self.inv_dt;
                 let n_dot = (ga[0] * gl[0] + ga[1] * gl[1] + ga[2] * gl[2]) * inv_na * inv_nl;
                 let base = pref * weight * dphidt * n_dot * ga[axis] * inv_na;
                 let base = ind.select(base, zero);
                 for i in 0..N_COMP {
-                    let cdiff = F64x4::splat(ctx_face.c_eq[LIQ][i] - ctx_face.c_eq[a][i])
-                        + mu_f[i] * F64x4::splat(ctx_face.inv2k[LIQ][i] - ctx_face.inv2k[a][i]);
+                    let cdiff = V::splat(ctx_face.c_eq[LIQ][i] - ctx_face.c_eq[a][i])
+                        + mu_f[i] * V::splat(ctx_face.inv2k[LIQ][i] - ctx_face.inv2k[a][i]);
                     flux[i] -= base * cdiff;
                 }
             }
@@ -182,19 +202,19 @@ impl VCtx<'_> {
         ir: usize,
         axis: usize,
         a: usize,
-    ) -> [F64x4; 3] {
+    ) -> [V; 3] {
         let (se1, se2) = self.trans(axis);
         let p = ps[a];
-        let quarter = F64x4::splat(0.25);
-        let normal = (F64x4::load(p, ir) - F64x4::load(p, il)) * self.inv_dx;
+        let quarter = V::splat(0.25);
+        let normal = (V::load(p, ir) - V::load(p, il)) * self.inv_dx;
         let t1 = quarter
             * self.inv_dx
-            * ((F64x4::load(p, il + se1) - F64x4::load(p, il - se1))
-                + (F64x4::load(p, ir + se1) - F64x4::load(p, ir - se1)));
+            * ((V::load(p, il + se1) - V::load(p, il - se1))
+                + (V::load(p, ir + se1) - V::load(p, ir - se1)));
         let t2 = quarter
             * self.inv_dx
-            * ((F64x4::load(p, il + se2) - F64x4::load(p, il - se2))
-                + (F64x4::load(p, ir + se2) - F64x4::load(p, ir - se2)));
+            * ((V::load(p, il + se2) - V::load(p, il - se2))
+                + (V::load(p, ir + se2) - V::load(p, ir - se2)));
         match axis {
             0 => [normal, t1, t2],
             1 => [t1, normal, t2],
@@ -204,7 +224,8 @@ impl VCtx<'_> {
 }
 
 #[allow(clippy::too_many_lines)]
-fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
+#[inline(always)]
+fn sweep<V: SimdF64x4, const TZ: bool, const STAG: bool, const SC: bool>(
     params: &ModelParams,
     state: &mut BlockState,
     time: f64,
@@ -219,12 +240,12 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
     let (sy, sz) = (dims.sy(), dims.sz());
     let origin_z = state.origin[2] as isize;
     let dt = params.dt;
-    let dtv = F64x4::splat(dt);
+    let dtv = V::splat(dt);
 
-    let cx = VCtx {
+    let cx = VCtx::<V> {
         params,
-        inv_dx: F64x4::splat(1.0 / params.dx),
-        inv_dt: F64x4::splat(1.0 / params.dt),
+        inv_dx: V::splat(1.0 / params.dx),
+        inv_dt: V::splat(1.0 / params.dt),
         dc_dt: params.dc_dt_coeffs(),
         atc_pref: params.atc_prefactor(),
         sy,
@@ -266,8 +287,8 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
     let md = mu_dst.comps_mut();
 
     let ngx = nx / 4; // vector groups per row
-    let mut zbuf = vec![[F64x4::zero(); N_COMP]; if STAG { ngx * ny } else { 0 }];
-    let mut ybuf = vec![[F64x4::zero(); N_COMP]; if STAG { ngx } else { 0 }];
+    let mut zbuf = vec![[V::zero(); N_COMP]; if STAG { ngx * ny } else { 0 }];
+    let mut ybuf = vec![[V::zero(); N_COMP]; if STAG { ngx } else { 0 }];
 
     if STAG && z0 < z1 {
         let ctx_zlow = if TZ {
@@ -284,9 +305,9 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
     }
 
     // Per-phase constant splats for the temperature-independent slopes.
-    let dcdt_v: [[F64x4; N_COMP]; N_PHASES] =
-        core::array::from_fn(|a| core::array::from_fn(|i| F64x4::splat(cx.dc_dt[a][i])));
-    let dtdt = F64x4::splat(params.dtemp_dt());
+    let dcdt_v: [[V; N_COMP]; N_PHASES] =
+        core::array::from_fn(|a| core::array::from_fn(|i| V::splat(cx.dc_dt[a][i])));
+    let dtdt = V::splat(params.dtemp_dt());
 
     for z in z0..z1 {
         let (ctx_z, ctx_zf_low, ctx_zf_high) = if TZ {
@@ -360,34 +381,34 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
                 ];
 
                 // Local terms, lanes = cells.
-                let pc: [F64x4; N_PHASES] = core::array::from_fn(|a| F64x4::load(ps[a], i));
-                let mut s_old = F64x4::zero();
+                let pc: [V; N_PHASES] = core::array::from_fn(|a| V::load(ps[a], i));
+                let mut s_old = V::zero();
                 for p in &pc {
                     s_old = p.mul_add(*p, s_old);
                 }
-                let inv_s_old = F64x4::splat(1.0) / s_old;
-                let h_old: [F64x4; N_PHASES] = core::array::from_fn(|a| pc[a] * pc[a] * inv_s_old);
-                let chi: [F64x4; N_COMP] = core::array::from_fn(|i| {
-                    let mut c = F64x4::zero();
+                let inv_s_old = V::splat(1.0) / s_old;
+                let h_old: [V; N_PHASES] = core::array::from_fn(|a| pc[a] * pc[a] * inv_s_old);
+                let chi: [V; N_COMP] = core::array::from_fn(|i| {
+                    let mut c = V::zero();
                     for a in 0..N_PHASES {
-                        c = h_old[a].mul_add(F64x4::splat(ctx.inv2k[a][i]), c);
+                        c = h_old[a].mul_add(V::splat(ctx.inv2k[a][i]), c);
                     }
                     c
                 });
 
                 if accumulate {
                     for i_c in 0..N_COMP {
-                        let cur = F64x4::load(md[i_c], i);
+                        let cur = V::load(md[i_c], i);
                         (cur + dtv * div[i_c] / chi[i_c]).store(md[i_c], i);
                     }
                     continue;
                 }
 
-                let mu = [F64x4::load(ms[0], i), F64x4::load(ms[1], i)];
-                let mut source = [F64x4::zero(); N_COMP];
-                let mut drift = [F64x4::zero(); N_COMP];
+                let mu = [V::load(ms[0], i), V::load(ms[1], i)];
+                let mut source = [V::zero(); N_COMP];
+                let mut drift = [V::zero(); N_COMP];
                 if with_local_terms {
-                    let pn: [F64x4; N_PHASES] = core::array::from_fn(|a| F64x4::load(pd[a], i));
+                    let pn: [V; N_PHASES] = core::array::from_fn(|a| V::load(pd[a], i));
                     let unchanged = SC
                         && eq_mask(pn[0], pc[0])
                             .and(eq_mask(pn[1], pc[1]))
@@ -395,23 +416,23 @@ fn sweep<const TZ: bool, const STAG: bool, const SC: bool>(
                             .and(eq_mask(pn[3], pc[3]))
                             .all();
                     if !unchanged {
-                        let mut s_new = F64x4::zero();
+                        let mut s_new = V::zero();
                         for p in &pn {
                             s_new = p.mul_add(*p, s_new);
                         }
-                        let inv_s_new = F64x4::splat(1.0) / s_new;
+                        let inv_s_new = V::splat(1.0) / s_new;
                         for a in 0..N_PHASES {
                             let h_new = pn[a] * pn[a] * inv_s_new;
                             let dh = (h_new - h_old[a]) * cx.inv_dt;
                             for i_c in 0..N_COMP {
-                                let c_a = F64x4::splat(ctx.c_eq[a][i_c])
-                                    + mu[i_c] * F64x4::splat(ctx.inv2k[a][i_c]);
+                                let c_a = V::splat(ctx.c_eq[a][i_c])
+                                    + mu[i_c] * V::splat(ctx.inv2k[a][i_c]);
                                 source[i_c] -= c_a * dh;
                             }
                         }
                     }
                     for i_c in 0..N_COMP {
-                        let mut dcdt = F64x4::zero();
+                        let mut dcdt = V::zero();
                         for a in 0..N_PHASES {
                             dcdt = h_old[a].mul_add(dcdt_v[a][i_c], dcdt);
                         }

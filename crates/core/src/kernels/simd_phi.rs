@@ -12,6 +12,12 @@
 //!   updating four cells in one iteration" — contiguous SoA loads, no
 //!   permutes, but "can only take these shortcuts if the condition is true
 //!   for all four cells".
+//!
+//! Every kernel is generic over the ISA backend `V:`[`SimdF64x4`]; the
+//! `_v`-suffixed entry points take the backend as a type parameter and are
+//! instantiated per ISA by the runtime dispatch layer in [`super`]. The
+//! unsuffixed entry points keep the original signatures and instantiate the
+//! compile-time default `eutectica_simd::F64x4`.
 
 use crate::kernels::simd_common::{
     eq_mask, gamma_cols, gather_cell4, matvec, project_simplex_lanes, scatter_cell4, SliceCtxV,
@@ -20,9 +26,9 @@ use crate::params::ModelParams;
 use crate::state::BlockState;
 use crate::temperature::{SliceCtx, SliceTable};
 use crate::N_PHASES;
-use eutectica_simd::F64x4;
+use eutectica_simd::{F64x4, SimdF64x4, SimdMask4};
 
-/// Cellwise sweep entry point.
+/// Cellwise sweep entry point (compile-time default backend).
 pub fn phi_sweep_cellwise(
     params: &ModelParams,
     state: &mut BlockState,
@@ -49,6 +55,23 @@ pub fn phi_sweep_cellwise_range(
     z0: usize,
     z1: usize,
 ) {
+    phi_sweep_cellwise_range_v::<F64x4>(params, state, time, tz, stag, shortcuts, z0, z1);
+}
+
+/// Backend-generic cellwise range sweep; instantiated per ISA by the runtime
+/// dispatcher in [`super`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub fn phi_sweep_cellwise_range_v<V: SimdF64x4>(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    tz: bool,
+    stag: bool,
+    shortcuts: bool,
+    z0: usize,
+    z1: usize,
+) {
     // With a uniform surface-energy matrix (γ_αβ = γ for α ≠ β, the standard
     // setup here and in the paper), Γ·v = γ(Σv − v): the matrix–vector
     // product collapses to one horizontal sum — the "φ_α Σ φ_β"-style
@@ -62,29 +85,29 @@ pub fn phi_sweep_cellwise_range(
     });
     let (p, s, t) = (params, state, time);
     match (uniform, tz, stag, shortcuts) {
-        (false, false, false, false) => cellwise::<false, false, false, false>(p, s, t, z0, z1),
-        (false, false, false, true) => cellwise::<false, false, true, false>(p, s, t, z0, z1),
-        (false, false, true, false) => cellwise::<false, true, false, false>(p, s, t, z0, z1),
-        (false, false, true, true) => cellwise::<false, true, true, false>(p, s, t, z0, z1),
-        (false, true, false, false) => cellwise::<true, false, false, false>(p, s, t, z0, z1),
-        (false, true, false, true) => cellwise::<true, false, true, false>(p, s, t, z0, z1),
-        (false, true, true, false) => cellwise::<true, true, false, false>(p, s, t, z0, z1),
-        (false, true, true, true) => cellwise::<true, true, true, false>(p, s, t, z0, z1),
-        (true, false, false, false) => cellwise::<false, false, false, true>(p, s, t, z0, z1),
-        (true, false, false, true) => cellwise::<false, false, true, true>(p, s, t, z0, z1),
-        (true, false, true, false) => cellwise::<false, true, false, true>(p, s, t, z0, z1),
-        (true, false, true, true) => cellwise::<false, true, true, true>(p, s, t, z0, z1),
-        (true, true, false, false) => cellwise::<true, false, false, true>(p, s, t, z0, z1),
-        (true, true, false, true) => cellwise::<true, false, true, true>(p, s, t, z0, z1),
-        (true, true, true, false) => cellwise::<true, true, false, true>(p, s, t, z0, z1),
-        (true, true, true, true) => cellwise::<true, true, true, true>(p, s, t, z0, z1),
+        (false, false, false, false) => cellwise::<V, false, false, false, false>(p, s, t, z0, z1),
+        (false, false, false, true) => cellwise::<V, false, false, true, false>(p, s, t, z0, z1),
+        (false, false, true, false) => cellwise::<V, false, true, false, false>(p, s, t, z0, z1),
+        (false, false, true, true) => cellwise::<V, false, true, true, false>(p, s, t, z0, z1),
+        (false, true, false, false) => cellwise::<V, true, false, false, false>(p, s, t, z0, z1),
+        (false, true, false, true) => cellwise::<V, true, false, true, false>(p, s, t, z0, z1),
+        (false, true, true, false) => cellwise::<V, true, true, false, false>(p, s, t, z0, z1),
+        (false, true, true, true) => cellwise::<V, true, true, true, false>(p, s, t, z0, z1),
+        (true, false, false, false) => cellwise::<V, false, false, false, true>(p, s, t, z0, z1),
+        (true, false, false, true) => cellwise::<V, false, false, true, true>(p, s, t, z0, z1),
+        (true, false, true, false) => cellwise::<V, false, true, false, true>(p, s, t, z0, z1),
+        (true, false, true, true) => cellwise::<V, false, true, true, true>(p, s, t, z0, z1),
+        (true, true, false, false) => cellwise::<V, true, false, false, true>(p, s, t, z0, z1),
+        (true, true, false, true) => cellwise::<V, true, false, true, true>(p, s, t, z0, z1),
+        (true, true, true, false) => cellwise::<V, true, true, false, true>(p, s, t, z0, z1),
+        (true, true, true, true) => cellwise::<V, true, true, true, true>(p, s, t, z0, z1),
     }
 }
 
 /// Γ·v for the cellwise kernel: uniform-γ fast path (one horizontal sum)
 /// or the general 4×4 matrix–vector product.
 #[inline(always)]
-fn gamma_apply<const UG: bool>(gcols: &[F64x4; N_PHASES], gu: F64x4, v: F64x4) -> F64x4 {
+fn gamma_apply<V: SimdF64x4, const UG: bool>(gcols: &[V; N_PHASES], gu: V, v: V) -> V {
     if UG {
         gu * (v.hsum_splat() - v)
     } else {
@@ -94,21 +117,22 @@ fn gamma_apply<const UG: bool>(gcols: &[F64x4; N_PHASES], gu: F64x4, v: F64x4) -
 
 /// Staggered gradient-energy face flux, lanes = phases.
 #[inline(always)]
-fn face_flux_v<const UG: bool>(
-    gcols: &[F64x4; N_PHASES],
-    gu: F64x4,
-    l: F64x4,
-    r: F64x4,
-    inv_dx: F64x4,
-) -> F64x4 {
-    let pf = (l + r) * F64x4::splat(0.5);
+fn face_flux_v<V: SimdF64x4, const UG: bool>(
+    gcols: &[V; N_PHASES],
+    gu: V,
+    l: V,
+    r: V,
+    inv_dx: V,
+) -> V {
+    let pf = (l + r) * V::splat(0.5);
     let g = (r - l) * inv_dx;
-    let s1 = gamma_apply::<UG>(gcols, gu, pf * g);
-    let s2 = gamma_apply::<UG>(gcols, gu, pf * pf);
-    (pf * s1 - g * s2) * F64x4::splat(-2.0)
+    let s1 = gamma_apply::<V, UG>(gcols, gu, pf * g);
+    let s2 = gamma_apply::<V, UG>(gcols, gu, pf * pf);
+    (pf * s1 - g * s2) * V::splat(-2.0)
 }
 
-fn cellwise<const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
+#[inline(always)]
+fn cellwise<V: SimdF64x4, const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
     params: &ModelParams,
     state: &mut BlockState,
     time: f64,
@@ -121,14 +145,14 @@ fn cellwise<const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
     debug_assert!(g <= z0 && z0 <= z1 && z1 <= g + nz);
     let (sy, sz) = (dims.sy(), dims.sz());
     let inv_dx_s = 1.0 / params.dx;
-    let inv_dx = F64x4::splat(inv_dx_s);
-    let inv_2dx = F64x4::splat(0.5 * inv_dx_s);
-    let gcols = gamma_cols(&params.gamma);
-    let gu = F64x4::splat(params.gamma[0][1]);
-    let rate = F64x4::splat(params.dt / (params.tau * params.eps));
-    let quarter = F64x4::splat(0.25);
-    let two = F64x4::splat(2.0);
-    let one = F64x4::splat(1.0);
+    let inv_dx = V::splat(inv_dx_s);
+    let inv_2dx = V::splat(0.5 * inv_dx_s);
+    let gcols = gamma_cols::<V>(&params.gamma);
+    let gu = V::splat(params.gamma[0][1]);
+    let rate = V::splat(params.dt / (params.tau * params.eps));
+    let quarter = V::splat(0.25);
+    let two = V::splat(2.0);
+    let one = V::splat(1.0);
     let origin_z = state.origin[2] as isize;
 
     let table = if TZ {
@@ -138,7 +162,7 @@ fn cellwise<const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
     };
     // black_box: keep the per-cell recomputation from being hoisted (see
     // scalar_phi.rs).
-    let cell_ctx = |z: usize| -> SliceCtxV {
+    let cell_ctx = |z: usize| -> SliceCtxV<V> {
         let gz = origin_z as f64 + z as f64 - g as f64;
         SliceCtxV::from_ctx(&SliceCtx::at(
             params,
@@ -156,8 +180,8 @@ fn cellwise<const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
     let ms = mu_src.comps();
     let mut pd = phi_dst.comps_mut();
 
-    let face = |il: usize, ir: usize| -> F64x4 {
-        face_flux_v::<UG>(
+    let face = |il: usize, ir: usize| -> V {
+        face_flux_v::<V, UG>(
             &gcols,
             gu,
             gather_cell4(&ps, il),
@@ -166,8 +190,8 @@ fn cellwise<const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
         )
     };
 
-    let mut zbuf = vec![F64x4::zero(); if STAG { nx * ny } else { 0 }];
-    let mut ybuf = vec![F64x4::zero(); if STAG { nx } else { 0 }];
+    let mut zbuf = vec![V::zero(); if STAG { nx * ny } else { 0 }];
+    let mut ybuf = vec![V::zero(); if STAG { nx } else { 0 }];
 
     if STAG && z0 < z1 {
         for y in 0..ny {
@@ -195,17 +219,17 @@ fn cellwise<const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
                 let i = dims.idx(g, y, z);
                 face(i - 1, i)
             } else {
-                F64x4::zero()
+                V::zero()
             };
             for x in g..g + nx {
                 let i = dims.idx(x, y, z);
-                let pc = gather_cell4(&ps, i);
-                let xm = gather_cell4(&ps, i - 1);
-                let xp = gather_cell4(&ps, i + 1);
-                let ym = gather_cell4(&ps, i - sy);
-                let yp = gather_cell4(&ps, i + sy);
-                let zm = gather_cell4(&ps, i - sz);
-                let zp = gather_cell4(&ps, i + sz);
+                let pc = gather_cell4::<V>(&ps, i);
+                let xm = gather_cell4::<V>(&ps, i - 1);
+                let xp = gather_cell4::<V>(&ps, i + 1);
+                let ym = gather_cell4::<V>(&ps, i - sy);
+                let yp = gather_cell4::<V>(&ps, i + sy);
+                let zm = gather_cell4::<V>(&ps, i - sz);
+                let zp = gather_cell4::<V>(&ps, i + sz);
 
                 let pure_mask = pc.ge(one);
                 if SC && pure_mask.any() {
@@ -220,9 +244,9 @@ fn cellwise<const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
                     if same.all() {
                         scatter_cell4(&mut pd, i, pc);
                         if STAG {
-                            xprev = F64x4::zero();
-                            ybuf[x - g] = F64x4::zero();
-                            zbuf[(y - g) * nx + (x - g)] = F64x4::zero();
+                            xprev = V::zero();
+                            ybuf[x - g] = V::zero();
+                            zbuf[(y - g) * nx + (x - g)] = V::zero();
                         }
                         continue;
                     }
@@ -235,14 +259,14 @@ fn cellwise<const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
                     (xprev, ybuf[x - g], zbuf[(y - g) * nx + (x - g)])
                 } else {
                     (
-                        face_flux_v::<UG>(&gcols, gu, xm, pc, inv_dx),
-                        face_flux_v::<UG>(&gcols, gu, ym, pc, inv_dx),
-                        face_flux_v::<UG>(&gcols, gu, zm, pc, inv_dx),
+                        face_flux_v::<V, UG>(&gcols, gu, xm, pc, inv_dx),
+                        face_flux_v::<V, UG>(&gcols, gu, ym, pc, inv_dx),
+                        face_flux_v::<V, UG>(&gcols, gu, zm, pc, inv_dx),
                     )
                 };
-                let f_xh = face_flux_v::<UG>(&gcols, gu, pc, xp, inv_dx);
-                let f_yh = face_flux_v::<UG>(&gcols, gu, pc, yp, inv_dx);
-                let f_zh = face_flux_v::<UG>(&gcols, gu, pc, zp, inv_dx);
+                let f_xh = face_flux_v::<V, UG>(&gcols, gu, pc, xp, inv_dx);
+                let f_yh = face_flux_v::<V, UG>(&gcols, gu, pc, yp, inv_dx);
+                let f_zh = face_flux_v::<V, UG>(&gcols, gu, pc, zp, inv_dx);
                 if STAG {
                     xprev = f_xh;
                     ybuf[x - g] = f_yh;
@@ -256,22 +280,22 @@ fn cellwise<const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
 
                 // ∂a/∂φ = 2[φ (Γ m) − Σ_axis g_axis (Γ (φ g_axis))].
                 let m = gx.mul_add(gx, gy.mul_add(gy, gz * gz));
-                let t2 = gx * gamma_apply::<UG>(&gcols, gu, pc * gx)
-                    + gy * gamma_apply::<UG>(&gcols, gu, pc * gy)
-                    + gz * gamma_apply::<UG>(&gcols, gu, pc * gz);
-                let da = (pc * gamma_apply::<UG>(&gcols, gu, m) - t2) * two;
+                let t2 = gx * gamma_apply::<V, UG>(&gcols, gu, pc * gx)
+                    + gy * gamma_apply::<V, UG>(&gcols, gu, pc * gy)
+                    + gz * gamma_apply::<V, UG>(&gcols, gu, pc * gz);
+                let da = (pc * gamma_apply::<V, UG>(&gcols, gu, m) - t2) * two;
 
                 let div = (f_xh - f_xl + f_yh - f_yl + f_zh - f_zl) * inv_dx;
-                let obst = gamma_apply::<UG>(&gcols, gu, pc);
+                let obst = gamma_apply::<V, UG>(&gcols, gu, pc);
 
                 // Driving force, skipped for pure cells with shortcuts.
                 let drive = if SC && pure_mask.any() {
-                    F64x4::zero()
+                    V::zero()
                 } else {
                     let phi2 = pc * pc;
                     let inv_s = one / phi2.hsum_splat();
-                    let mu0 = F64x4::splat(ms[0][i]);
-                    let mu1 = F64x4::splat(ms[1][i]);
+                    let mu0 = V::splat(ms[0][i]);
+                    let mu1 = V::splat(ms[1][i]);
                     let psi = -(mu0 * mu0 * ctx.inv4k[0] + mu1 * mu1 * ctx.inv4k[1])
                         - (mu0 * ctx.c_eq[0] + mu1 * ctx.c_eq[1])
                         + ctx.offset;
@@ -279,77 +303,115 @@ fn cellwise<const TZ: bool, const STAG: bool, const SC: bool, const UG: bool>(
                     two * pc * inv_s * (psi - psi_bar)
                 };
 
-                let vdf = F64x4::splat(ctx.pref_grad) * (da - div)
-                    + F64x4::splat(ctx.pref_obst) * obst
-                    + drive;
+                let vdf =
+                    V::splat(ctx.pref_grad) * (da - div) + V::splat(ctx.pref_obst) * obst + drive;
                 let mean = vdf.hsum_splat() * quarter;
                 let raw = pc - rate * (vdf - mean);
                 let out = crate::simplex::project_to_simplex(raw.to_array());
-                scatter_cell4(&mut pd, i, F64x4::from_array(out));
+                scatter_cell4(&mut pd, i, V::from_array(out));
             }
         }
     }
 }
 
-/// Four-cell sweep entry point (no staggered-buffer variant: face values of
-/// a four-cell group overlap lanes, so the buffer would need lane-carry
-/// plumbing that the paper's measurements show is not worth it for this
-/// already-slower strategy).
+/// Four-cell sweep entry point (compile-time default backend). The
+/// staggered-buffer variant carries face fluxes across the four-cell groups
+/// with lane shifts (`shift_in`), exactly like the µ-kernel's buffered
+/// sweep, and is bit-exact against the unbuffered variant because
+/// [`face_flux_cells`] is purely lanewise.
 pub fn phi_sweep_fourcell(
     params: &ModelParams,
     state: &mut BlockState,
     time: f64,
     tz: bool,
+    stag: bool,
     shortcuts: bool,
 ) {
     let (z0, z1) = state.dims.interior_z_range();
-    phi_sweep_fourcell_range(params, state, time, tz, shortcuts, z0, z1);
+    phi_sweep_fourcell_range(params, state, time, tz, stag, shortcuts, z0, z1);
 }
 
-/// Range-restricted entry point for z-slab work-sharing (no staggered
-/// buffer here, so restarting at any `z0` is trivially the same code path
-/// as the full sweep).
+/// Range-restricted entry point for z-slab work-sharing. With the staggered
+/// buffer the z-face plane is pre-filled at `z0`, so restarting at any slab
+/// boundary reproduces the full sweep bit-for-bit (same argument as the
+/// µ-kernel).
+#[allow(clippy::too_many_arguments)]
 pub fn phi_sweep_fourcell_range(
     params: &ModelParams,
     state: &mut BlockState,
     time: f64,
     tz: bool,
+    stag: bool,
     shortcuts: bool,
     z0: usize,
     z1: usize,
 ) {
-    match (tz, shortcuts) {
-        (false, false) => fourcell::<false, false>(params, state, time, z0, z1),
-        (false, true) => fourcell::<false, true>(params, state, time, z0, z1),
-        (true, false) => fourcell::<true, false>(params, state, time, z0, z1),
-        (true, true) => fourcell::<true, true>(params, state, time, z0, z1),
+    phi_sweep_fourcell_range_v::<F64x4>(params, state, time, tz, stag, shortcuts, z0, z1);
+}
+
+/// Backend-generic four-cell range sweep; instantiated per ISA by the
+/// runtime dispatcher in [`super`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub fn phi_sweep_fourcell_range_v<V: SimdF64x4>(
+    params: &ModelParams,
+    state: &mut BlockState,
+    time: f64,
+    tz: bool,
+    stag: bool,
+    shortcuts: bool,
+    z0: usize,
+    z1: usize,
+) {
+    let (p, s, t) = (params, state, time);
+    match (tz, stag, shortcuts) {
+        (false, false, false) => fourcell::<V, false, false, false>(p, s, t, z0, z1),
+        (false, false, true) => fourcell::<V, false, false, true>(p, s, t, z0, z1),
+        (false, true, false) => fourcell::<V, false, true, false>(p, s, t, z0, z1),
+        (false, true, true) => fourcell::<V, false, true, true>(p, s, t, z0, z1),
+        (true, false, false) => fourcell::<V, true, false, false>(p, s, t, z0, z1),
+        (true, false, true) => fourcell::<V, true, false, true>(p, s, t, z0, z1),
+        (true, true, false) => fourcell::<V, true, true, false>(p, s, t, z0, z1),
+        (true, true, true) => fourcell::<V, true, true, true>(p, s, t, z0, z1),
     }
 }
 
 /// Face flux for four consecutive cells: lanes = cells, one output per phase.
+/// Purely lanewise (splat constants only), so a face value is bit-identical
+/// regardless of which lane position it is computed in — the property the
+/// staggered carry relies on.
 #[inline(always)]
-fn face_flux_cells(
+fn face_flux_cells<V: SimdF64x4>(
     gamma: &[[f64; N_PHASES]; N_PHASES],
-    l: &[F64x4; N_PHASES],
-    r: &[F64x4; N_PHASES],
-    inv_dx: F64x4,
-) -> [F64x4; N_PHASES] {
-    let half = F64x4::splat(0.5);
-    let pf: [F64x4; N_PHASES] = core::array::from_fn(|a| (l[a] + r[a]) * half);
-    let gd: [F64x4; N_PHASES] = core::array::from_fn(|a| (r[a] - l[a]) * inv_dx);
+    l: &[V; N_PHASES],
+    r: &[V; N_PHASES],
+    inv_dx: V,
+) -> [V; N_PHASES] {
+    let half = V::splat(0.5);
+    let pf: [V; N_PHASES] = core::array::from_fn(|a| (l[a] + r[a]) * half);
+    let gd: [V; N_PHASES] = core::array::from_fn(|a| (r[a] - l[a]) * inv_dx);
     core::array::from_fn(|a| {
-        let mut s1 = F64x4::zero();
-        let mut s2 = F64x4::zero();
+        let mut s1 = V::zero();
+        let mut s2 = V::zero();
         for b in 0..N_PHASES {
-            let gm = F64x4::splat(gamma[a][b]);
+            let gm = V::splat(gamma[a][b]);
             s1 = (gm * pf[b]).mul_add(gd[b], s1);
             s2 = (gm * pf[b]).mul_add(pf[b], s2);
         }
-        (pf[a] * s1 - gd[a] * s2) * F64x4::splat(-2.0)
+        (pf[a] * s1 - gd[a] * s2) * V::splat(-2.0)
     })
 }
 
-fn fourcell<const TZ: bool, const SC: bool>(
+/// Shift a face-flux vector one lane right, inserting `carry` in lane 0:
+/// the x-low faces of a four-cell group are the x-high faces of the same
+/// group shifted by one cell, with the carry coming from the previous group.
+#[inline(always)]
+fn shift_in<V: SimdF64x4>(carry: f64, v: V) -> V {
+    v.permute::<3, 0, 1, 2>().replace(0, carry)
+}
+
+#[inline(always)]
+fn fourcell<V: SimdF64x4, const TZ: bool, const STAG: bool, const SC: bool>(
     params: &ModelParams,
     state: &mut BlockState,
     time: f64,
@@ -362,11 +424,11 @@ fn fourcell<const TZ: bool, const SC: bool>(
     debug_assert!(g <= z0 && z0 <= z1 && z1 <= g + nz);
     let (sy, sz) = (dims.sy(), dims.sz());
     let inv_dx_s = 1.0 / params.dx;
-    let inv_dx = F64x4::splat(inv_dx_s);
-    let inv_2dx = F64x4::splat(0.5 * inv_dx_s);
-    let rate = F64x4::splat(params.dt / (params.tau * params.eps));
-    let two = F64x4::splat(2.0);
-    let one = F64x4::splat(1.0);
+    let inv_dx = V::splat(inv_dx_s);
+    let inv_2dx = V::splat(0.5 * inv_dx_s);
+    let rate = V::splat(params.dt / (params.tau * params.eps));
+    let two = V::splat(2.0);
+    let one = V::splat(1.0);
     let origin_z = state.origin[2] as isize;
 
     let table = if TZ {
@@ -390,9 +452,25 @@ fn fourcell<const TZ: bool, const SC: bool>(
     let ms = mu_src.comps();
     let pd = phi_dst.comps_mut();
 
-    let load4 = |off: isize, i: usize| -> [F64x4; N_PHASES] {
-        core::array::from_fn(|a| F64x4::load(ps[a], (i as isize + off) as usize))
+    let load4 = |off: isize, i: usize| -> [V; N_PHASES] {
+        core::array::from_fn(|a| V::load(ps[a], (i as isize + off) as usize))
     };
+
+    // Staggered face buffers, one entry per four-cell group (lanes = cells).
+    let ngx = nx / 4;
+    let mut zbuf = vec![[V::zero(); N_PHASES]; if STAG { ngx * ny } else { 0 }];
+    let mut ybuf = vec![[V::zero(); N_PHASES]; if STAG { ngx } else { 0 }];
+
+    if STAG && z0 < z1 {
+        for y in 0..ny {
+            for gx in 0..ngx {
+                let i = dims.idx(g + gx * 4, y + g, z0);
+                let pc = load4(0, i);
+                let zm = load4(-(sz as isize), i);
+                zbuf[y * ngx + gx] = face_flux_cells(&params.gamma, &zm, &pc, inv_dx);
+            }
+        }
+    }
 
     for z in z0..z1 {
         let ctx = if TZ {
@@ -400,9 +478,29 @@ fn fourcell<const TZ: bool, const SC: bool>(
         } else {
             scalar_ctx(z) // placeholder; recomputed per group below
         };
+        if STAG {
+            for gx in 0..ngx {
+                let i = dims.idx(g + gx * 4, g, z);
+                let pc = load4(0, i);
+                let ym = load4(-(sy as isize), i);
+                ybuf[gx] = face_flux_cells(&params.gamma, &ym, &pc, inv_dx);
+            }
+        }
         for y in g..g + ny {
             let row = dims.idx(g, y, z);
+            // Row-start x-carry: the face between the ghost cell and the
+            // first interior cell, read out of lane 0 of a lanewise flux.
+            let mut carry = [0.0f64; N_PHASES];
+            if STAG && ngx > 0 {
+                let pc = load4(0, row);
+                let xm = load4(-1, row);
+                let f = face_flux_cells(&params.gamma, &xm, &pc, inv_dx);
+                for a in 0..N_PHASES {
+                    carry[a] = f[a].extract(0);
+                }
+            }
             let mut x = 0usize;
+            let mut gx_i = 0usize;
             // Vectorized groups of four cells.
             while x + 4 <= nx {
                 let i = row + x;
@@ -437,34 +535,60 @@ fn fourcell<const TZ: bool, const SC: bool>(
                         }
                     }
                     if skipped {
+                        // A pure group with pure equal neighbors has exactly
+                        // zero flux on every face (l == r ⇒ zero gradient and
+                        // Γ(pf·g) = 0), so zeroing the carried faces is
+                        // bit-exact against recomputing them.
+                        if STAG {
+                            carry = [0.0; N_PHASES];
+                            ybuf[gx_i] = [V::zero(); N_PHASES];
+                            zbuf[(y - g) * ngx + gx_i] = [V::zero(); N_PHASES];
+                        }
                         x += 4;
+                        gx_i += 1;
                         continue;
                     }
                 }
 
-                // Face fluxes (lanes = cells): all six faces per group.
-                let f_xl = face_flux_cells(&params.gamma, &xm, &pc, inv_dx);
+                // Face fluxes (lanes = cells). With the staggered buffer the
+                // low faces come from the previous group (x, via lane shift)
+                // or the previous row/plane (y/z, verbatim).
                 let f_xh = face_flux_cells(&params.gamma, &pc, &xp, inv_dx);
-                let f_yl = face_flux_cells(&params.gamma, &ym, &pc, inv_dx);
+                let (f_xl, f_yl, f_zl) = if STAG {
+                    let xl: [V; N_PHASES] = core::array::from_fn(|a| shift_in(carry[a], f_xh[a]));
+                    (xl, ybuf[gx_i], zbuf[(y - g) * ngx + gx_i])
+                } else {
+                    (
+                        face_flux_cells(&params.gamma, &xm, &pc, inv_dx),
+                        face_flux_cells(&params.gamma, &ym, &pc, inv_dx),
+                        face_flux_cells(&params.gamma, &zm, &pc, inv_dx),
+                    )
+                };
                 let f_yh = face_flux_cells(&params.gamma, &pc, &yp, inv_dx);
-                let f_zl = face_flux_cells(&params.gamma, &zm, &pc, inv_dx);
                 let f_zh = face_flux_cells(&params.gamma, &pc, &zp, inv_dx);
+                if STAG {
+                    for a in 0..N_PHASES {
+                        carry[a] = f_xh[a].extract(3);
+                    }
+                    ybuf[gx_i] = f_yh;
+                    zbuf[(y - g) * ngx + gx_i] = f_zh;
+                }
 
                 // Gradients per phase.
-                let gx: [F64x4; N_PHASES] = core::array::from_fn(|a| (xp[a] - xm[a]) * inv_2dx);
-                let gy: [F64x4; N_PHASES] = core::array::from_fn(|a| (yp[a] - ym[a]) * inv_2dx);
-                let gz: [F64x4; N_PHASES] = core::array::from_fn(|a| (zp[a] - zm[a]) * inv_2dx);
+                let gx: [V; N_PHASES] = core::array::from_fn(|a| (xp[a] - xm[a]) * inv_2dx);
+                let gy: [V; N_PHASES] = core::array::from_fn(|a| (yp[a] - ym[a]) * inv_2dx);
+                let gz: [V; N_PHASES] = core::array::from_fn(|a| (zp[a] - zm[a]) * inv_2dx);
 
                 // ∂a/∂φ_a = 2[φ_a Σ_b γ m_b − Σ_b γ φ_b (g_a·g_b)].
-                let m: [F64x4; N_PHASES] = core::array::from_fn(|a| {
+                let m: [V; N_PHASES] = core::array::from_fn(|a| {
                     gx[a].mul_add(gx[a], gy[a].mul_add(gy[a], gz[a] * gz[a]))
                 });
-                let mut da = [F64x4::zero(); N_PHASES];
+                let mut da = [V::zero(); N_PHASES];
                 for a in 0..N_PHASES {
-                    let mut s_norm = F64x4::zero();
-                    let mut s_dot = F64x4::zero();
+                    let mut s_norm = V::zero();
+                    let mut s_dot = V::zero();
                     for b in 0..N_PHASES {
-                        let gm = F64x4::splat(params.gamma[a][b]);
+                        let gm = V::splat(params.gamma[a][b]);
                         s_norm = gm.mul_add(m[b], s_norm);
                         let dot = gx[a].mul_add(gx[b], gy[a].mul_add(gy[b], gz[a] * gz[b]));
                         s_dot = (gm * pc[b]).mul_add(dot, s_dot);
@@ -473,15 +597,15 @@ fn fourcell<const TZ: bool, const SC: bool>(
                 }
 
                 // Driving force (ψ per phase, lanes = cells).
-                let mu0 = F64x4::load(ms[0], i);
-                let mu1 = F64x4::load(ms[1], i);
-                let mut s_phi2 = F64x4::zero();
+                let mu0 = V::load(ms[0], i);
+                let mu1 = V::load(ms[1], i);
+                let mut s_phi2 = V::zero();
                 for a in 0..N_PHASES {
                     s_phi2 = pc[a].mul_add(pc[a], s_phi2);
                 }
                 let inv_s = one / s_phi2;
-                let mut psi = [F64x4::zero(); N_PHASES];
-                let mut psi_bar = F64x4::zero();
+                let mut psi = [V::zero(); N_PHASES];
+                let mut psi_bar = V::zero();
                 let skip_drive = SC && {
                     // All four cells pure in some (possibly different) phase.
                     let mut max = pc[0];
@@ -492,44 +616,45 @@ fn fourcell<const TZ: bool, const SC: bool>(
                 };
                 if !skip_drive {
                     for a in 0..N_PHASES {
-                        psi[a] = -(mu0 * mu0 * F64x4::splat(ctx.inv4k[a][0])
-                            + mu1 * mu1 * F64x4::splat(ctx.inv4k[a][1]))
-                            - (mu0 * F64x4::splat(ctx.c_eq[a][0])
-                                + mu1 * F64x4::splat(ctx.c_eq[a][1]))
-                            + F64x4::splat(ctx.offset[a]);
+                        psi[a] = -(mu0 * mu0 * V::splat(ctx.inv4k[a][0])
+                            + mu1 * mu1 * V::splat(ctx.inv4k[a][1]))
+                            - (mu0 * V::splat(ctx.c_eq[a][0]) + mu1 * V::splat(ctx.c_eq[a][1]))
+                            + V::splat(ctx.offset[a]);
                         psi_bar = (pc[a] * pc[a] * inv_s).mul_add(psi[a], psi_bar);
                     }
                 }
 
                 // Assemble, project the mean out, integrate.
-                let pref_grad = F64x4::splat(ctx.pref_grad);
-                let pref_obst = F64x4::splat(ctx.pref_obst);
-                let mut vdf = [F64x4::zero(); N_PHASES];
-                let mut mean = F64x4::zero();
+                let pref_grad = V::splat(ctx.pref_grad);
+                let pref_obst = V::splat(ctx.pref_obst);
+                let mut vdf = [V::zero(); N_PHASES];
+                let mut mean = V::zero();
                 for a in 0..N_PHASES {
                     let div = (f_xh[a] - f_xl[a] + f_yh[a] - f_yl[a] + f_zh[a] - f_zl[a]) * inv_dx;
-                    let mut obst = F64x4::zero();
+                    let mut obst = V::zero();
                     for b in 0..N_PHASES {
-                        obst = F64x4::splat(params.gamma[a][b]).mul_add(pc[b], obst);
+                        obst = V::splat(params.gamma[a][b]).mul_add(pc[b], obst);
                     }
                     let drive = if skip_drive {
-                        F64x4::zero()
+                        V::zero()
                     } else {
                         two * pc[a] * inv_s * (psi[a] - psi_bar)
                     };
                     vdf[a] = pref_grad * (da[a] - div) + pref_obst * obst + drive;
                     mean += vdf[a];
                 }
-                mean *= F64x4::splat(0.25);
-                let raw: [F64x4; N_PHASES] =
-                    core::array::from_fn(|a| pc[a] - rate * (vdf[a] - mean));
+                mean *= V::splat(0.25);
+                let raw: [V; N_PHASES] = core::array::from_fn(|a| pc[a] - rate * (vdf[a] - mean));
                 let out = project_simplex_lanes(raw);
                 for a in 0..N_PHASES {
                     out[a].store(pd[a], i);
                 }
                 x += 4;
+                gx_i += 1;
             }
-            // Scalar remainder.
+            // Scalar remainder (recomputes its faces unbuffered; no vector
+            // group reads these cells' buffer slots, so STAG needs no
+            // plumbing here).
             while x < nx {
                 let i = row + x;
                 let ctx = if TZ {
@@ -645,7 +770,7 @@ pub fn phi_sweep_cellwise_aos(
     }
 
     for z in g..g + nz {
-        let ctx = SliceCtxV::from_ctx(&table.cell[z]);
+        let ctx = SliceCtxV::<F64x4>::from_ctx(&table.cell[z]);
         for x in 0..nx {
             let i = dims.idx(x + g, g, z);
             ybuf[x] = face(i - sy, i);
@@ -745,6 +870,55 @@ mod aos_tests {
                 let a = soa.phi_dst.at(c, x, y, z);
                 let b = out.at(c, x, y, z);
                 assert!((a - b).abs() < 1e-13, "phi[{c}]@({x},{y},{z}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fourcell_staggered_is_bit_exact_vs_unbuffered() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let params = ModelParams::ag_al_cu();
+        // nx = 10 exercises both the group path (8 cells) and the scalar
+        // remainder (2 cells); a pure slab exercises the shortcut zeroing.
+        let dims = GridDims::new(10, 6, 6, 1);
+        let mut s = BlockState::new(dims, [0, 0, 3]);
+        for z in 0..dims.tz() {
+            for y in 0..dims.ty() {
+                for x in 0..dims.tx() {
+                    let cell = if y < dims.ty() / 2 {
+                        [1.0, 0.0, 0.0, 0.0]
+                    } else {
+                        let raw: [f64; 4] = core::array::from_fn(|_| rng.random_range(0.0..1.0));
+                        crate::simplex::project_to_simplex(raw)
+                    };
+                    s.phi_src.set_cell(x, y, z, cell);
+                    s.mu_src.set_cell(
+                        x,
+                        y,
+                        z,
+                        [rng.random_range(-0.2..0.2), rng.random_range(-0.2..0.2)],
+                    );
+                }
+            }
+        }
+        for tz in [false, true] {
+            for sc in [false, true] {
+                let mut plain = s.clone();
+                let mut stag = s.clone();
+                phi_sweep_fourcell(&params, &mut plain, 1.0, tz, false, sc);
+                phi_sweep_fourcell(&params, &mut stag, 1.0, tz, true, sc);
+                for c in 0..N_PHASES {
+                    for (x, y, z) in dims.interior_iter() {
+                        let a = plain.phi_dst.at(c, x, y, z);
+                        let b = stag.phi_dst.at(c, x, y, z);
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "tz={tz} sc={sc} phi[{c}]@({x},{y},{z}): {a} vs {b}"
+                        );
+                    }
+                }
             }
         }
     }

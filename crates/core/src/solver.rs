@@ -46,6 +46,12 @@ impl Simulation {
         let mut state = BlockState::new(dims, [0, 0, 0]);
         state.apply_bc_src();
         state.sync_dst_from_src();
+        kernels::backend::warn_once_if_degraded(0);
+        let telemetry = Telemetry::new(0);
+        telemetry.counter_add(
+            &format!("kernel/backend/{}", kernels::backend::active_simd_backend()),
+            1,
+        );
         Ok(Self {
             params,
             state,
@@ -54,8 +60,23 @@ impl Simulation {
             step: 0,
             window: None,
             window_shifts: 0,
-            telemetry: Telemetry::new(0),
+            telemetry,
         })
+    }
+
+    /// Select the kernel backend by registry name
+    /// (`family[+tz][+buf][+sc]`, see [`kernels::backend`]). Unknown names
+    /// and unavailable families (`simd-avx2` on a host without AVX2+FMA)
+    /// are typed errors, never silent fallbacks.
+    pub fn set_backend(&mut self, name: &str) -> Result<(), kernels::backend::BackendError> {
+        self.cfg = kernels::backend::resolve(name)?.config();
+        Ok(())
+    }
+
+    /// The registry backend the vectorized kernels resolve to at runtime
+    /// on this host (`"avx2"` or `"portable"`).
+    pub fn active_backend(&self) -> &'static str {
+        self.cfg.isa.resolved_name()
     }
 
     /// The simulation's telemetry collector. Each step records a

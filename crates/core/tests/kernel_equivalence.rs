@@ -9,7 +9,9 @@
 //! equivalence holds to tight floating-point tolerance.
 
 use eutectica_blockgrid::GridDims;
-use eutectica_core::kernels::{mu_sweep, phi_sweep, KernelConfig, MuPart, MuVariant, PhiVariant};
+use eutectica_core::kernels::{
+    mu_sweep, phi_sweep, KernelConfig, MuPart, MuVariant, PhiVariant, SimdIsa,
+};
 use eutectica_core::params::ModelParams;
 use eutectica_core::regions::{build_scenario, Scenario};
 use eutectica_core::simplex::project_to_simplex;
@@ -77,6 +79,7 @@ fn cfg(phi: PhiVariant, mu: MuVariant, tz: bool, stag: bool, sc: bool) -> Kernel
     KernelConfig {
         phi,
         mu,
+        isa: SimdIsa::Auto,
         tz_precompute: tz,
         staggered_buffer: stag,
         shortcuts: sc,
@@ -279,4 +282,148 @@ fn disabled_anti_trapping_changes_results_near_front_only() {
     let mut b = liquid.clone();
     mu_sweep(&params, &mut b, 0.0, c, MuPart::Full);
     assert_eq!(max_mu_diff(&a, &b), 0.0, "ATC acted in bulk liquid");
+}
+
+// ---------------------------------------------------------------------------
+// Backend registry + autotuner equivalence (PR 8).
+
+use eutectica_core::kernels::backend::{self, AutotunePolicy, BackendError};
+
+/// Every resolvable registry backend agrees with `reference` on the full
+/// φ+µ step, to the suite's stated 1e-11 cross-implementation tolerance
+/// (bit-exact within the `simd-*` family is pinned separately below).
+#[test]
+fn registry_backends_agree_with_reference() {
+    let params = ModelParams::ag_al_cu();
+    let dims = GridDims::cube(10);
+    let reference = backend::resolve("reference").unwrap();
+    for (name, base) in states(dims) {
+        let (z0, z1) = dims.interior_z_range();
+        let mut oracle = base.clone();
+        reference.phi_sweep_range(&params, &mut oracle, 1.5, z0, z1);
+        reference.mu_sweep_range(&params, &mut oracle, 1.5, MuPart::Full, z0, z1);
+        for bname in backend::registry_names() {
+            let b = match backend::resolve(&bname) {
+                Ok(b) => b,
+                Err(BackendError::Unavailable { .. }) => {
+                    // Only simd-avx2 may be unavailable, and only when the
+                    // runtime detection says so.
+                    assert!(bname.starts_with("simd-avx2"));
+                    assert!(!eutectica_simd::avx2_available());
+                    continue;
+                }
+                Err(e) => panic!("{bname}: {e}"),
+            };
+            let mut s = base.clone();
+            b.phi_sweep_range(&params, &mut s, 1.5, z0, z1);
+            b.mu_sweep_range(&params, &mut s, 1.5, MuPart::Full, z0, z1);
+            let (dp, dm) = (max_phi_diff(&oracle, &s), max_mu_diff(&oracle, &s));
+            assert!(
+                dp < 1e-11 && dm < 1e-11,
+                "{name}: backend {bname} differs from reference by φ {dp:e} / µ {dm:e}"
+            );
+        }
+    }
+}
+
+/// The runtime-detected AVX2 instantiation and the forced portable
+/// fallback are bit-identical — the property that makes `SimdIsa::Auto`
+/// (and the autotuner's ISA switching) invisible to physics.
+#[test]
+fn simd_isa_instantiations_are_bit_exact() {
+    if !eutectica_simd::avx2_available() {
+        eprintln!("skipping: AVX2+FMA not selectable on this host/build");
+        return;
+    }
+    let params = ModelParams::ag_al_cu();
+    let dims = GridDims::cube(10);
+    for (name, base) in states(dims) {
+        for phi in [PhiVariant::SimdCellwise, PhiVariant::SimdFourCell] {
+            for (tz, stag, sc) in [(false, false, false), (true, true, true)] {
+                let mut c = cfg(phi, MuVariant::SimdFourCell, tz, stag, sc);
+                c.isa = SimdIsa::Avx2;
+                let mut avx = base.clone();
+                phi_sweep(&params, &mut avx, 0.9, c);
+                mu_sweep(&params, &mut avx, 0.9, c, MuPart::Full);
+                c.isa = SimdIsa::Portable;
+                let mut port = base.clone();
+                phi_sweep(&params, &mut port, 0.9, c);
+                mu_sweep(&params, &mut port, 0.9, c, MuPart::Full);
+                assert_eq!(
+                    max_phi_diff(&avx, &port),
+                    0.0,
+                    "{name}: φ {phi:?} ({tz},{stag},{sc}) avx2 vs portable not bit-exact"
+                );
+                assert_eq!(
+                    max_mu_diff(&avx, &port),
+                    0.0,
+                    "{name}: µ ({tz},{stag},{sc}) avx2 vs portable not bit-exact"
+                );
+            }
+        }
+    }
+}
+
+/// Bitwise equality of the evolved source fields (post-swap).
+fn bits_equal(a: &BlockState, b: &BlockState) -> bool {
+    for c in 0..4 {
+        for (x, y, z) in a.dims.interior_iter() {
+            if a.phi_src.at(c, x, y, z).to_bits() != b.phi_src.at(c, x, y, z).to_bits() {
+                return false;
+            }
+        }
+    }
+    for c in 0..2 {
+        for (x, y, z) in a.dims.interior_iter() {
+            if a.mu_src.at(c, x, y, z).to_bits() != b.mu_src.at(c, x, y, z).to_bits() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Run `schedule.len()` φ+µ steps, picking the kernel variant per step from
+/// the autotune candidate list — the autotuner's warmup walk, condensed.
+fn run_schedule(
+    params: &ModelParams,
+    base: &BlockState,
+    policy: &AutotunePolicy,
+    schedule: &[usize],
+) -> BlockState {
+    let mut s = base.clone();
+    for &i in schedule {
+        let c = policy.candidates[i % policy.candidates.len()].cfg;
+        phi_sweep(params, &mut s, 0.5, c);
+        mu_sweep(params, &mut s, 0.5, c, MuPart::Full);
+        s.swap();
+    }
+    s
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+
+    /// Property: any mid-run switching schedule over the bit-exact
+    /// candidate set evolves bit-identically to pinning any single
+    /// candidate for the whole run — the autotuner cannot change physics.
+    #[test]
+    fn autotuner_variant_switches_are_bit_identical(
+        schedule in proptest::collection::vec(0usize..8, 1..5),
+        seed in 0u64..3,
+    ) {
+        let params = ModelParams::ag_al_cu();
+        let policy = AutotunePolicy::bit_exact();
+        let base = random_state(900 + seed, GridDims::cube(8));
+        let switched = run_schedule(&params, &base, &policy, &schedule);
+        for pin in 0..policy.candidates.len() {
+            let pinned = run_schedule(&params, &base, &policy, &vec![pin; schedule.len()]);
+            proptest::prop_assert!(
+                bits_equal(&switched, &pinned),
+                "schedule {:?} differs from pinning '{}'",
+                schedule,
+                policy.candidates[pin].name
+            );
+        }
+    }
 }

@@ -1,7 +1,9 @@
 //! Property-based tests (proptest) on the solver's core invariants.
 
 use eutectica_blockgrid::GridDims;
-use eutectica_core::kernels::{mu_sweep, phi_sweep, KernelConfig, MuPart, MuVariant, PhiVariant};
+use eutectica_core::kernels::{
+    mu_sweep, phi_sweep, KernelConfig, MuPart, MuVariant, PhiVariant, SimdIsa,
+};
 use eutectica_core::model::{interp_h, mixture_concentration, phi_face_flux};
 use eutectica_core::params::ModelParams;
 use eutectica_core::simplex::{on_simplex, project_to_simplex};
@@ -126,6 +128,7 @@ proptest! {
             let cfg = KernelConfig {
                 phi: variant,
                 mu: MuVariant::Scalar,
+                isa: SimdIsa::Auto,
                 tz_precompute: variant == PhiVariant::SimdCellwise,
                 staggered_buffer: variant == PhiVariant::SimdCellwise,
                 shortcuts: variant != PhiVariant::Reference,
@@ -159,6 +162,7 @@ proptest! {
             let cfg = KernelConfig {
                 phi: PhiVariant::Scalar,
                 mu: variant,
+                isa: SimdIsa::Auto,
                 tz_precompute: variant == MuVariant::SimdFourCell,
                 staggered_buffer: variant == MuVariant::SimdFourCell,
                 shortcuts: variant == MuVariant::SimdFourCell,

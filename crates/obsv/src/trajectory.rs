@@ -76,6 +76,11 @@ pub struct BuildInfo {
     pub profile: String,
     /// Comma-separated SIMD target features compiled in.
     pub simd: String,
+    /// Kernel backend resolved at *runtime* (`"avx2"` or `"portable"`) —
+    /// on a capable host this reads `"avx2"` even when `simd` is empty
+    /// (runtime dispatch), so "SIMD" rows can be audited against what
+    /// actually ran.
+    pub kernel_backend: String,
 }
 
 impl BuildInfo {
@@ -104,6 +109,7 @@ impl BuildInfo {
                 "release".to_string()
             },
             simd: simd.join(","),
+            kernel_backend: eutectica_core::kernels::backend::active_simd_backend().to_string(),
         }
     }
 }
@@ -182,6 +188,7 @@ impl Trajectory {
         let build = JsonObject::new()
             .str_field("profile", &self.build.profile)
             .str_field("simd", &self.build.simd)
+            .str_field("kernel_backend", &self.build.kernel_backend)
             .finish();
         let mut out = String::new();
         out.push_str("{\n");
@@ -256,6 +263,8 @@ impl Trajectory {
             build: BuildInfo {
                 profile: req_str(build, "profile")?,
                 simd: req_str(build, "simd")?,
+                // Absent in pre-runtime-dispatch files.
+                kernel_backend: build.str("kernel_backend").unwrap_or("unknown").to_string(),
             },
             entries,
         })

@@ -6,18 +6,21 @@
 //! The paper's layer covered SSE2/SSE4/AVX/AVX2 and Blue Gene/Q QPX; ours
 //! provides
 //!
-//! * an **AVX2 + FMA backend** ([`avx2`]) selected at compile time when the
-//!   build targets a CPU with those extensions (the workspace builds with
-//!   `-C target-cpu=native`, mirroring waLBerla's per-machine builds), and
+//! * an **AVX2 + FMA backend** ([`avx2`]), compiled on every x86-64 target
+//!   and selected either at compile time (when the build targets a CPU with
+//!   those extensions, e.g. `-C target-cpu=native`) or at *runtime* through
+//!   the [`SimdF64x4`] trait plus [`avx2_available`] feature detection, and
 //! * a **portable scalar backend** ([`scalar`]) used on other targets or when
 //!   the `force-scalar` feature is enabled (used by the optimization-ladder
 //!   benchmarks to isolate the benefit of explicit vectorization).
 //!
 //! All operations are provided on the 4-lane vector type [`F64x4`] and its
-//! comparison-mask companion [`Mask4`]. Like the paper's API, not every
-//! function maps to a single instruction on every ISA: lane permutes are one
-//! `vpermpd` on AVX2 but shuffles in the scalar backend; the API hides the
-//! difference.
+//! comparison-mask companion [`Mask4`] — and, backend-generically, through
+//! the [`SimdF64x4`] / [`SimdMask4`] traits, which let callers write a
+//! kernel once and instantiate it per ISA for runtime dispatch. Like the
+//! paper's API, not every function maps to a single instruction on every
+//! ISA: lane permutes are one `vpermpd` on AVX2 but shuffles in the scalar
+//! backend; the API hides the difference.
 //!
 //! The width of 4 doubles is not arbitrary: the paper vectorizes the φ-kernel
 //! *cellwise*, mapping the **four phase-field components of one cell** to the
@@ -39,13 +42,17 @@
 #![deny(missing_docs)]
 
 pub mod scalar;
+pub mod vector;
 
-#[cfg(all(
-    target_arch = "x86_64",
-    target_feature = "avx2",
-    target_feature = "fma",
-    not(feature = "force-scalar")
-))]
+pub use vector::{SimdF64x4, SimdMask4};
+
+// The AVX2 backend is compiled on every x86-64 build (not only when the
+// build *targets* AVX2): its intrinsics are legal to compile without the
+// target feature, and the runtime-dispatch layer in `eutectica-core`
+// instantiates the kernels with it inside `#[target_feature]` wrappers
+// gated by `avx2_available()`. `force-scalar` only removes it from the
+// *selectable* backends, so the forced-fallback build still type-checks.
+#[cfg(target_arch = "x86_64")]
 pub mod avx2;
 
 #[cfg(all(
@@ -92,6 +99,54 @@ pub const BACKEND: &str = {
     }
 };
 
+/// True when the AVX2 + FMA backend may be *selected* at runtime: the host
+/// CPU supports both extensions and the `force-scalar` feature is off.
+///
+/// This is a runtime check (`is_x86_feature_detected!`), independent of the
+/// features the binary was compiled with — a build without
+/// `-C target-cpu=native` still returns true on an AVX2-capable host, which
+/// is exactly the case the runtime-dispatched kernels exist for.
+#[inline]
+pub fn avx2_available() -> bool {
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
+    {
+        false
+    }
+}
+
+/// True when the host CPU itself supports AVX2 + FMA, *ignoring* the
+/// `force-scalar` feature. Together with [`avx2_available`] this
+/// distinguishes "the host can't" from "the build refuses": a true here
+/// with a false there means the binary is deliberately degraded, which the
+/// solver surfaces as a one-time rank-0 warning instead of silently
+/// benchmarking scalar code under a "SIMD" label.
+#[inline]
+pub fn host_has_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Name of the best backend selectable at *runtime* on this host
+/// (`"avx2"` or `"scalar"`), as opposed to the compile-time [`BACKEND`].
+#[inline]
+pub fn runtime_backend() -> &'static str {
+    if avx2_available() {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}
+
 /// Scalar fast inverse square root (Lomont's method, double precision).
 ///
 /// The paper replaces `1/sqrt(x)` used for vector normalization in the
@@ -136,5 +191,18 @@ mod tests {
     #[test]
     fn backend_is_reported() {
         assert!(BACKEND == "avx2" || BACKEND == "scalar");
+        assert!(runtime_backend() == "avx2" || runtime_backend() == "scalar");
+        // The compile-time backend is never better than what the host
+        // supports at runtime (avx2 alias implies an avx2-capable host,
+        // unless force-scalar hides it).
+        if BACKEND == "avx2" {
+            assert!(avx2_available());
+        }
+        #[cfg(feature = "force-scalar")]
+        {
+            assert_eq!(BACKEND, "scalar");
+            assert!(!avx2_available());
+            assert_eq!(runtime_backend(), "scalar");
+        }
     }
 }

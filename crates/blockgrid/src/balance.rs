@@ -124,9 +124,45 @@ pub fn assign_lpt(weights: &[f64], n_ranks: usize) -> Vec<usize> {
     assignment
 }
 
+/// [`assign_lpt`] over an explicit set of target ranks instead of the
+/// contiguous range `0..n_ranks` — the placement primitive for workloads
+/// scheduled onto a *shrunken* universe (campaign job adoption after a
+/// rank death) or onto any non-contiguous rank subset. `ranks` must be
+/// non-empty; the returned vector holds actual rank ids from `ranks`.
+///
+/// Determinism matches [`assign_lpt`]: equal weights break ties by
+/// ascending item index, equal loads by the earliest entry of `ranks`, so
+/// every caller computing this from the same `(weights, ranks)` pair gets
+/// the identical placement without communicating.
+pub fn assign_lpt_over(weights: &[f64], ranks: &[usize]) -> Vec<usize> {
+    assert!(!ranks.is_empty(), "need at least one target rank");
+    assign_lpt(weights, ranks.len())
+        .into_iter()
+        .map(|slot| ranks[slot])
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lpt_over_maps_slots_to_given_ranks() {
+        let w = vec![3.0, 1.0, 2.0, 1.0];
+        let survivors = vec![0, 2, 3];
+        let a = assign_lpt_over(&w, &survivors);
+        assert_eq!(a.len(), w.len());
+        for r in &a {
+            assert!(survivors.contains(r), "assigned to dead rank: {a:?}");
+        }
+        // Pure function: identical on repeated evaluation.
+        assert_eq!(a, assign_lpt_over(&w, &survivors));
+        // Structure matches assign_lpt over the compacted rank space.
+        let compact = assign_lpt(&w, survivors.len());
+        for (i, &slot) in compact.iter().enumerate() {
+            assert_eq!(a[i], survivors[slot]);
+        }
+    }
 
     #[test]
     fn uniform_weights_balance_perfectly() {

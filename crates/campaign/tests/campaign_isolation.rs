@@ -1,0 +1,258 @@
+//! Campaign isolation property tests.
+//!
+//! Property 1 — **fleet transparency**: a job executed inside a co-scheduled
+//! campaign is bit-identical to the same parameter point run standalone,
+//! for every rank count and thread count. The campaign machinery (slicing,
+//! round-robin interleaving, progress streaming, checkpoint cadence,
+//! health scans) must be invisible to the physics.
+//!
+//! Property 2 — **sibling isolation**: corrupting one job (rollback
+//! recovery) or killing it outright (budget exhaustion) leaves every other
+//! job byte-equal to an undisturbed campaign.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use eutectica_campaign::{
+    field_checksum, run_campaign, standalone_sim, CampaignOpts, CampaignSpec, JobStatus,
+};
+use eutectica_comm::Universe;
+use eutectica_core::health::{FaultKind, FieldFault, FieldFaultPlan, FieldTarget, HealthConfig};
+use eutectica_core::params::ModelParams;
+use eutectica_obsv::JobRecord;
+
+/// 32 parameter points: 2 velocities × 2 gradients × 2 compositions ×
+/// 4 seeds on a small directional domain.
+fn spec_32() -> CampaignSpec {
+    let mut s = CampaignSpec::around(ModelParams::ag_al_cu(), [8, 8, 12], 6, vec![1, 2, 3, 4]);
+    s.velocities = vec![0.015, 0.02];
+    s.gradients = vec![0.001, 0.002];
+    s.compositions = vec![[1.0 / 3.0; 3], [0.4, 0.3, 0.3]];
+    s
+}
+
+/// Small 4-job spec for the recovery-isolation drills.
+fn spec_4() -> CampaignSpec {
+    CampaignSpec::around(ModelParams::ag_al_cu(), [8, 8, 12], 12, vec![1, 2, 3, 4])
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "eutectica_campaign_iso_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// Run the campaign on `ranks` ranks and merge every rank's local results:
+/// key → (checksum, status, rollbacks), plus the collector's fleet records.
+#[allow(clippy::type_complexity)]
+fn run_fleet(
+    spec: CampaignSpec,
+    ranks: usize,
+    opts: CampaignOpts,
+) -> (BTreeMap<u32, (u64, JobStatus, u64)>, Vec<JobRecord>) {
+    let out = Universe::run(ranks, move |rank| {
+        let report = run_campaign(&rank, &spec, &opts).unwrap();
+        let locals: Vec<(u32, u64, JobStatus, u64)> = report
+            .local
+            .iter()
+            .map(|l| (l.key, l.checksum, l.status.clone(), l.rollbacks))
+            .collect();
+        (locals, report.fleet)
+    });
+    let mut map = BTreeMap::new();
+    let mut fleet = Vec::new();
+    for (locals, f) in out {
+        for (k, sum, st, rb) in locals {
+            assert!(
+                map.insert(k, (sum, st, rb)).is_none(),
+                "job {k} resident twice"
+            );
+        }
+        if let Some(f) = f {
+            assert!(fleet.is_empty(), "two collectors reported a fleet");
+            fleet = f.jobs;
+        }
+    }
+    (map, fleet)
+}
+
+/// Serial standalone reference checksums, one per job.
+fn reference_checksums(spec: &CampaignSpec) -> BTreeMap<u32, u64> {
+    spec.expand()
+        .unwrap()
+        .iter()
+        .map(|j| {
+            let mut sim = standalone_sim(j).unwrap();
+            for _ in 0..j.steps {
+                sim.step();
+            }
+            (j.key, field_checksum(&sim.state))
+        })
+        .collect()
+}
+
+#[test]
+fn fleet_jobs_are_bit_identical_to_standalone_across_ranks_and_threads() {
+    let spec = spec_32();
+    assert_eq!(spec.points(), 32);
+    let reference = reference_checksums(&spec);
+
+    for ranks in [1usize, 2, 4] {
+        for threads in [1usize, 2] {
+            let opts = CampaignOpts {
+                threads,
+                slice_steps: 2,
+                ..CampaignOpts::default()
+            };
+            let (locals, fleet) = run_fleet(spec.clone(), ranks, opts);
+            assert_eq!(locals.len(), 32, "ranks={ranks} threads={threads}");
+            for (key, (sum, status, rollbacks)) in &locals {
+                assert_eq!(*status, JobStatus::Done, "job {key}");
+                assert_eq!(*rollbacks, 0, "job {key}");
+                assert_eq!(
+                    *sum, reference[key],
+                    "job {key} diverged from standalone at ranks={ranks} threads={threads}"
+                );
+            }
+            // The collector's fleet view carries the same checksums.
+            assert_eq!(fleet.len(), 32);
+            for rec in &fleet {
+                assert_eq!(rec.status, "done");
+                assert_eq!(rec.step, rec.steps_total);
+                assert_eq!(
+                    rec.checksum, reference[&rec.job],
+                    "collector checksum for job {} ranks={ranks} threads={threads}",
+                    rec.job
+                );
+            }
+        }
+    }
+}
+
+/// A transient field fault rolled back from a per-job checkpoint rejoins
+/// the undisturbed trajectory bit-exactly, and siblings never notice.
+#[test]
+fn rollback_recovery_is_bit_exact_and_leaves_siblings_untouched() {
+    let spec = spec_4();
+    let health = HealthConfig::for_params(&spec.base).with_every(2);
+    let base_opts = |root: PathBuf| {
+        let mut opts = CampaignOpts {
+            slice_steps: 3,
+            ckpt_root: Some(root),
+            ckpt_every: 2,
+            keep_sets: 3,
+            ..CampaignOpts::default()
+        };
+        opts.recovery.health = Some(health);
+        opts.recovery.max_rollbacks = 2;
+        opts
+    };
+
+    // Undisturbed baseline.
+    let root_a = tmp_root("clean");
+    let (clean, _) = run_fleet(spec.clone(), 2, base_opts(root_a.clone()));
+    for (key, (_, status, rollbacks)) in &clean {
+        assert_eq!(*status, JobStatus::Done, "job {key}");
+        assert_eq!(*rollbacks, 0);
+    }
+
+    // Same campaign, but job 2 takes a NaN upset before step 6: checkpoints
+    // exist at steps 2 and 4, the scan at step 6 detects, the job rolls
+    // back to step 4 and re-runs clean (fire-once fault).
+    let root_b = tmp_root("fault");
+    let mut opts = base_opts(root_b.clone());
+    opts.job_faults.insert(
+        2,
+        FieldFaultPlan::new(7).inject(FieldFault {
+            step: 5,
+            block: 2,
+            cell: [3, 2, 1],
+            target: FieldTarget::Phi(0),
+            kind: FaultKind::Nan,
+        }),
+    );
+    let (faulted, _) = run_fleet(spec.clone(), 2, opts);
+    assert_eq!(faulted.len(), clean.len());
+    for (key, (sum, status, rollbacks)) in &faulted {
+        assert_eq!(*status, JobStatus::Done, "job {key}");
+        let expected_rollbacks = if *key == 2 { 1 } else { 0 };
+        assert_eq!(*rollbacks, expected_rollbacks, "job {key}");
+        assert_eq!(
+            *sum, clean[key].0,
+            "job {key} diverged from the undisturbed campaign"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&root_a);
+    let _ = std::fs::remove_dir_all(&root_b);
+}
+
+/// Exhausting one job's rollback budget fails that job only: the rest of
+/// the fleet completes byte-equal to the undisturbed campaign.
+#[test]
+fn budget_exhaustion_fails_one_job_without_perturbing_the_fleet() {
+    let spec = spec_4();
+    let health = HealthConfig::for_params(&spec.base).with_every(2);
+
+    let root_a = tmp_root("exh_clean");
+    let mut clean_opts = CampaignOpts {
+        slice_steps: 3,
+        ckpt_root: Some(root_a.clone()),
+        ckpt_every: 2,
+        keep_sets: 3,
+        ..CampaignOpts::default()
+    };
+    clean_opts.recovery.health = Some(health);
+    clean_opts.recovery.max_rollbacks = 2;
+    let (clean, _) = run_fleet(spec.clone(), 2, clean_opts);
+
+    let root_b = tmp_root("exh_fault");
+    let mut opts = CampaignOpts {
+        slice_steps: 3,
+        ckpt_root: Some(root_b.clone()),
+        ckpt_every: 2,
+        keep_sets: 3,
+        ..CampaignOpts::default()
+    };
+    opts.recovery.health = Some(health);
+    opts.recovery.max_rollbacks = 0; // no budget: first upset is fatal
+    opts.job_faults.insert(
+        1,
+        FieldFaultPlan::new(9).inject(FieldFault {
+            step: 5,
+            block: 1,
+            cell: [1, 1, 2],
+            target: FieldTarget::Mu(0),
+            kind: FaultKind::Nan,
+        }),
+    );
+    let (faulted, fleet) = run_fleet(spec.clone(), 2, opts);
+    assert_eq!(faulted.len(), clean.len());
+    for (key, (sum, status, _)) in &faulted {
+        if *key == 1 {
+            assert!(
+                matches!(status, JobStatus::Failed(reason) if reason.contains("budget")),
+                "job 1 should fail on budget, got {status:?}"
+            );
+        } else {
+            assert_eq!(*status, JobStatus::Done, "job {key}");
+            assert_eq!(
+                *sum, clean[key].0,
+                "job {key} perturbed by a sibling's failure"
+            );
+        }
+    }
+    // The collector sees the failure too; the fleet still terminated.
+    let failed: Vec<u32> = fleet
+        .iter()
+        .filter(|r| r.status == "failed")
+        .map(|r| r.job)
+        .collect();
+    assert_eq!(failed, vec![1]);
+
+    let _ = std::fs::remove_dir_all(&root_a);
+    let _ = std::fs::remove_dir_all(&root_b);
+}

@@ -1,0 +1,139 @@
+//! Deterministic-scheduling property tests plus adversarial campaign
+//! shapes: the same spec and seed set must produce the identical
+//! assignment and completion-order metadata on every run, and degenerate
+//! fleets (one job, many more jobs than rank slots, zero-step jobs,
+//! duplicate points) must behave predictably.
+
+use std::collections::BTreeMap;
+
+use eutectica_campaign::{
+    field_checksum, run_campaign, standalone_sim, CampaignError, CampaignOpts, CampaignSpec,
+    JobStatus,
+};
+use eutectica_comm::Universe;
+use eutectica_core::params::ModelParams;
+
+fn spec_with_seeds(n_seeds: u64, steps: usize) -> CampaignSpec {
+    CampaignSpec::around(
+        ModelParams::ag_al_cu(),
+        [8, 8, 12],
+        steps,
+        (1..=n_seeds).collect(),
+    )
+}
+
+/// One full campaign run: (initial assignment, completion order, per-job
+/// final records as (status name, checksum)).
+#[allow(clippy::type_complexity)]
+fn run_once(
+    spec: &CampaignSpec,
+    ranks: usize,
+) -> (Vec<usize>, Vec<u32>, BTreeMap<u32, (String, u64)>) {
+    let spec = spec.clone();
+    let out = Universe::run(ranks, move |rank| {
+        let report = run_campaign(&rank, &spec, &CampaignOpts::default()).unwrap();
+        (report.assignment, report.fleet)
+    });
+    let mut assignment = Vec::new();
+    let mut order = Vec::new();
+    let mut records = BTreeMap::new();
+    for (a, fleet) in out {
+        assignment = a; // identical on every rank (broadcast-confirmed)
+        if let Some(f) = fleet {
+            order = f.completion_order;
+            for r in f.jobs {
+                records.insert(r.job, (r.status, r.checksum));
+            }
+        }
+    }
+    (assignment, order, records)
+}
+
+#[test]
+fn same_spec_and_seed_produce_identical_schedule_and_completion_order() {
+    let mut spec = spec_with_seeds(4, 6);
+    spec.velocities = vec![0.015, 0.02];
+    spec.gradients = vec![0.001, 0.002];
+
+    let (a1, o1, r1) = run_once(&spec, 4);
+    let (a2, o2, r2) = run_once(&spec, 4);
+    assert_eq!(a1, a2, "assignment must be a pure function of the spec");
+    assert_eq!(o1, o2, "completion order must be deterministic");
+    assert_eq!(r1, r2, "per-job records must be deterministic");
+    assert_eq!(o1.len(), spec.points(), "every job completes exactly once");
+    // Every rank owns at least one of the 16 jobs.
+    for rank in 0..4 {
+        assert!(a1.contains(&rank), "rank {rank} got no jobs");
+    }
+}
+
+#[test]
+fn single_job_campaign_completes_with_idle_ranks() {
+    let spec = spec_with_seeds(1, 4);
+    let (assignment, order, records) = run_once(&spec, 4);
+    assert_eq!(assignment.len(), 1);
+    assert_eq!(order, vec![0]);
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[&0].0, "done");
+
+    // The lone job is still bit-identical to standalone.
+    let job = &spec.expand().unwrap()[0];
+    let mut sim = standalone_sim(job).unwrap();
+    for _ in 0..job.steps {
+        sim.step();
+    }
+    assert_eq!(records[&0].1, field_checksum(&sim.state));
+}
+
+#[test]
+fn oversubscribed_fleet_completes_every_job() {
+    // 24 jobs on 2 ranks: more jobs than ranks × 8.
+    let spec = spec_with_seeds(24, 3);
+    let (assignment, order, records) = run_once(&spec, 2);
+    assert_eq!(assignment.len(), 24);
+    assert_eq!(order.len(), 24);
+    assert_eq!(records.len(), 24);
+    for (job, (status, _)) in &records {
+        assert_eq!(status, "done", "job {job}");
+    }
+    // LPT spreads uniform jobs evenly across both ranks.
+    assert_eq!(assignment.iter().filter(|&&r| r == 0).count(), 12);
+    assert_eq!(assignment.iter().filter(|&&r| r == 1).count(), 12);
+}
+
+#[test]
+fn zero_step_jobs_complete_immediately_with_init_checksums() {
+    let spec = spec_with_seeds(6, 0);
+    let (_, order, records) = run_once(&spec, 2);
+    assert_eq!(order.len(), 6);
+    for job in spec.expand().unwrap() {
+        let (status, checksum) = &records[&job.key];
+        assert_eq!(status, "done");
+        // Final state is exactly the initial condition.
+        let sim = standalone_sim(&job).unwrap();
+        assert_eq!(*checksum, field_checksum(&sim.state), "job {}", job.key);
+    }
+}
+
+#[test]
+fn duplicate_points_are_rejected_with_a_typed_error_on_every_rank() {
+    let mut spec = spec_with_seeds(3, 4);
+    spec.seeds = vec![5, 9, 5];
+    let results = Universe::run(2, move |rank| {
+        match run_campaign(&rank, &spec, &CampaignOpts::default()) {
+            Err(CampaignError::DuplicatePoint { first, second, .. }) => (first, second),
+            Err(e) => panic!("expected DuplicatePoint, got {e}"),
+            Ok(_) => panic!("expected DuplicatePoint, got success"),
+        }
+    });
+    for (first, second) in results {
+        assert_eq!((first, second), (0, 2));
+    }
+}
+
+#[test]
+fn statuses_expose_stable_names() {
+    assert_eq!(JobStatus::Active.name(), "active");
+    assert_eq!(JobStatus::Done.name(), "done");
+    assert_eq!(JobStatus::Failed("x".into()).name(), "failed");
+}

@@ -102,6 +102,31 @@ pub fn user_tag(tag: Tag) -> Tag {
     tag & !EPOCH_MASK
 }
 
+/// Base of the campaign-engine tag namespace: job-keyed result/progress
+/// messages live in `[CAMPAIGN_TAG_BASE, MAX_USER_TAG)`, far above the
+/// ghost-exchange tags (`4·6·n_blocks`, a few thousand at most) and the
+/// migration tags just beyond them, and below the epoch stamp so campaign
+/// traffic is still fenced across membership epochs like any user message.
+pub const CAMPAIGN_TAG_BASE: Tag = 1 << 20;
+
+/// Tag carrying progress/result traffic for campaign job `job`. Job keys
+/// are dense indices from `CampaignSpec` expansion, so the tag doubles as
+/// the routing key: a receiver posting `irecv(src, campaign_tag(k))`
+/// demultiplexes per-job streams without decoding payloads — the
+/// `Exchange`-partitioned routing idiom on plain point-to-point tags.
+///
+/// # Panics
+///
+/// If the key would collide with the epoch-stamp bits (`job` ≥
+/// `MAX_USER_TAG - CAMPAIGN_TAG_BASE`, i.e. ≈15.7M jobs).
+pub fn campaign_tag(job: u32) -> Tag {
+    assert!(
+        CAMPAIGN_TAG_BASE + job < MAX_USER_TAG,
+        "campaign job key {job} overflows the user-tag space"
+    );
+    CAMPAIGN_TAG_BASE + job
+}
+
 /// Tag of the internal poison message a dying rank broadcasts to wake
 /// blocked receivers immediately (never surfaced to user code).
 const POISON_TAG: Tag = !0;
@@ -1980,6 +2005,35 @@ pub fn bytes_to_f64s_into(b: &Bytes, out: &mut Vec<f64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn campaign_tags_stay_inside_the_user_space() {
+        assert!(campaign_tag(0) >= CAMPAIGN_TAG_BASE);
+        assert!(campaign_tag(1_000_000) < MAX_USER_TAG);
+        // Epoch stamping round-trips a campaign tag like any user tag.
+        assert_eq!(user_tag(campaign_tag(7)), campaign_tag(7));
+        // Campaign traffic routes by key over plain point-to-point sends.
+        let got = Universe::run(2, |r| {
+            if r.rank() == 1 {
+                for job in [3u32, 1, 2] {
+                    r.send(0, campaign_tag(job), f64s_to_bytes(&[job as f64]));
+                }
+                0.0
+            } else {
+                // Receive in key order regardless of send order.
+                (1u32..=3)
+                    .map(|job| bytes_to_f64s(&r.recv(1, campaign_tag(job)))[0])
+                    .sum()
+            }
+        });
+        assert_eq!(got[0], 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the user-tag space")]
+    fn campaign_tag_overflow_panics() {
+        let _ = campaign_tag(MAX_USER_TAG - CAMPAIGN_TAG_BASE);
+    }
 
     #[test]
     fn ring_exchange() {

@@ -11,6 +11,7 @@ use crate::kernels::{self, KernelConfig, MuPart};
 use crate::metrics;
 use crate::params::ModelParams;
 use crate::state::BlockState;
+use crate::sweep_pool::SweepPool;
 use crate::{LIQ, N_COMP, N_PHASES};
 use eutectica_blockgrid::GridDims;
 use eutectica_telemetry::Telemetry;
@@ -36,6 +37,7 @@ pub struct Simulation {
     window: Option<MovingWindow>,
     window_shifts: usize,
     telemetry: Telemetry,
+    pool: Option<SweepPool>,
 }
 
 impl Simulation {
@@ -61,7 +63,37 @@ impl Simulation {
             window: None,
             window_shifts: 0,
             telemetry,
+            pool: None,
         })
+    }
+
+    /// Work-share the φ/µ sweeps across `threads` z-slab workers using an
+    /// internal [`SweepPool`] — the single-block analogue of the hybrid
+    /// runner's intra-rank threading. The threaded result is bit-identical
+    /// to the serial one at any thread count (see [`SweepPool`] docs), so
+    /// this only changes speed, never physics. `threads <= 1` restores
+    /// plain serial stepping.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = (threads > 1).then(|| SweepPool::new(threads));
+    }
+
+    /// Attach an externally owned pool instead of building one, so several
+    /// co-resident simulations on one rank (a campaign fleet) share a
+    /// single set of sweep workers rather than spawning `threads × jobs`
+    /// OS threads. The pool is taken by value; use [`Simulation::take_pool`]
+    /// to move it to the next job.
+    pub fn set_pool(&mut self, pool: SweepPool) {
+        self.pool = Some(pool);
+    }
+
+    /// Detach the sweep pool (if any), returning it for reuse elsewhere.
+    pub fn take_pool(&mut self) -> Option<SweepPool> {
+        self.pool.take()
+    }
+
+    /// Threads the sweeps run on (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, SweepPool::threads)
     }
 
     /// Select the kernel backend by registry name
@@ -132,7 +164,16 @@ impl Simulation {
         {
             let _g = self.telemetry.span_cat("phi_sweep", "compute");
             let t = Instant::now();
-            kernels::phi_sweep(&self.params, &mut self.state, self.time, self.cfg);
+            match &self.pool {
+                Some(pool) => pool.phi_sweep(
+                    &self.params,
+                    &mut self.state,
+                    self.time,
+                    self.cfg,
+                    &self.telemetry,
+                ),
+                None => kernels::phi_sweep(&self.params, &mut self.state, self.time, self.cfg),
+            }
             self.telemetry.gauge_set(
                 "phi_sweep_mlups",
                 metrics::mlups(cells, 1, t.elapsed().as_secs_f64().max(1e-12)),
@@ -142,13 +183,23 @@ impl Simulation {
         {
             let _g = self.telemetry.span_cat("mu_sweep", "compute");
             let t = Instant::now();
-            kernels::mu_sweep(
-                &self.params,
-                &mut self.state,
-                self.time,
-                self.cfg,
-                MuPart::Full,
-            );
+            match &self.pool {
+                Some(pool) => pool.mu_sweep(
+                    &self.params,
+                    &mut self.state,
+                    self.time,
+                    self.cfg,
+                    MuPart::Full,
+                    &self.telemetry,
+                ),
+                None => kernels::mu_sweep(
+                    &self.params,
+                    &mut self.state,
+                    self.time,
+                    self.cfg,
+                    MuPart::Full,
+                ),
+            }
             self.telemetry.gauge_set(
                 "mu_sweep_mlups",
                 metrics::mlups(cells, 1, t.elapsed().as_secs_f64().max(1e-12)),
@@ -178,6 +229,27 @@ impl Simulation {
         for _ in 0..n {
             self.step();
         }
+    }
+
+    /// Execute `n` steps, calling `hook` after each completed step — the
+    /// single-block analogue of the distributed timeloop's in-situ hook,
+    /// used by the campaign runner to interleave health scans, checkpoint
+    /// cadence, and progress frames with a job's stepping. The hook sees
+    /// the post-step state read-only; it cannot perturb the trajectory.
+    pub fn step_n_with(&mut self, n: usize, mut hook: impl FnMut(&Simulation)) {
+        for _ in 0..n {
+            self.step();
+            hook(self);
+        }
+    }
+
+    /// Jump the progress counters to a restored checkpoint's position
+    /// (mirrors `DistributedSim::set_progress`). The caller is responsible
+    /// for having replaced [`Simulation::state`] with the matching fields.
+    pub fn set_progress(&mut self, time: f64, step: usize, window_shifts: usize) {
+        self.time = time;
+        self.step = step;
+        self.window_shifts = window_shifts;
     }
 
     /// Current simulation time.
@@ -283,6 +355,37 @@ mod tests {
         sim.step_n(60);
         let after = sim.solid_fraction();
         assert!(after > before + 0.01, "no growth: {before} -> {after}");
+    }
+
+    #[test]
+    fn threaded_stepping_is_bit_identical_to_serial() {
+        let mut serial = Simulation::new(ModelParams::ag_al_cu(), [8, 8, 16]).unwrap();
+        serial.init_directional(11);
+        serial.step_n(8);
+        for threads in [2, 3] {
+            let mut t = Simulation::new(ModelParams::ag_al_cu(), [8, 8, 16]).unwrap();
+            t.set_threads(threads);
+            assert_eq!(t.threads(), threads);
+            t.init_directional(11);
+            t.step_n(8);
+            let d = serial.state.dims;
+            for (x, y, z) in d.interior_iter() {
+                for a in 0..N_PHASES {
+                    assert_eq!(
+                        serial.state.phi_src.at(a, x, y, z).to_bits(),
+                        t.state.phi_src.at(a, x, y, z).to_bits(),
+                        "phi diverged at {threads} threads"
+                    );
+                }
+                for c in 0..N_COMP {
+                    assert_eq!(
+                        serial.state.mu_src.at(c, x, y, z).to_bits(),
+                        t.state.mu_src.at(c, x, y, z).to_bits(),
+                        "mu diverged at {threads} threads"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Campaign fleet progress frames: the `{"type":"job"}` NDJSON record.
+//!
+//! The campaign collector rank emits one [`JobRecord`] per job per
+//! progress round onto the same [`crate::FrameBus`] the live endpoint
+//! serves, so a subscriber watching a parameter sweep sees every job's
+//! step count, owner rank, rollback count, and — once done — its field
+//! checksum, interleaved with the usual observable/metrics frames.
+
+use crate::json::Value;
+use eutectica_telemetry::JsonObject;
+
+/// Progress of one campaign job, as streamed to the collector rank and
+/// published on the observability plane.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRecord {
+    /// Dense job key from `CampaignSpec` expansion.
+    pub job: u32,
+    /// Human-readable parameter-point label (e.g. `v0.0200_g0.0010_c0_s42`).
+    pub label: String,
+    /// Rank currently stepping the job.
+    pub rank: u64,
+    /// Campaign progress round the frame was recorded in.
+    pub round: u64,
+    /// Completed steps.
+    pub step: u64,
+    /// Step target from the spec.
+    pub steps_total: u64,
+    /// Rollbacks consumed so far from the job's budget.
+    pub rollbacks: u64,
+    /// `"active"`, `"done"`, or `"failed"`.
+    pub status: String,
+    /// FNV-1a 64 checksum over the interior field bits; `0` until done.
+    pub checksum: u64,
+}
+
+impl JobRecord {
+    /// NDJSON wire form: `{"type":"job",...}`. The checksum travels as a
+    /// fixed-width hex *string* — JSON numbers are f64 and would truncate
+    /// a 64-bit digest.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .str_field("type", "job")
+            .int_field("job", u64::from(self.job))
+            .str_field("label", &self.label)
+            .int_field("rank", self.rank)
+            .int_field("round", self.round)
+            .int_field("step", self.step)
+            .int_field("steps_total", self.steps_total)
+            .int_field("rollbacks", self.rollbacks)
+            .str_field("status", &self.status)
+            .str_field("checksum", &format!("{:016x}", self.checksum))
+            .finish()
+    }
+
+    /// Parse a wire frame back into a record (smoke clients / tests).
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let v = crate::json::parse(line)?;
+        if v.str("type") != Some("job") {
+            return Err("not a job frame".into());
+        }
+        let int = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing field '{k}'"))
+        };
+        let checksum = v
+            .str("checksum")
+            .ok_or("missing field 'checksum'")
+            .and_then(|s| u64::from_str_radix(s, 16).map_err(|_| "bad checksum hex"))?;
+        Ok(Self {
+            job: int("job")? as u32,
+            label: v.str("label").unwrap_or_default().to_string(),
+            rank: int("rank")?,
+            round: int("round")?,
+            step: int("step")?,
+            steps_total: int("steps_total")?,
+            rollbacks: int("rollbacks")?,
+            status: v.str("status").ok_or("missing field 'status'")?.to_string(),
+            checksum,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_frame_round_trips() {
+        let rec = JobRecord {
+            job: 17,
+            label: "v0.0200_g0.0010_c1_s7".into(),
+            rank: 3,
+            round: 12,
+            step: 48,
+            steps_total: 64,
+            rollbacks: 1,
+            status: "active".into(),
+            checksum: 0xdead_beef_0123_4567,
+        };
+        let line = rec.to_json();
+        assert!(line.starts_with("{\"type\":\"job\""), "{line}");
+        let back = JobRecord::from_json(&line).expect("parse");
+        assert_eq!(back, rec);
+        // Checksums above 2^53 survive the hex-string encoding exactly.
+        assert_eq!(back.checksum, 0xdead_beef_0123_4567);
+        // Other frame types are rejected.
+        assert!(JobRecord::from_json("{\"type\":\"metrics\"}").is_err());
+        assert!(JobRecord::from_json("{\"type\":\"job\"}").is_err());
+    }
+}

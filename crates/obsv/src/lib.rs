@@ -27,6 +27,7 @@
 #![deny(missing_docs)]
 
 pub mod bus;
+pub mod jobs;
 pub mod json;
 pub mod observables;
 pub mod server;
@@ -34,6 +35,7 @@ pub mod slices;
 pub mod trajectory;
 
 pub use bus::{BusStats, FrameBus, Subscription};
+pub use jobs::JobRecord;
 pub use observables::{InSituObserver, ObservableRecord, ObservablesConfig, RecoveryRecord};
 pub use server::LiveServer;
 pub use slices::{gather_slice, SliceField, SliceFrame};

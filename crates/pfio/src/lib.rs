@@ -7,17 +7,19 @@
 //! implements exactly that checkpoint format, plus a legacy-VTK writer for
 //! visual inspection of fields.
 //!
-//! Fault tolerance lives in three submodules: [`ckpt`] defines multi-block
+//! Fault tolerance lives in four submodules: [`ckpt`] defines multi-block
 //! *checkpoint sets* (per-block files + CRC-verified manifest, atomic
 //! writes, OOM-hardened readers), [`replica`] mirrors block state into
-//! buddy ranks' RAM for diskless shrink recovery, and [`resilient`] wires
+//! buddy ranks' RAM for diskless shrink recovery, [`resilient`] wires
 //! both into `DistributedSim` with an auto-cadence scheduler, the
 //! [`resilient::run_resilient`] restart driver and its shrink-and-continue
-//! recovery path.
+//! recovery path, and [`jobs`] gives every campaign job an isolated
+//! per-job checkpoint namespace built from the same set format.
 
 #![deny(missing_docs)]
 
 pub mod ckpt;
+pub mod jobs;
 pub mod replica;
 pub mod resilient;
 

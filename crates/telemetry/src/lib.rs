@@ -357,6 +357,17 @@ impl Telemetry {
         }
     }
 
+    /// A prefixed view of this collector: every metric name recorded
+    /// through the returned [`Lane`] is namespaced as `<prefix>/<name>`.
+    /// Used for per-entity metric lanes (e.g. `campaign/job/7/steps`) so
+    /// co-resident workloads on one rank never collide on metric names.
+    pub fn lane(&self, prefix: &str) -> Lane {
+        Lane {
+            tel: self.clone(),
+            prefix: prefix.to_string(),
+        }
+    }
+
     /// Record one observation into the named log2-bucket histogram.
     #[inline]
     pub fn hist_record(&self, name: &str, value: u64) {
@@ -519,6 +530,38 @@ impl Drop for Span {
     }
 }
 
+/// A name-prefixed view of a [`Telemetry`] collector (see
+/// [`Telemetry::lane`]). Cheap to create per entity; shares the parent's
+/// shards, so lane metrics appear in the parent's snapshots under their
+/// prefixed names.
+#[derive(Clone)]
+pub struct Lane {
+    tel: Telemetry,
+    prefix: String,
+}
+
+impl Lane {
+    /// The full metric name this lane records `name` under.
+    pub fn scoped(&self, name: &str) -> String {
+        format!("{}/{}", self.prefix, name)
+    }
+
+    /// [`Telemetry::counter_add`] under this lane's prefix.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.tel.counter_add(&self.scoped(name), delta);
+    }
+
+    /// [`Telemetry::gauge_set`] under this lane's prefix.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.tel.gauge_set(&self.scoped(name), value);
+    }
+
+    /// [`Telemetry::hist_record`] under this lane's prefix.
+    pub fn hist_record(&self, name: &str, value: u64) {
+        self.tel.hist_record(&self.scoped(name), value);
+    }
+}
+
 /// Open a span for the rest of the enclosing scope:
 /// `span!(tel, "phi_sweep")` or `span!(tel, "pack", "comm")`.
 #[macro_export]
@@ -662,6 +705,20 @@ impl TimingTreeSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn lanes_prefix_metric_names() {
+        let tel = Telemetry::new(0);
+        let lane = tel.lane("campaign/job/3");
+        lane.counter_add("steps", 5);
+        lane.counter_add("steps", 2);
+        lane.gauge_set("progress", 0.5);
+        let m = tel.metrics_snapshot();
+        assert_eq!(m.counters.get("campaign/job/3/steps"), Some(&7));
+        assert_eq!(m.gauges.get("campaign/job/3/progress"), Some(&0.5));
+        assert_eq!(lane.scoped("rollbacks"), "campaign/job/3/rollbacks");
+    }
 
     // Asserts enabled-mode collection; meaningless when spans are compiled
     // out with the `off` feature.

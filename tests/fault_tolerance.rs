@@ -418,3 +418,92 @@ fn auto_cadence_keeps_checkpoint_overhead_within_budget() {
          ({checkpoints} checkpoints, interval {interval}, {total:.3}s total)"
     );
 }
+
+/// Campaign shrink-and-continue: a rank killed mid-campaign under a
+/// [`ShrinkPolicy`] must not take its jobs down with it — the survivors
+/// deterministically adopt the dead rank's jobs from their per-job
+/// checkpoint namespaces and the whole fleet completes with checksums
+/// bit-equal to an undisturbed campaign.
+#[test]
+fn campaign_survives_a_rank_death_with_all_job_checksums_intact() {
+    use eutectica_campaign::{run_campaign, CampaignOpts, CampaignSpec, JobStatus};
+    use eutectica_comm::UniverseCfg;
+
+    let spec = CampaignSpec::around(ModelParams::ag_al_cu(), [8, 8, 12], 12, (1..=8).collect());
+    let campaign_opts = |root: PathBuf| CampaignOpts {
+        slice_steps: 3,
+        ckpt_root: Some(root),
+        ckpt_every: 2,
+        keep_sets: 3,
+        shrink: Some(ShrinkPolicy::new(ShrinkSource::Disk)),
+        ..CampaignOpts::default()
+    };
+
+    // Undisturbed reference fleet on 3 ranks.
+    let clean_root = tmp_root("camp_clean");
+    let spec_c = spec.clone();
+    let opts_c = campaign_opts(clean_root.clone());
+    let clean = with_watchdog(120, "clean campaign", move || {
+        Universe::run(3, move |rank| {
+            run_campaign(&rank, &spec_c, &opts_c).unwrap()
+        })
+    });
+    let clean_fleet = clean
+        .iter()
+        .find_map(|r| r.fleet.clone())
+        .expect("collector fleet");
+    let clean_sums: std::collections::BTreeMap<u32, u64> = clean_fleet
+        .jobs
+        .iter()
+        .map(|j| (j.job, j.checksum))
+        .collect();
+    assert_eq!(clean_sums.len(), 8);
+    let _ = std::fs::remove_dir_all(&clean_root);
+
+    // Chaos fleet: rank 2 is killed at the start of round 2, after round 1
+    // wrote per-job checkpoints. Rank 0 (the collector) and rank 1 must
+    // absorb the death, adopt rank 2's jobs, and finish everything.
+    let chaos_root = tmp_root("camp_chaos");
+    let spec_k = spec.clone();
+    let opts_k = campaign_opts(chaos_root.clone());
+    let outcome = with_watchdog(180, "campaign under rank death", move || {
+        Universe::run_surviving(
+            3,
+            UniverseCfg::with_timeout(Duration::from_secs(120))
+                .with_faults(FaultPlan::new(13).kill(2, 2)),
+            move |rank| run_campaign(&rank, &spec_k, &opts_k).unwrap(),
+        )
+    });
+    let dead: Vec<usize> = outcome.dead.iter().map(|(r, _)| *r).collect();
+    assert_eq!(dead, vec![2], "exactly rank 2 dies");
+    let survivors: Vec<_> = outcome.results.into_iter().flatten().collect();
+    assert_eq!(survivors.len(), 2, "both survivors finish the campaign");
+
+    let fleet = survivors
+        .iter()
+        .find_map(|r| r.fleet.clone())
+        .expect("surviving collector fleet");
+    assert_eq!(fleet.jobs.len(), 8, "no job was lost with the dead rank");
+    for rec in &fleet.jobs {
+        assert_eq!(rec.status, "done", "job {}", rec.job);
+        assert_eq!(
+            rec.checksum, clean_sums[&rec.job],
+            "job {} diverged after adoption",
+            rec.job
+        );
+    }
+    // Survivors hold all 8 jobs locally, each completed, and report the
+    // absorbed death.
+    let mut local_keys: Vec<u32> = Vec::new();
+    for r in &survivors {
+        assert!(r.shrinks >= 1, "survivor never observed the shrink");
+        for l in &r.local {
+            assert_eq!(l.status, JobStatus::Done, "job {}", l.key);
+            assert_eq!(l.checksum, clean_sums[&l.key], "job {}", l.key);
+            local_keys.push(l.key);
+        }
+    }
+    local_keys.sort_unstable();
+    assert_eq!(local_keys, (0..8).collect::<Vec<u32>>());
+    let _ = std::fs::remove_dir_all(&chaos_root);
+}
